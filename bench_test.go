@@ -1,0 +1,208 @@
+// Package nalquery_test contains the benchmark harness that regenerates
+// every table and figure of the paper's evaluation (Sec. 5 and Fig. 6).
+//
+// One benchmark family exists per paper table; within a family, sub-
+// benchmarks are keyed by plan alternative, document size and (for Q1)
+// authors-per-book. Run
+//
+//	go test -bench=. -benchmem
+//
+// for the default measurement points (document sizes 100 and 1000 for the
+// quadratic nested plans, up to 10000 for the unnested plans — the nested
+// plan at 10000 runs for several minutes, exactly as in the paper, and is
+// available through cmd/nalbench -full). The absolute numbers differ from
+// the paper's 2003 testbed; the reproduction target is the shape: who wins,
+// by what factor, and how plans scale.
+package nalquery_test
+
+import (
+	"fmt"
+	"testing"
+
+	nalquery "nalquery"
+	"nalquery/internal/experiments"
+)
+
+// nestedSizeCap keeps the quadratic nested plans out of the largest
+// measurement point during automated bench runs.
+const nestedSizeCap = 1000
+
+func benchExperiment(b *testing.B, id string, sizes []int, apbs []int) {
+	exp, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	if apbs == nil {
+		apbs = []int{0}
+	}
+	for _, apb := range apbs {
+		for _, size := range sizes {
+			eng := experiments.NewEngine(exp, size, apb)
+			q, err := eng.Compile(exp.Query)
+			if err != nil {
+				b.Fatalf("compile %s: %v", id, err)
+			}
+			for _, p := range q.Plans() {
+				if p.Name == "nested" && size > nestedSizeCap {
+					continue
+				}
+				name := fmt.Sprintf("plan=%s/size=%d", p.Name, size)
+				if apb > 0 {
+					name = fmt.Sprintf("plan=%s/apb=%d/size=%d", p.Name, apb, size)
+				}
+				plan := p
+				b.Run(name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, _, err := q.Execute(plan.Name); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkQ1Grouping regenerates the Sec. 5.1 table (Query 1.1.9.4):
+// nested vs. outer join (Eqv. 4) vs. grouping (Eqv. 5) vs. group Ξ, with 2,
+// 5 and 10 authors per book.
+func BenchmarkQ1Grouping(b *testing.B) {
+	benchExperiment(b, "q1", []int{100, 1000, 10000}, []int{2, 5, 10})
+}
+
+// BenchmarkQ1DBLP regenerates the Sec. 5.1 DBLP paragraph: only the
+// outer-join plan is admissible (authors without books violate Eqv. 5's
+// condition).
+func BenchmarkQ1DBLP(b *testing.B) {
+	benchExperiment(b, "q1dblp", []int{100, 1000, 10000}, nil)
+}
+
+// BenchmarkQ2Aggregation regenerates the Sec. 5.2 table (Query 1.1.9.10):
+// nested vs. grouping (Eqv. 3).
+func BenchmarkQ2Aggregation(b *testing.B) {
+	benchExperiment(b, "q2", []int{100, 1000, 10000}, nil)
+}
+
+// BenchmarkQ3Existential regenerates the Sec. 5.3 table (Query 1.1.9.5):
+// nested vs. semijoin (Eqv. 6).
+func BenchmarkQ3Existential(b *testing.B) {
+	benchExperiment(b, "q3", []int{100, 1000, 10000}, nil)
+}
+
+// BenchmarkQ4ExistsFunction regenerates the Sec. 5.4 table: nested vs.
+// semijoin (Eqv. 6) vs. single-scan grouping.
+func BenchmarkQ4ExistsFunction(b *testing.B) {
+	benchExperiment(b, "q4", []int{100, 1000, 10000}, nil)
+}
+
+// BenchmarkQ5Universal regenerates the Sec. 5.5 table: nested vs.
+// anti-semijoin (Eqv. 7) vs. count grouping (Eqv. 9).
+func BenchmarkQ5Universal(b *testing.B) {
+	benchExperiment(b, "q5", []int{100, 1000, 10000}, nil)
+}
+
+// BenchmarkQ6HavingCount regenerates the Sec. 5.6 table (Query 1.4.4.14):
+// nested vs. grouping (Eqv. 3).
+func BenchmarkQ6HavingCount(b *testing.B) {
+	benchExperiment(b, "q6", []int{100, 1000, 10000}, nil)
+}
+
+// BenchmarkFig6DocumentSizes regenerates Fig. 6: generation plus
+// serialization of the six use-case documents at every measurement point
+// (the reported metric is the serialized byte size; see cmd/nalbench -exp
+// fig6 for the table itself).
+func BenchmarkFig6DocumentSizes(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.Fig6([]int{size}, []int{2, 5, 10})
+			}
+		})
+	}
+}
+
+// BenchmarkCompile measures the optimizer itself: parse + normalize +
+// translate + unnesting for all plan alternatives of each paper query.
+func BenchmarkCompile(b *testing.B) {
+	eng := nalquery.NewEngine()
+	eng.LoadUseCaseDocuments(100, 2)
+	eng.LoadDBLPDocument(100)
+	for id, text := range nalquery.PaperQueries {
+		query := text
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Compile(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHashVsScanGrouping compares the order-preserving hash
+// implementation of binary grouping against the definitional scan.
+func BenchmarkAblationHashVsScanGrouping(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.AblationHashVsScanGrouping([]int{size})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGroupXi compares Γ + simple Ξ against the fused
+// group-detecting Ξ (the paper's "saves a grouping operation").
+func BenchmarkAblationGroupXi(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.AblationGroupXi([]int{size}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPredicatePushdown compares the Q5 anti-semijoin with and
+// without pushing ¬p′ into the inner operand (Sec. 5.5).
+func BenchmarkAblationPredicatePushdown(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.AblationPushdown([]int{size}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationUnordered compares the order-preserving plans against
+// the unordered operator family on unordered(Q1) (Sec. 1).
+func BenchmarkAblationUnordered(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.AblationUnordered([]int{size}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOrderPreservingJoin compares the three physical
+// strategies for the order-preserving join (Sec. 2's implementation
+// discussion): probe-order hash join, the paper's Grace-hash-join + sort,
+// and the order-preserving hash join of Claussen et al. [6].
+func BenchmarkAblationOrderPreservingJoin(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.AblationGraceJoin([]int{size})
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+// Command nalbench regenerates the paper's evaluation tables (Sec. 5) and
+// the document-size figure (Fig. 6).
+//
+// Usage:
+//
+//	nalbench                        # all experiments, default sizes, nested capped at 1000
+//	nalbench -exp q1                # one experiment
+//	nalbench -exp fig6              # the document-size figure
+//	nalbench -exp ablations         # the ablation experiments
+//	nalbench -sizes 100,1000        # override measurement points
+//	nalbench -full                  # run the nested plans at every size
+//	                                # (the nested plan needs minutes at 10000,
+//	                                #  like the paper's own numbers)
+//	nalbench -repeat 3              # average over repetitions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nalquery/internal/experiments"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "all", "experiment id (q1, q1dblp, q2..q6, fig6, ablations, all)")
+		sizes  = flag.String("sizes", "", "comma-separated document sizes (default: the paper's 100,1000,10000)")
+		full   = flag.Bool("full", false, "run the quadratic nested plans at every size")
+		repeat = flag.Int("repeat", 1, "average over this many runs")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Repeat: *repeat}
+	if !*full {
+		opts.MaxNestedSize = 1000
+	}
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nalbench: bad size %q\n", s)
+				os.Exit(2)
+			}
+			opts.Sizes = append(opts.Sizes, n)
+		}
+	}
+
+	switch *expID {
+	case "fig6":
+		experiments.PrintFig6(os.Stdout, experiments.Fig6(opts.Sizes, nil))
+		return
+	case "ablations":
+		runAblations(opts)
+		return
+	case "all":
+		experiments.PrintFig6(os.Stdout, experiments.Fig6(opts.Sizes, nil))
+		for _, exp := range experiments.All() {
+			runOne(exp, opts)
+		}
+		runAblations(opts)
+		return
+	default:
+		exp, ok := experiments.Find(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nalbench: unknown experiment %q\n", *expID)
+			os.Exit(2)
+		}
+		runOne(exp, opts)
+	}
+}
+
+func runOne(exp experiments.Experiment, opts experiments.Options) {
+	ms, err := experiments.Run(exp, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nalbench: %v\n", err)
+		os.Exit(1)
+	}
+	experiments.PrintTable(os.Stdout, exp, ms)
+}
+
+func runAblations(opts experiments.Options) {
+	sizes := opts.Sizes
+	if len(sizes) == 0 {
+		sizes = []int{100, 1000}
+	}
+	var all []experiments.AblationResult
+	all = append(all, experiments.AblationHashVsScanGrouping(sizes)...)
+	all = append(all, experiments.AblationGraceJoin(sizes)...)
+	if rs, err := experiments.AblationIterVsMaterialized(sizes); err == nil {
+		all = append(all, rs...)
+	} else {
+		fmt.Fprintf(os.Stderr, "nalbench: ablation iterator: %v\n", err)
+	}
+	if rs, err := experiments.AblationUnordered(sizes); err == nil {
+		all = append(all, rs...)
+	} else {
+		fmt.Fprintf(os.Stderr, "nalbench: ablation unordered: %v\n", err)
+	}
+	if rs, err := experiments.AblationGroupXi(sizes); err == nil {
+		all = append(all, rs...)
+	} else {
+		fmt.Fprintf(os.Stderr, "nalbench: ablation group-xi: %v\n", err)
+	}
+	if rs, err := experiments.AblationPushdown(sizes); err == nil {
+		all = append(all, rs...)
+	} else {
+		fmt.Fprintf(os.Stderr, "nalbench: ablation pushdown: %v\n", err)
+	}
+	experiments.PrintAblations(os.Stdout, all)
+}

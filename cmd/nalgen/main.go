@@ -1,0 +1,74 @@
+// Command nalgen generates the synthetic XML documents of the paper's
+// evaluation (the ToXgene substitute) and writes them to a directory.
+//
+// Usage:
+//
+//	nalgen -size 1000 -authors 5 -out ./data
+//	nalgen -size 10000 -dblp -out ./data
+//	nalgen -size 10000 -binary -out ./data   # compact .nalb store files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nalquery/internal/dom"
+	"nalquery/internal/store"
+	"nalquery/internal/xmlgen"
+)
+
+func main() {
+	var (
+		size    = flag.Int("size", 1000, "number of books / bids")
+		authors = flag.Int("authors", 2, "authors per book (2, 5 or 10 in the paper)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		dblp    = flag.Bool("dblp", false, "also generate the DBLP-like document")
+		binFmt  = flag.Bool("binary", false, "write the binary store format (.nalb) instead of XML")
+		outDir  = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	cfg := xmlgen.DefaultConfig(*size)
+	cfg.AuthorsPerBook = *authors
+	cfg.Seed = *seed
+
+	docs := []*dom.Document{
+		xmlgen.Bib(cfg), xmlgen.Reviews(cfg), xmlgen.Prices(cfg),
+		xmlgen.Users(cfg), xmlgen.Items(cfg), xmlgen.Bids(cfg),
+	}
+	if *dblp {
+		docs = append(docs, xmlgen.DBLP(xmlgen.DBLPConfig{Seed: *seed, Publications: *size}))
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	for _, d := range docs {
+		path := filepath.Join(*outDir, d.URI)
+		if *binFmt {
+			path += ".nalb"
+			if err := store.SaveFile(path, d); err != nil {
+				fail(err)
+			}
+		} else {
+			f, err := os.Create(path)
+			if err != nil {
+				fail(err)
+			}
+			if err := dom.WriteXML(f, d.RootElement()); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}
+		info, _ := os.Stat(path)
+		fmt.Printf("%-20s %8d bytes\n", filepath.Base(path), info.Size())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "nalgen: %v\n", err)
+	os.Exit(1)
+}

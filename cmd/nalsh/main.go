@@ -1,0 +1,193 @@
+// nalsh is an interactive shell for the nalquery engine: type XQuery
+// queries terminated by ';' and inspect the plan alternatives, applied
+// unnesting equivalences, execution statistics and results.
+//
+// Commands (one per line, starting with '\'):
+//
+//	\load URI FILE    load an XML document from FILE under URI
+//	\gen SIZE [APB]   load the six use-case documents (Fig. 5 DTDs) at SIZE
+//	                  elements (APB = authors per book, default 2)
+//	\dblp SIZE        load the DBLP-like heterogeneous document
+//	\docs             list loaded documents
+//	\plans            show the plan alternatives of the last query
+//	\explain [NAME]   print the operator tree of a plan of the last query
+//	\plan NAME        execute a specific plan of the last query
+//	\quit             exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	nalquery "nalquery"
+)
+
+func main() {
+	eng := nalquery.NewEngine()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	var last *nalquery.Query
+
+	fmt.Println("nalquery shell — terminate queries with ';', \\quit to exit")
+	prompt(buf.Len() > 0)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !command(eng, &last, trimmed) {
+				return
+			}
+			prompt(false)
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			text := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+			buf.Reset()
+			runQuery(eng, &last, text)
+		}
+		prompt(buf.Len() > 0)
+	}
+}
+
+func prompt(continuation bool) {
+	if continuation {
+		fmt.Print("   ...> ")
+	} else {
+		fmt.Print("nal> ")
+	}
+}
+
+// command executes one backslash command; it returns false on \quit.
+func command(eng *nalquery.Engine, last **nalquery.Query, line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\quit`, `\q`:
+		return false
+	case `\load`:
+		if len(fields) != 3 {
+			fmt.Println("usage: \\load URI FILE")
+			return true
+		}
+		f, err := os.Open(fields[2])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		defer f.Close()
+		if err := eng.LoadXML(fields[1], f); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Printf("loaded %s\n", fields[1])
+	case `\gen`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\gen SIZE [AUTHORS_PER_BOOK]")
+			return true
+		}
+		size, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		apb := 2
+		if len(fields) > 2 {
+			if apb, err = strconv.Atoi(fields[2]); err != nil {
+				fmt.Println("error:", err)
+				return true
+			}
+		}
+		eng.LoadUseCaseDocuments(size, apb)
+		fmt.Printf("generated use-case documents at size %d (%d authors/book)\n", size, apb)
+	case `\dblp`:
+		if len(fields) != 2 {
+			fmt.Println("usage: \\dblp SIZE")
+			return true
+		}
+		size, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		eng.LoadDBLPDocument(size)
+		fmt.Printf("generated dblp.xml at size %d\n", size)
+	case `\docs`:
+		for _, uri := range eng.DocumentURIs() {
+			fmt.Println(" ", uri)
+		}
+	case `\plans`:
+		if *last == nil {
+			fmt.Println("no query compiled yet")
+			return true
+		}
+		for _, p := range (*last).Plans() {
+			applied := ""
+			if len(p.Applied) > 0 {
+				applied = "  [" + strings.Join(p.Applied, ", ") + "]"
+			}
+			fmt.Printf("  %-18s cost=%.0f%s\n", p.Name, p.EstimatedCost, applied)
+		}
+	case `\explain`:
+		if *last == nil {
+			fmt.Println("no query compiled yet")
+			return true
+		}
+		name := ""
+		if len(fields) > 1 {
+			name = strings.Join(fields[1:], " ")
+		}
+		p, err := (*last).Plan(name)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Printf("plan %s:\n%s\n", p.Name, p.Explain())
+	case `\plan`:
+		if *last == nil {
+			fmt.Println("no query compiled yet")
+			return true
+		}
+		if len(fields) < 2 {
+			fmt.Println("usage: \\plan NAME")
+			return true
+		}
+		execute(*last, strings.Join(fields[1:], " "))
+	default:
+		fmt.Printf("unknown command %s\n", fields[0])
+	}
+	return true
+}
+
+func runQuery(eng *nalquery.Engine, last **nalquery.Query, text string) {
+	q, err := eng.Compile(text)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	*last = q
+	fmt.Printf("compiled; %d plan alternatives (\\plans to list)\n", len(q.Plans()))
+	execute(q, "")
+}
+
+func execute(q *nalquery.Query, name string) {
+	p, err := q.Plan(name)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	t0 := time.Now()
+	out, stats, err := q.Execute(p.Name)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("-- plan %s, %s, doc-scans=%d, nested-evals=%d\n",
+		p.Name, time.Since(t0).Round(time.Microsecond), stats.DocAccesses, stats.NestedEvals)
+	fmt.Println(out)
+}

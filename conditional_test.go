@@ -1,0 +1,105 @@
+package nalquery
+
+import (
+	"strings"
+	"testing"
+)
+
+// End-to-end tests for the conditional expression if (…) then … else ….
+
+func condEngine(t *testing.T) *Engine {
+	t.Helper()
+	eng := NewEngine()
+	if err := eng.LoadXMLString("bib.xml", `<bib>
+		<book year="1991"><title>old</title><price>10</price></book>
+		<book year="2001"><title>new</title><price>50</price></book>
+	</bib>`); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestConditionalInReturn: branch selection by effective boolean value.
+func TestConditionalInReturn(t *testing.T) {
+	eng := condEngine(t)
+	out, err := eng.Query(`
+let $d := doc("bib.xml")
+for $b in $d//book
+return <c>{ if (decimal($b/price) > 20) then "pricey" else "cheap" }</c>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<c>cheap</c><c>pricey</c>"
+	if squash(out) != want {
+		t.Errorf("got %q, want %q", squash(out), want)
+	}
+}
+
+// TestConditionalMissingElse: the extension default is the empty sequence,
+// which prints as nothing.
+func TestConditionalMissingElse(t *testing.T) {
+	eng := condEngine(t)
+	out, err := eng.Query(`
+let $d := doc("bib.xml")
+for $b in $d//book
+return <c>{ if (decimal($b/price) > 20) then string($b/title) }</c>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<c></c><c>new</c>"
+	if squash(out) != want {
+		t.Errorf("got %q, want %q", squash(out), want)
+	}
+}
+
+// TestConditionalInWhere: conditionals compose inside where predicates.
+func TestConditionalInWhere(t *testing.T) {
+	eng := condEngine(t)
+	out, err := eng.Query(`
+let $d := doc("bib.xml")
+for $b in $d//book
+where if ($b/@year > 2000) then true() else false()
+return $b/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "new") || strings.Contains(out, "old") {
+		t.Errorf("conditional where filtered wrongly: %q", out)
+	}
+}
+
+// TestConditionalNested: conditionals nest in both branches.
+func TestConditionalNested(t *testing.T) {
+	eng := condEngine(t)
+	out, err := eng.Query(`
+let $d := doc("bib.xml")
+for $b in $d//book
+return <c>{ if (decimal($b/price) > 100) then "lux"
+            else if (decimal($b/price) > 20) then "mid" else "low" }</c>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<c>low</c><c>mid</c>"
+	if squash(out) != want {
+		t.Errorf("got %q, want %q", squash(out), want)
+	}
+}
+
+// TestIfElementName: an element named "if" in a path is not mistaken for a
+// conditional.
+func TestIfElementName(t *testing.T) {
+	eng := NewEngine()
+	if err := eng.LoadXMLString("c.xml", `<r><if>x</if></r>`); err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Query(`
+let $d := doc("c.xml")
+for $i in $d//if
+return <v>{ string($i) }</v>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if squash(out) != "<v>x</v>" {
+		t.Errorf("got %q, want <v>x</v>", squash(out))
+	}
+}

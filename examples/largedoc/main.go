@@ -1,0 +1,98 @@
+// Large-document example: generate a sizable bibliography, persist it in
+// the binary store format, reload it, and run the Sec. 5.1 grouping query
+// through both execution engines — showing that the unnested plans stay
+// interactive where the nested plan would take minutes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	nalquery "nalquery"
+	"nalquery/internal/dom"
+	"nalquery/internal/store"
+	"nalquery/internal/xmlgen"
+)
+
+func main() {
+	const books = 5000
+
+	dir, err := os.MkdirTemp("", "nalquery-largedoc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Generate and persist.
+	cfg := xmlgen.DefaultConfig(books)
+	cfg.AuthorsPerBook = 5
+	doc := xmlgen.Bib(cfg)
+	path := filepath.Join(dir, "bib.nalb")
+	t0 := time.Now()
+	if err := store.SaveFile(path, doc); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	xmlBytes := len(dom.XMLString(doc.RootElement()))
+	fmt.Printf("generated %d books: xml %d bytes, binary store %d bytes (saved in %v)\n",
+		books, xmlBytes, info.Size(), time.Since(t0).Round(time.Millisecond))
+
+	// Reload from the store.
+	t0 = time.Now()
+	loaded, err := store.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d nodes in %v\n", loaded.NumNodes(), time.Since(t0).Round(time.Millisecond))
+
+	eng := nalquery.NewEngine()
+	eng.LoadDocument(loaded)
+
+	q, err := eng.Compile(nalquery.QueryQ1Grouping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nplan costs (estimated):")
+	for _, p := range q.Plans() {
+		fmt.Printf("  %-12s %14.0f\n", p.Name, p.EstimatedCost)
+	}
+
+	// Execute the cheapest plan under both engines. The nested plan at this
+	// size would run for minutes (it scans the document once per author);
+	// we demonstrate it on a small prefix instead.
+	best, _ := q.Plan("")
+	t0 = time.Now()
+	out, stats, err := q.Execute(best.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s (materialized): %v, %d scans, %d bytes of result\n",
+		best.Name, time.Since(t0).Round(time.Millisecond), stats.DocAccesses, len(out))
+
+	t0 = time.Now()
+	out2, _, err := q.ExecuteStreaming(best.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (streaming):    %v, identical result: %v\n",
+		best.Name, time.Since(t0).Round(time.Millisecond), out == out2)
+
+	// The nested baseline on a small document, for contrast.
+	small := nalquery.NewEngine()
+	small.LoadUseCaseDocuments(500, 5)
+	qs, err := small.Compile(nalquery.QueryQ1Grouping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 = time.Now()
+	_, nstats, err := qs.Execute("nested")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnested baseline at 500 books: %v with %d document scans — the\n"+
+		"quadratic behaviour the unnesting equivalences remove.\n",
+		time.Since(t0).Round(time.Millisecond), nstats.DocAccesses)
+}

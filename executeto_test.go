@@ -1,0 +1,73 @@
+package nalquery
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestExecuteToMatchesExecute: the writer-streaming API produces the same
+// bytes as the in-memory APIs on every plan.
+func TestExecuteToMatchesExecute(t *testing.T) {
+	eng := NewEngine()
+	eng.LoadUseCaseDocuments(40, 2)
+	q, err := eng.Compile(QueryQ1Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range q.Plans() {
+		want, _, err := q.Execute(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		stats, err := q.ExecuteTo(&buf, p.Name)
+		if err != nil {
+			t.Fatalf("plan %q: %v", p.Name, err)
+		}
+		if buf.String() != want {
+			t.Errorf("plan %q: streamed bytes differ from Execute output", p.Name)
+		}
+		if stats.DocAccesses == 0 {
+			t.Errorf("plan %q: no document accesses recorded", p.Name)
+		}
+	}
+}
+
+// failingWriter errors after a few bytes, to exercise the flush error path.
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.n += len(p)
+	if f.n > 8 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+// TestExecuteToWriterError: write failures surface as errors.
+func TestExecuteToWriterError(t *testing.T) {
+	eng := NewEngine()
+	eng.LoadUseCaseDocuments(40, 2)
+	q, err := eng.Compile(QueryQ1Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.ExecuteTo(&failingWriter{}, ""); err == nil {
+		t.Errorf("no error from a failing writer")
+	}
+}
+
+// TestExecuteToUnknownPlan: plan lookup errors propagate.
+func TestExecuteToUnknownPlan(t *testing.T) {
+	eng := NewEngine()
+	eng.LoadUseCaseDocuments(20, 2)
+	q, err := eng.Compile(QueryQ1Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := q.ExecuteTo(&buf, "no-such-plan"); err == nil {
+		t.Errorf("no error for unknown plan name")
+	}
+}

@@ -1,0 +1,98 @@
+package nalquery
+
+import (
+	"strings"
+	"testing"
+)
+
+// End-to-end tests for the frontend extensions: positional path predicates
+// and the wider builtin function library.
+
+// TestPositionalPredicateEndToEnd: author[1] survives normalization (the
+// Sec. 3 rewrite moves only value predicates into where clauses) and
+// evaluates per book.
+func TestPositionalPredicateEndToEnd(t *testing.T) {
+	eng := NewEngine()
+	eng.LoadXMLString("bib.xml", `<bib>
+		<book><title>t1</title><author>a1</author><author>a2</author></book>
+		<book><title>t2</title><author>a3</author></book>
+	</bib>`)
+	out, err := eng.Query(`
+let $d := doc("bib.xml")
+for $b in $d//book
+return <first>{ string($b/author[1]) }</first>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<first>a1</first><first>a3</first>"
+	if strings.Join(strings.Fields(out), "") != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+// TestPositionalLastEndToEnd: [last()] through the full pipeline.
+func TestPositionalLastEndToEnd(t *testing.T) {
+	eng := NewEngine()
+	eng.LoadXMLString("bib.xml", `<bib>
+		<book><author>a1</author><author>a2</author></book>
+		<book><author>a3</author></book>
+	</bib>`)
+	out, err := eng.Query(`
+let $d := doc("bib.xml")
+for $b in $d//book
+return <last>{ string($b/author[last()]) }</last>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<last>a2</last><last>a3</last>"
+	if strings.Join(strings.Fields(out), "") != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+// TestValuePredicateStillNormalized: value predicates keep going through
+// the Sec. 3 where-clause rewrite alongside positional ones.
+func TestValuePredicateStillNormalized(t *testing.T) {
+	eng := NewEngine()
+	eng.LoadXMLString("bib.xml", `<bib>
+		<book><title>t1</title><author>walker</author></book>
+		<book><title>t2</title><author>smith</author></book>
+	</bib>`)
+	out, err := eng.Query(`
+let $d := doc("bib.xml")
+for $b in $d//book[author = "smith"]
+return $b/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "t2") || strings.Contains(out, "t1") {
+		t.Errorf("value predicate filtered wrongly: %q", out)
+	}
+}
+
+// TestBuiltinsEndToEnd: string functions compose inside return clauses.
+func TestBuiltinsEndToEnd(t *testing.T) {
+	eng := NewEngine()
+	eng.LoadXMLString("b.xml", `<r><v>  Hello World  </v><n>2.5</n></r>`)
+	cases := []struct {
+		q, want string
+	}{
+		{`let $d := doc("b.xml") for $v in $d//v return <o>{ upper-case(normalize-space($v)) }</o>`,
+			"<o>HELLO WORLD</o>"},
+		{`let $d := doc("b.xml") for $v in $d//v return <o>{ substring(normalize-space($v), 7) }</o>`,
+			"<o>World</o>"},
+		{`let $d := doc("b.xml") for $n in $d//n return <o>{ round(decimal($n)) }</o>`,
+			"<o>3</o>"},
+		{`let $d := doc("b.xml") for $v in $d//v return <o>{ substring-before(normalize-space($v), " ") }</o>`,
+			"<o>Hello</o>"},
+	}
+	for _, c := range cases {
+		out, err := eng.Query(c.q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if strings.TrimSpace(out) != c.want {
+			t.Errorf("query %s\n got %q, want %q", c.q, out, c.want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"nalquery/internal/value"
+)
+
+// TestExplainDotWellFormed: the dot rendering opens and closes the digraph,
+// declares every operator node, and draws dashed edges for nested
+// expressions.
+func TestExplainDotWellFormed(t *testing.T) {
+	e1 := constOp{ts: value.TupleSeq{{"A1": value.Int(1)}}, attrs: []string{"A1"}}
+	e2 := constOp{ts: value.TupleSeq{{"A2": value.Int(1)}}, attrs: []string{"A2"}}
+	nested := Map{In: e1, Attr: "g",
+		E: NestedApply{F: SFCount{}, Plan: Select{In: e2,
+			Pred: CmpExpr{L: Var{Name: "A1"}, R: Var{Name: "A2"}, Op: value.CmpEq}}}}
+	dot := ExplainDot(nested)
+	if !strings.HasPrefix(dot, "digraph plan {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("not a digraph: %q", dot)
+	}
+	if !strings.Contains(dot, "style=dashed") {
+		t.Errorf("nested expression not rendered as dashed edge:\n%s", dot)
+	}
+	if !strings.Contains(dot, "nested count") {
+		t.Errorf("nested edge label missing:\n%s", dot)
+	}
+	// Node ids must be unique and every declared id must appear in an edge
+	// or be the root.
+	if strings.Count(dot, "n0 [label=") != 1 {
+		t.Errorf("root node declared %d times", strings.Count(dot, "n0 [label="))
+	}
+}
+
+// TestExplainDotQuantifier: quantifier ranges hang off the selection with a
+// labelled dashed edge.
+func TestExplainDotQuantifier(t *testing.T) {
+	e1 := constOp{ts: value.TupleSeq{{"A1": value.Int(1)}}, attrs: []string{"A1"}}
+	e2 := constOp{ts: value.TupleSeq{{"A2": value.Int(1)}}, attrs: []string{"A2"}}
+	sel := Select{In: e1, Pred: ExistsQ{Var: "x", RangeAttr: "A2",
+		Range: e2, Pred: CmpExpr{L: Var{Name: "x"}, R: Var{Name: "A1"}, Op: value.CmpEq}}}
+	dot := ExplainDot(sel)
+	if !strings.Contains(dot, "exists x") {
+		t.Errorf("quantifier edge label missing:\n%s", dot)
+	}
+}

@@ -1,0 +1,502 @@
+// Package algebra implements NAL, the order-preserving nested algebra of the
+// paper (Sec. 2), together with its evaluation engine.
+//
+// NAL operators work on ordered sequences of unordered tuples
+// (value.TupleSeq). Expressions in operator subscripts may contain nested
+// algebraic expressions; evaluating a nested expression per outer tuple is
+// exactly the nested-loop strategy the unnesting equivalences of
+// internal/core remove.
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nalquery/internal/dom"
+	"nalquery/internal/value"
+	"nalquery/internal/xpath"
+)
+
+// StringWriter is the output sink of the Ξ result-construction operators
+// (satisfied by strings.Builder, bufio.Writer, …). Write errors are the
+// sink's to track: operators stream fire-and-forget, and callers that wrap
+// files flush and check at the end (see Query.ExecuteTo).
+type StringWriter interface {
+	WriteString(s string) (int, error)
+}
+
+// Ctx is the evaluation context shared by a plan execution.
+type Ctx struct {
+	// Docs resolves document URIs for the doc()/document() functions.
+	Docs map[string]*dom.Document
+	// Out receives the output stream of the Ξ result-construction operators.
+	Out StringWriter
+	// Stats accumulates execution counters.
+	Stats Stats
+}
+
+// Stats holds execution counters used by the experiment reports.
+type Stats struct {
+	// DocAccesses counts evaluations of doc()/document() — each one starts a
+	// fresh traversal of a stored document, the analogue of the paper's
+	// "scans over the input document".
+	DocAccesses int64
+	// NestedEvals counts evaluations of nested algebraic expressions inside
+	// operator subscripts (the nested-loop iterations).
+	NestedEvals int64
+	// Tuples counts tuples produced by operators.
+	Tuples int64
+}
+
+// NewCtx creates an evaluation context over the given documents, collecting
+// result construction into an in-memory builder (retrieve it with OutString).
+func NewCtx(docs map[string]*dom.Document) *Ctx {
+	return &Ctx{Docs: docs, Out: &strings.Builder{}}
+}
+
+// NewCtxWriter creates an evaluation context streaming result construction
+// into w instead of an in-memory builder.
+func NewCtxWriter(docs map[string]*dom.Document, w StringWriter) *Ctx {
+	return &Ctx{Docs: docs, Out: w}
+}
+
+// OutString returns the collected output when the context was created with
+// NewCtx; for writer-backed contexts it returns the empty string.
+func (c *Ctx) OutString() string {
+	if sb, ok := c.Out.(*strings.Builder); ok {
+		return sb.String()
+	}
+	return ""
+}
+
+// Expr is a scalar expression evaluable against a tuple of variable
+// bindings.
+type Expr interface {
+	// Eval computes the expression value; env supplies the bindings of free
+	// variables (F(e) ⊆ A(env)).
+	Eval(ctx *Ctx, env value.Tuple) value.Value
+	// String renders the expression for plan explanation.
+	String() string
+	// FreeVars appends the free variable names of the expression to dst.
+	FreeVars(dst map[string]bool)
+}
+
+// Var references a variable/attribute binding.
+type Var struct{ Name string }
+
+// Eval implements Expr.
+func (v Var) Eval(_ *Ctx, env value.Tuple) value.Value { return env[v.Name] }
+
+func (v Var) String() string { return v.Name }
+
+// FreeVars implements Expr.
+func (v Var) FreeVars(dst map[string]bool) { dst[v.Name] = true }
+
+// ConstVal is a literal constant.
+type ConstVal struct{ V value.Value }
+
+// Eval implements Expr.
+func (c ConstVal) Eval(*Ctx, value.Tuple) value.Value { return c.V }
+
+func (c ConstVal) String() string {
+	if s, ok := c.V.(value.Str); ok {
+		return fmt.Sprintf("%q", string(s))
+	}
+	if c.V == nil {
+		return "()"
+	}
+	return c.V.String()
+}
+
+// FreeVars implements Expr.
+func (ConstVal) FreeVars(map[string]bool) {}
+
+// Doc resolves a stored document by URI (the doc()/document() function).
+type Doc struct{ URI string }
+
+// Eval implements Expr.
+func (d Doc) Eval(ctx *Ctx, _ value.Tuple) value.Value {
+	ctx.Stats.DocAccesses++
+	doc, ok := ctx.Docs[d.URI]
+	if !ok {
+		return value.Null{}
+	}
+	return value.NodeVal{Node: doc.Root}
+}
+
+func (d Doc) String() string { return fmt.Sprintf("doc(%q)", d.URI) }
+
+// FreeVars implements Expr.
+func (Doc) FreeVars(map[string]bool) {}
+
+// PathOf applies an XPath to the value of Input.
+type PathOf struct {
+	Input Expr
+	Path  xpath.Path
+}
+
+// Eval implements Expr.
+func (p PathOf) Eval(ctx *Ctx, env value.Tuple) value.Value {
+	return p.Path.Eval(p.Input.Eval(ctx, env))
+}
+
+func (p PathOf) String() string {
+	in := p.Input.String()
+	ps := p.Path.String()
+	if strings.HasPrefix(ps, "//") || strings.HasPrefix(ps, "@") {
+		if strings.HasPrefix(ps, "@") {
+			return in + "/" + ps
+		}
+		return in + ps
+	}
+	return in + "/" + ps
+}
+
+// FreeVars implements Expr.
+func (p PathOf) FreeVars(dst map[string]bool) { p.Input.FreeVars(dst) }
+
+// CmpExpr is a general comparison L θ R with existential semantics over
+// sequences (Sec. 5.1: "a simple '=' has existential semantics in case
+// either side contains a sequence").
+type CmpExpr struct {
+	L, R Expr
+	Op   value.CmpOp
+}
+
+// Eval implements Expr.
+func (c CmpExpr) Eval(ctx *Ctx, env value.Tuple) value.Value {
+	return value.Bool(value.GeneralCompare(c.L.Eval(ctx, env), c.R.Eval(ctx, env), c.Op))
+}
+
+func (c CmpExpr) String() string {
+	return fmt.Sprintf("%s %s %s", c.L.String(), c.Op, c.R.String())
+}
+
+// FreeVars implements Expr.
+func (c CmpExpr) FreeVars(dst map[string]bool) {
+	c.L.FreeVars(dst)
+	c.R.FreeVars(dst)
+}
+
+// InExpr is the membership predicate A1 ∈ a2 of Eqvs. 4 and 5: the left item
+// is a member of the sequence-valued right operand.
+type InExpr struct {
+	Item Expr
+	Seq  Expr
+}
+
+// Eval implements Expr.
+func (e InExpr) Eval(ctx *Ctx, env value.Tuple) value.Value {
+	return value.Bool(value.Member(e.Item.Eval(ctx, env), e.Seq.Eval(ctx, env)))
+}
+
+func (e InExpr) String() string { return fmt.Sprintf("%s ∈ %s", e.Item.String(), e.Seq.String()) }
+
+// FreeVars implements Expr.
+func (e InExpr) FreeVars(dst map[string]bool) {
+	e.Item.FreeVars(dst)
+	e.Seq.FreeVars(dst)
+}
+
+// AndExpr is logical conjunction.
+type AndExpr struct{ L, R Expr }
+
+// Eval implements Expr.
+func (a AndExpr) Eval(ctx *Ctx, env value.Tuple) value.Value {
+	if !value.EffectiveBool(a.L.Eval(ctx, env)) {
+		return value.Bool(false)
+	}
+	return value.Bool(value.EffectiveBool(a.R.Eval(ctx, env)))
+}
+
+func (a AndExpr) String() string { return fmt.Sprintf("(%s ∧ %s)", a.L.String(), a.R.String()) }
+
+// FreeVars implements Expr.
+func (a AndExpr) FreeVars(dst map[string]bool) {
+	a.L.FreeVars(dst)
+	a.R.FreeVars(dst)
+}
+
+// OrExpr is logical disjunction.
+type OrExpr struct{ L, R Expr }
+
+// Eval implements Expr.
+func (o OrExpr) Eval(ctx *Ctx, env value.Tuple) value.Value {
+	if value.EffectiveBool(o.L.Eval(ctx, env)) {
+		return value.Bool(true)
+	}
+	return value.Bool(value.EffectiveBool(o.R.Eval(ctx, env)))
+}
+
+func (o OrExpr) String() string { return fmt.Sprintf("(%s ∨ %s)", o.L.String(), o.R.String()) }
+
+// FreeVars implements Expr.
+func (o OrExpr) FreeVars(dst map[string]bool) {
+	o.L.FreeVars(dst)
+	o.R.FreeVars(dst)
+}
+
+// NotExpr is logical negation.
+type NotExpr struct{ E Expr }
+
+// Eval implements Expr.
+func (n NotExpr) Eval(ctx *Ctx, env value.Tuple) value.Value {
+	return value.Bool(!value.EffectiveBool(n.E.Eval(ctx, env)))
+}
+
+func (n NotExpr) String() string { return fmt.Sprintf("¬(%s)", n.E.String()) }
+
+// FreeVars implements Expr.
+func (n NotExpr) FreeVars(dst map[string]bool) { n.E.FreeVars(dst) }
+
+// CondExpr is the conditional expression if (If) then Then else Else; the
+// condition is taken by effective boolean value, and only the selected
+// branch is evaluated.
+type CondExpr struct {
+	If, Then, Else Expr
+}
+
+// Eval implements Expr.
+func (c CondExpr) Eval(ctx *Ctx, env value.Tuple) value.Value {
+	if value.EffectiveBool(c.If.Eval(ctx, env)) {
+		return c.Then.Eval(ctx, env)
+	}
+	return c.Else.Eval(ctx, env)
+}
+
+func (c CondExpr) String() string {
+	return fmt.Sprintf("if(%s; %s; %s)", c.If.String(), c.Then.String(), c.Else.String())
+}
+
+// FreeVars implements Expr.
+func (c CondExpr) FreeVars(dst map[string]bool) {
+	c.If.FreeVars(dst)
+	c.Then.FreeVars(dst)
+	c.Else.FreeVars(dst)
+}
+
+// ArithExpr is an arithmetic expression over atomized numeric operands
+// (+, -, *, div, mod). Non-numeric or absent operands yield NULL, following
+// XQuery's empty-sequence propagation.
+type ArithExpr struct {
+	L, R Expr
+	Op   byte // '+', '-', '*', '/', '%'
+}
+
+// Eval implements Expr.
+func (a ArithExpr) Eval(ctx *Ctx, env value.Tuple) value.Value {
+	l, lok := numArg(a.L.Eval(ctx, env))
+	r, rok := numArg(a.R.Eval(ctx, env))
+	if !lok || !rok {
+		return value.Null{}
+	}
+	switch a.Op {
+	case '+':
+		return value.Float(l + r)
+	case '-':
+		return value.Float(l - r)
+	case '*':
+		return value.Float(l * r)
+	case '/':
+		if r == 0 {
+			return value.Null{}
+		}
+		return value.Float(l / r)
+	case '%':
+		if r == 0 {
+			return value.Null{}
+		}
+		return value.Float(float64(int64(l) % int64(r)))
+	default:
+		return value.Null{}
+	}
+}
+
+func numArg(v value.Value) (float64, bool) {
+	a := value.AtomizeSingle(v)
+	if a == nil {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(a.String()), 64)
+	return f, err == nil
+}
+
+func (a ArithExpr) String() string {
+	op := string(a.Op)
+	if a.Op == '/' {
+		op = "div"
+	}
+	if a.Op == '%' {
+		op = "mod"
+	}
+	return fmt.Sprintf("(%s %s %s)", a.L.String(), op, a.R.String())
+}
+
+// FreeVars implements Expr.
+func (a ArithExpr) FreeVars(dst map[string]bool) {
+	a.L.FreeVars(dst)
+	a.R.FreeVars(dst)
+}
+
+// Call is a builtin function call on item values.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// Eval implements Expr.
+func (c Call) Eval(ctx *Ctx, env value.Tuple) value.Value {
+	args := make([]value.Value, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.Eval(ctx, env)
+	}
+	return evalBuiltin(c.Fn, args)
+}
+
+func (c Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Fn, strings.Join(parts, ", "))
+}
+
+// FreeVars implements Expr.
+func (c Call) FreeVars(dst map[string]bool) {
+	for _, a := range c.Args {
+		a.FreeVars(dst)
+	}
+}
+
+// NestedApply applies a sequence function f to the result of a nested
+// algebraic expression: the form f(σ...(e2)) that the unnesting
+// equivalences' left-hand sides are made of. Its evaluation is the
+// nested-loop strategy: the plan is re-evaluated for every environment it is
+// invoked under.
+type NestedApply struct {
+	F    SeqFunc
+	Plan Op
+}
+
+// Eval implements Expr.
+func (n NestedApply) Eval(ctx *Ctx, env value.Tuple) value.Value {
+	ctx.Stats.NestedEvals++
+	ts := n.Plan.Eval(ctx, env)
+	return n.F.Apply(ctx, env, ts)
+}
+
+func (n NestedApply) String() string {
+	return fmt.Sprintf("%s(%s)", n.F.String(), n.Plan.String())
+}
+
+// FreeVars implements Expr.
+func (n NestedApply) FreeVars(dst map[string]bool) {
+	opFreeVars(n.Plan, dst)
+	n.F.FreeVars(dst)
+}
+
+// AggOfAttr applies a sequence function to a tuple-sequence-valued
+// attribute (e.g. counting the members of a group attribute created by Γ).
+type AggOfAttr struct {
+	F    SeqFunc
+	Attr Expr
+}
+
+// Eval implements Expr.
+func (a AggOfAttr) Eval(ctx *Ctx, env value.Tuple) value.Value {
+	v := a.Attr.Eval(ctx, env)
+	ts, ok := v.(value.TupleSeq)
+	if !ok {
+		return value.Null{}
+	}
+	return a.F.Apply(ctx, env, ts)
+}
+
+func (a AggOfAttr) String() string {
+	return fmt.Sprintf("%s(%s)", a.F.String(), a.Attr.String())
+}
+
+// FreeVars implements Expr.
+func (a AggOfAttr) FreeVars(dst map[string]bool) {
+	a.Attr.FreeVars(dst)
+	a.F.FreeVars(dst)
+}
+
+// ExistsQ is the existential quantifier predicate
+// ∃x ∈ (range) : p — the left-hand side of Eqv. 6. Range is an algebraic
+// expression whose tuples carry the attribute RangeAttr (x'); for each range
+// tuple, Var is bound to that attribute's value and Pred is evaluated.
+type ExistsQ struct {
+	Var       string
+	RangeAttr string
+	Range     Op
+	Pred      Expr
+}
+
+// Eval implements Expr.
+func (q ExistsQ) Eval(ctx *Ctx, env value.Tuple) value.Value {
+	ctx.Stats.NestedEvals++
+	rng := q.Range.Eval(ctx, env)
+	for _, t := range rng {
+		env2 := env.Copy()
+		env2[q.Var] = t[q.RangeAttr]
+		if value.EffectiveBool(q.Pred.Eval(ctx, env2)) {
+			return value.Bool(true)
+		}
+	}
+	return value.Bool(false)
+}
+
+func (q ExistsQ) String() string {
+	return fmt.Sprintf("∃%s∈%s: %s", q.Var, q.Range.String(), q.Pred.String())
+}
+
+// FreeVars implements Expr.
+func (q ExistsQ) FreeVars(dst map[string]bool) {
+	opFreeVars(q.Range, dst)
+	inner := map[string]bool{}
+	q.Pred.FreeVars(inner)
+	delete(inner, q.Var)
+	for k := range inner {
+		dst[k] = true
+	}
+}
+
+// ForallQ is the universal quantifier predicate ∀x ∈ (range) : p — the
+// left-hand side of Eqv. 7.
+type ForallQ struct {
+	Var       string
+	RangeAttr string
+	Range     Op
+	Pred      Expr
+}
+
+// Eval implements Expr.
+func (q ForallQ) Eval(ctx *Ctx, env value.Tuple) value.Value {
+	ctx.Stats.NestedEvals++
+	rng := q.Range.Eval(ctx, env)
+	for _, t := range rng {
+		env2 := env.Copy()
+		env2[q.Var] = t[q.RangeAttr]
+		if !value.EffectiveBool(q.Pred.Eval(ctx, env2)) {
+			return value.Bool(false)
+		}
+	}
+	return value.Bool(true)
+}
+
+func (q ForallQ) String() string {
+	return fmt.Sprintf("∀%s∈%s: %s", q.Var, q.Range.String(), q.Pred.String())
+}
+
+// FreeVars implements Expr.
+func (q ForallQ) FreeVars(dst map[string]bool) {
+	opFreeVars(q.Range, dst)
+	inner := map[string]bool{}
+	q.Pred.FreeVars(inner)
+	delete(inner, q.Var)
+	for k := range inner {
+		dst[k] = true
+	}
+}

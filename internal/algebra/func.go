@@ -1,0 +1,482 @@
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nalquery/internal/value"
+)
+
+// evalBuiltin implements the item-level builtin function library used by the
+// paper's queries.
+func evalBuiltin(fn string, args []value.Value) value.Value {
+	switch fn {
+	case "true":
+		return value.Bool(true)
+	case "false":
+		return value.Bool(false)
+	case "not":
+		return value.Bool(!value.EffectiveBool(arg(args, 0)))
+	case "exists":
+		return value.Bool(nonEmpty(arg(args, 0)))
+	case "empty":
+		return value.Bool(!nonEmpty(arg(args, 0)))
+	case "count":
+		return value.Int(int64(itemCount(arg(args, 0))))
+	case "string":
+		a := value.AtomizeSingle(arg(args, 0))
+		if a == nil {
+			return value.Str("")
+		}
+		return value.Str(a.String())
+	case "decimal", "number":
+		a := value.AtomizeSingle(arg(args, 0))
+		if a == nil {
+			return value.Null{}
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(a.String()), 64)
+		if err != nil {
+			return value.Null{}
+		}
+		return value.Float(f)
+	case "concat":
+		var sb strings.Builder
+		for _, a := range args {
+			sb.WriteString(PrintValue(a))
+		}
+		return value.Str(sb.String())
+	case "contains":
+		s := value.AtomizeSingle(arg(args, 0))
+		sub := value.AtomizeSingle(arg(args, 1))
+		if s == nil || sub == nil {
+			return value.Bool(false)
+		}
+		return value.Bool(strings.Contains(s.String(), sub.String()))
+	case "distinct-values":
+		return distinctValues(arg(args, 0))
+	case "min", "max", "sum", "avg":
+		return aggregate(fn, atomsOf(arg(args, 0)))
+	case "unordered":
+		// unordered(e) signals that the result order is irrelevant (paper
+		// Sec. 1). This engine's operators all preserve order anyway, so the
+		// function is the identity; it is accepted so that queries written
+		// for unordered processors run unchanged.
+		return arg(args, 0)
+	case "data":
+		return value.Atomize(arg(args, 0))
+	case "string-length":
+		a := value.AtomizeSingle(arg(args, 0))
+		if a == nil {
+			return value.Int(0)
+		}
+		return value.Int(int64(len([]rune(a.String()))))
+	case "starts-with":
+		s := value.AtomizeSingle(arg(args, 0))
+		p := value.AtomizeSingle(arg(args, 1))
+		if s == nil || p == nil {
+			return value.Bool(false)
+		}
+		return value.Bool(strings.HasPrefix(s.String(), p.String()))
+	case "ends-with":
+		s := value.AtomizeSingle(arg(args, 0))
+		p := value.AtomizeSingle(arg(args, 1))
+		if s == nil || p == nil {
+			return value.Bool(false)
+		}
+		return value.Bool(strings.HasSuffix(s.String(), p.String()))
+	case "upper-case":
+		a := value.AtomizeSingle(arg(args, 0))
+		if a == nil {
+			return value.Str("")
+		}
+		return value.Str(strings.ToUpper(a.String()))
+	case "lower-case":
+		a := value.AtomizeSingle(arg(args, 0))
+		if a == nil {
+			return value.Str("")
+		}
+		return value.Str(strings.ToLower(a.String()))
+	case "normalize-space":
+		a := value.AtomizeSingle(arg(args, 0))
+		if a == nil {
+			return value.Str("")
+		}
+		return value.Str(strings.Join(strings.Fields(a.String()), " "))
+	case "substring":
+		// substring(s, start[, length]) with XQuery's 1-based positions.
+		s := stringArg(args, 0)
+		start, ok := floatArg(args, 1)
+		if !ok {
+			return value.Str("")
+		}
+		runes := []rune(s)
+		lo := int(start) - 1
+		hi := len(runes)
+		if len(args) > 2 {
+			ln, ok := floatArg(args, 2)
+			if !ok {
+				return value.Str("")
+			}
+			hi = lo + int(ln)
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(runes) {
+			hi = len(runes)
+		}
+		if lo >= hi {
+			return value.Str("")
+		}
+		return value.Str(string(runes[lo:hi]))
+	case "substring-before":
+		s, sub := stringArg(args, 0), stringArg(args, 1)
+		if i := strings.Index(s, sub); i >= 0 && sub != "" {
+			return value.Str(s[:i])
+		}
+		return value.Str("")
+	case "substring-after":
+		s, sub := stringArg(args, 0), stringArg(args, 1)
+		if i := strings.Index(s, sub); i >= 0 && sub != "" {
+			return value.Str(s[i+len(sub):])
+		}
+		return value.Str("")
+	case "string-join":
+		atoms := atomsOf(arg(args, 0))
+		sep := stringArg(args, 1)
+		parts := make([]string, len(atoms))
+		for i, a := range atoms {
+			parts[i] = a.String()
+		}
+		return value.Str(strings.Join(parts, sep))
+	case "translate":
+		s, from, to := stringArg(args, 0), []rune(stringArg(args, 1)), []rune(stringArg(args, 2))
+		var sb strings.Builder
+		for _, r := range s {
+			replaced := false
+			for i, f := range from {
+				if r == f {
+					replaced = true
+					if i < len(to) {
+						sb.WriteRune(to[i])
+					}
+					break
+				}
+			}
+			if !replaced {
+				sb.WriteRune(r)
+			}
+		}
+		return value.Str(sb.String())
+	case "abs":
+		f, ok := floatArg(args, 0)
+		if !ok {
+			return value.Null{}
+		}
+		if f < 0 {
+			f = -f
+		}
+		return value.Float(f)
+	case "floor":
+		f, ok := floatArg(args, 0)
+		if !ok {
+			return value.Null{}
+		}
+		return value.Float(mathFloor(f))
+	case "ceiling":
+		f, ok := floatArg(args, 0)
+		if !ok {
+			return value.Null{}
+		}
+		return value.Float(-mathFloor(-f))
+	case "round":
+		f, ok := floatArg(args, 0)
+		if !ok {
+			return value.Null{}
+		}
+		// XPath rounds halves towards positive infinity.
+		return value.Float(mathFloor(f + 0.5))
+	case "boolean":
+		return value.Bool(value.EffectiveBool(arg(args, 0)))
+	case "zero-or-one":
+		v := arg(args, 0)
+		if itemCount(v) > 1 {
+			return value.Null{}
+		}
+		return v
+	case "exactly-one":
+		v := arg(args, 0)
+		if itemCount(v) != 1 {
+			return value.Null{}
+		}
+		return v
+	default:
+		// Unknown functions evaluate to empty; the frontend rejects them
+		// before execution.
+		return value.Null{}
+	}
+}
+
+func arg(args []value.Value, i int) value.Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return value.Null{}
+}
+
+// stringArg atomizes the i-th argument to a string; empty values map to "".
+func stringArg(args []value.Value, i int) string {
+	a := value.AtomizeSingle(arg(args, i))
+	if a == nil {
+		return ""
+	}
+	return a.String()
+}
+
+// floatArg atomizes the i-th argument to a number.
+func floatArg(args []value.Value, i int) (float64, bool) {
+	a := value.AtomizeSingle(arg(args, i))
+	if a == nil {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(a.String()), 64)
+	return f, err == nil
+}
+
+// mathFloor avoids importing math for the one function the rounding family
+// needs.
+func mathFloor(f float64) float64 {
+	i := float64(int64(f))
+	if f < 0 && f != i {
+		return i - 1
+	}
+	return i
+}
+
+func nonEmpty(v value.Value) bool {
+	switch w := v.(type) {
+	case nil, value.Null:
+		return false
+	case value.Seq:
+		return len(w) > 0
+	case value.TupleSeq:
+		return len(w) > 0
+	default:
+		return true
+	}
+}
+
+func itemCount(v value.Value) int {
+	switch w := v.(type) {
+	case nil, value.Null:
+		return 0
+	case value.Seq:
+		return len(w)
+	case value.TupleSeq:
+		return len(w)
+	default:
+		return 1
+	}
+}
+
+// atomsOf flattens a value into its atomic items. Tuple sequences contribute
+// the atomized values of all their attributes in order (the tuples produced
+// by nested query blocks carry a single attribute).
+func atomsOf(v value.Value) value.Seq {
+	switch w := v.(type) {
+	case value.TupleSeq:
+		var out value.Seq
+		for _, t := range w {
+			for _, a := range t.Attrs() {
+				out = append(out, value.Atomize(t[a])...)
+			}
+		}
+		return out
+	default:
+		return value.Atomize(v)
+	}
+}
+
+// distinctValues implements XQuery's distinct-values on an item sequence:
+// atomize and remove duplicates. Like ΠD it need not preserve order but must
+// be deterministic; we keep first-occurrence order, which satisfies both
+// requirements.
+func distinctValues(v value.Value) value.Seq {
+	atoms := atomsOf(v)
+	seen := make(map[string]bool, len(atoms))
+	var out value.Seq
+	for _, a := range atoms {
+		k := value.Key(a)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func aggregate(fn string, atoms value.Seq) value.Value {
+	if len(atoms) == 0 {
+		if fn == "sum" {
+			return value.Int(0)
+		}
+		return value.Null{}
+	}
+	nums := make([]float64, 0, len(atoms))
+	allNum := true
+	for _, a := range atoms {
+		f, err := strconv.ParseFloat(strings.TrimSpace(a.String()), 64)
+		if err != nil {
+			allNum = false
+			break
+		}
+		nums = append(nums, f)
+	}
+	if allNum {
+		best := nums[0]
+		sum := 0.0
+		for _, f := range nums {
+			sum += f
+			switch fn {
+			case "min":
+				if f < best {
+					best = f
+				}
+			case "max":
+				if f > best {
+					best = f
+				}
+			}
+		}
+		switch fn {
+		case "min", "max":
+			return value.Float(best)
+		case "sum":
+			return value.Float(sum)
+		case "avg":
+			return value.Float(sum / float64(len(nums)))
+		}
+	}
+	// String min/max; sum/avg over non-numeric values is an empty result.
+	if fn == "min" || fn == "max" {
+		best := atoms[0].String()
+		for _, a := range atoms[1:] {
+			s := a.String()
+			if (fn == "min" && s < best) || (fn == "max" && s > best) {
+				best = s
+			}
+		}
+		return value.Str(best)
+	}
+	return value.Null{}
+}
+
+// SeqFunc is the function f in operator subscripts such as Γg;θA;f and
+// χg:f(σ...(e2)): a function from an ordered tuple sequence to a value.
+// Implementations must assign a meaningful value to the empty sequence
+// (Sec. 2) — that value becomes the outer join default f() in Eqvs. 2 and 4.
+type SeqFunc interface {
+	Apply(ctx *Ctx, env value.Tuple, ts value.TupleSeq) value.Value
+	String() string
+	// FreeVars appends free variables of embedded predicates.
+	FreeVars(dst map[string]bool)
+}
+
+// SFIdent is the identity function id.
+type SFIdent struct{}
+
+// Apply implements SeqFunc.
+func (SFIdent) Apply(_ *Ctx, _ value.Tuple, ts value.TupleSeq) value.Value {
+	if ts == nil {
+		return value.TupleSeq{}
+	}
+	return ts
+}
+
+func (SFIdent) String() string { return "id" }
+
+// FreeVars implements SeqFunc.
+func (SFIdent) FreeVars(map[string]bool) {}
+
+// SFCount counts the tuples of the sequence; the empty group counts 0.
+type SFCount struct{}
+
+// Apply implements SeqFunc.
+func (SFCount) Apply(_ *Ctx, _ value.Tuple, ts value.TupleSeq) value.Value {
+	return value.Int(int64(len(ts)))
+}
+
+func (SFCount) String() string { return "count" }
+
+// FreeVars implements SeqFunc.
+func (SFCount) FreeVars(map[string]bool) {}
+
+// SFProject projects every tuple onto Attrs (f = ΠA). The empty group stays
+// the empty sequence.
+type SFProject struct{ Attrs []string }
+
+// Apply implements SeqFunc.
+func (p SFProject) Apply(_ *Ctx, _ value.Tuple, ts value.TupleSeq) value.Value {
+	out := make(value.TupleSeq, len(ts))
+	for i, t := range ts {
+		out[i] = t.Project(p.Attrs)
+	}
+	return out
+}
+
+func (p SFProject) String() string { return "Π" + strings.Join(p.Attrs, ",") }
+
+// FreeVars implements SeqFunc.
+func (SFProject) FreeVars(map[string]bool) {}
+
+// SFAgg is an aggregate f = agg ∘ ΠAttr: min, max, sum, avg over the
+// atomized values of one attribute. The empty group yields NULL (0 for sum),
+// the paper's "meaningful value for empty groups".
+type SFAgg struct {
+	Fn   string // min | max | sum | avg
+	Attr string
+}
+
+// Apply implements SeqFunc.
+func (a SFAgg) Apply(_ *Ctx, _ value.Tuple, ts value.TupleSeq) value.Value {
+	var atoms value.Seq
+	for _, t := range ts {
+		atoms = append(atoms, value.Atomize(t[a.Attr])...)
+	}
+	return aggregate(a.Fn, atoms)
+}
+
+func (a SFAgg) String() string { return fmt.Sprintf("%s∘Π%s", a.Fn, a.Attr) }
+
+// FreeVars implements SeqFunc.
+func (SFAgg) FreeVars(map[string]bool) {}
+
+// SFFiltered composes a sequence function with a selection: f ∘ σp, the form
+// used by Eqvs. 8 and 9 (count ∘ σp). The predicate sees the group tuple's
+// bindings concatenated onto the invoking environment.
+type SFFiltered struct {
+	Pred  Expr
+	Inner SeqFunc
+}
+
+// Apply implements SeqFunc.
+func (f SFFiltered) Apply(ctx *Ctx, env value.Tuple, ts value.TupleSeq) value.Value {
+	var kept value.TupleSeq
+	for _, t := range ts {
+		if value.EffectiveBool(f.Pred.Eval(ctx, env.Concat(t))) {
+			kept = append(kept, t)
+		}
+	}
+	return f.Inner.Apply(ctx, env, kept)
+}
+
+func (f SFFiltered) String() string {
+	return fmt.Sprintf("%s∘σ[%s]", f.Inner.String(), f.Pred.String())
+}
+
+// FreeVars implements SeqFunc.
+func (f SFFiltered) FreeVars(dst map[string]bool) {
+	f.Pred.FreeVars(dst)
+	f.Inner.FreeVars(dst)
+}

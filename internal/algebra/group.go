@@ -1,0 +1,281 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"nalquery/internal/value"
+)
+
+// GroupUnary is the unary grouping operator Γg;θA;f(e) (Sec. 2): the group
+// keys are the distinct A-projections of e (in first-occurrence order —
+// deterministic and idempotent, which is all the paper requires of ΠD), and
+// for each key the new attribute g holds f applied to the tuples of e whose
+// A-attributes stand in relation θ to the key.
+type GroupUnary struct {
+	In    Op
+	G     string
+	By    []string
+	Theta value.CmpOp
+	F     SeqFunc
+}
+
+// Eval implements Op.
+func (g GroupUnary) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
+	in := g.In.Eval(ctx, env)
+	keys, buckets := partition(in, g.By)
+	var out value.TupleSeq
+	if g.Theta == value.CmpEq {
+		for _, k := range keys {
+			b := buckets[k]
+			nt := b[0].Project(g.By)
+			nt[g.G] = g.F.Apply(ctx, env, b)
+			out = append(out, nt)
+		}
+		return out
+	}
+	// General θ: compare every distinct key against every input tuple.
+	for _, k := range keys {
+		keyT := buckets[k][0].Project(g.By)
+		var grp value.TupleSeq
+		for _, t := range in {
+			if thetaMatch(keyT, t, g.By, g.By, g.Theta) {
+				grp = append(grp, t)
+			}
+		}
+		nt := keyT.Copy()
+		nt[g.G] = g.F.Apply(ctx, env, grp)
+		out = append(out, nt)
+	}
+	return out
+}
+
+func (g GroupUnary) String() string {
+	return fmt.Sprintf("Γ[%s;%s%s;%s]", g.G, strings.Join(g.By, ","), g.Theta, g.F.String())
+}
+
+// Children implements Op.
+func (g GroupUnary) Children() []Op { return []Op{g.In} }
+
+// Exprs implements Op.
+func (g GroupUnary) Exprs() []Expr { return nil }
+
+// Attrs implements Op.
+func (g GroupUnary) Attrs() ([]string, bool) {
+	return unionAttrs(g.By, []string{g.G}), true
+}
+
+// partition splits tuples into buckets by the hash key over attrs; keys are
+// returned in first-occurrence order and buckets preserve input order.
+func partition(ts value.TupleSeq, attrs []string) ([]string, map[string]value.TupleSeq) {
+	var keys []string
+	buckets := make(map[string]value.TupleSeq, len(ts))
+	for _, t := range ts {
+		k := hashKey(t, attrs)
+		if _, ok := buckets[k]; !ok {
+			keys = append(keys, k)
+		}
+		buckets[k] = append(buckets[k], t)
+	}
+	return keys, buckets
+}
+
+func thetaMatch(lt, rt value.Tuple, lAttrs, rAttrs []string, op value.CmpOp) bool {
+	for i := range lAttrs {
+		la := value.AtomizeSingle(lt[lAttrs[i]])
+		ra := value.AtomizeSingle(rt[rAttrs[i]])
+		if la == nil || ra == nil || !value.CompareAtomic(la, ra, op) {
+			return false
+		}
+	}
+	return true
+}
+
+// GroupBinary is the binary grouping operator (nest-join)
+// e1 Γg;A1θA2;f e2 (Sec. 2): every left tuple is extended by g holding f
+// applied to the right tuples standing in relation θ. The left side
+// determines the groups — the property the unnesting correctness hinges on.
+type GroupBinary struct {
+	L, R   Op
+	G      string
+	LAttrs []string
+	RAttrs []string
+	Theta  value.CmpOp
+	F      SeqFunc
+	// ForceScan disables the hash fast path for θ = '=' and evaluates the
+	// definitional scan per left tuple (for the ablation experiments).
+	ForceScan bool
+}
+
+// Eval implements Op.
+func (g GroupBinary) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
+	l := g.L.Eval(ctx, env)
+	if len(l) == 0 {
+		return nil
+	}
+	r := g.R.Eval(ctx, env)
+	out := make(value.TupleSeq, 0, len(l))
+	if g.Theta == value.CmpEq && !g.ForceScan {
+		hash := buildHash(r, g.RAttrs)
+		for _, lt := range l {
+			grp := hash[hashKey(lt, g.LAttrs)]
+			nt := lt.Copy()
+			nt[g.G] = g.F.Apply(ctx, env, grp)
+			out = append(out, nt)
+		}
+		return out
+	}
+	for _, lt := range l {
+		var grp value.TupleSeq
+		for _, rt := range r {
+			if thetaMatch(lt, rt, g.LAttrs, g.RAttrs, g.Theta) {
+				grp = append(grp, rt)
+			}
+		}
+		nt := lt.Copy()
+		nt[g.G] = g.F.Apply(ctx, env, grp)
+		out = append(out, nt)
+	}
+	return out
+}
+
+func (g GroupBinary) String() string {
+	return fmt.Sprintf("Γ[%s;%s%s%s;%s]", g.G, strings.Join(g.LAttrs, ","), g.Theta,
+		strings.Join(g.RAttrs, ","), g.F.String())
+}
+
+// Children implements Op.
+func (g GroupBinary) Children() []Op { return []Op{g.L, g.R} }
+
+// Exprs implements Op.
+func (g GroupBinary) Exprs() []Expr { return nil }
+
+// Attrs implements Op.
+func (g GroupBinary) Attrs() ([]string, bool) {
+	l, ok := g.L.Attrs()
+	if !ok {
+		return nil, false
+	}
+	return unionAttrs(l, []string{g.G}), true
+}
+
+// Unnest is the µg operator (Sec. 2): it flattens the tuple-sequence-valued
+// attribute g. A tuple whose g is empty yields one output tuple padded with
+// ⊥ on the attributes of g ("In case that g is empty, it returns the tuple
+// ⊥A(e.g)").
+type Unnest struct {
+	In   Op
+	Attr string
+	// InnerAttrs optionally names A(e.g) for ⊥-padding when every group in
+	// the input is empty; otherwise the attribute set is inferred from the
+	// first non-empty group.
+	InnerAttrs []string
+}
+
+// Eval implements Op.
+func (u Unnest) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
+	in := u.In.Eval(ctx, env)
+	inner := u.InnerAttrs
+	if inner == nil {
+		for _, t := range in {
+			if ts, ok := t[u.Attr].(value.TupleSeq); ok && len(ts) > 0 {
+				inner = ts[0].Attrs()
+				break
+			}
+		}
+	}
+	var out value.TupleSeq
+	for _, t := range in {
+		base := t.Drop([]string{u.Attr})
+		ts, _ := t[u.Attr].(value.TupleSeq)
+		if len(ts) == 0 {
+			out = append(out, base.Concat(value.NullTuple(inner)))
+			continue
+		}
+		for _, g := range ts {
+			out = append(out, base.Concat(g))
+		}
+	}
+	return out
+}
+
+func (u Unnest) String() string { return fmt.Sprintf("µ[%s]", u.Attr) }
+
+// Children implements Op.
+func (u Unnest) Children() []Op { return []Op{u.In} }
+
+// Exprs implements Op.
+func (u Unnest) Exprs() []Expr { return nil }
+
+// Attrs implements Op.
+func (u Unnest) Attrs() ([]string, bool) {
+	in, ok := u.In.Attrs()
+	if !ok || u.InnerAttrs == nil {
+		return nil, false
+	}
+	var kept []string
+	for _, a := range in {
+		if a != u.Attr {
+			kept = append(kept, a)
+		}
+	}
+	return unionAttrs(kept, u.InnerAttrs), true
+}
+
+// UnnestDistinct is µD (Eqv. 4): unnesting that eliminates duplicate tuples
+// within each nested sequence — µDg(e) = (α(e)|ḡ × ΠD(α(e).g)) ⊕ µDg(τ(e)).
+// Unlike µ it does not ⊥-pad empty groups (the definition's × with the empty
+// sequence is empty).
+type UnnestDistinct struct {
+	In   Op
+	Attr string
+}
+
+// Eval implements Op.
+func (u UnnestDistinct) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
+	in := u.In.Eval(ctx, env)
+	var out value.TupleSeq
+	for _, t := range in {
+		base := t.Drop([]string{u.Attr})
+		ts, _ := t[u.Attr].(value.TupleSeq)
+		seen := map[string]bool{}
+		for _, g := range ts {
+			k := hashKey(g, g.Attrs())
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, base.Concat(g))
+		}
+	}
+	return out
+}
+
+func (u UnnestDistinct) String() string { return fmt.Sprintf("µD[%s]", u.Attr) }
+
+// Children implements Op.
+func (u UnnestDistinct) Children() []Op { return []Op{u.In} }
+
+// Exprs implements Op.
+func (u UnnestDistinct) Exprs() []Expr { return nil }
+
+// Attrs implements Op.
+func (u UnnestDistinct) Attrs() ([]string, bool) { return nil, false }
+
+// BindTuples is the e[a] constructor of Sec. 2 as an expression: it turns an
+// item sequence into a sequence of single-attribute tuples — the form the
+// translation uses for nested sequence-valued attributes (b2/author[a2']).
+type BindTuples struct {
+	E    Expr
+	Attr string
+}
+
+// Eval implements Expr.
+func (b BindTuples) Eval(ctx *Ctx, env value.Tuple) value.Value {
+	return value.BindSeq(value.AsSeq(b.E.Eval(ctx, env)), b.Attr)
+}
+
+func (b BindTuples) String() string { return fmt.Sprintf("%s[%s]", b.E.String(), b.Attr) }
+
+// FreeVars implements Expr.
+func (b BindTuples) FreeVars(dst map[string]bool) { b.E.FreeVars(dst) }

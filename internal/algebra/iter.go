@@ -1,0 +1,449 @@
+package algebra
+
+import (
+	"nalquery/internal/value"
+)
+
+// Iterator is the pull-based physical operator interface (open-next-close),
+// the execution model of the Natix engine the paper evaluates on ("NAL is
+// close to our physical algebra", Sec. 1). Streamable operators (σ, Π, χ,
+// Υ, Ξ, joins on their probe side) pull one tuple at a time; pipeline
+// breakers (grouping, µ over grouped input, the build side of a hash join)
+// materialize exactly the state the algorithm requires.
+type Iterator interface {
+	// Next returns the next tuple of the sequence; ok is false at the end.
+	Next() (t value.Tuple, ok bool)
+	// Close releases resources. Close is idempotent.
+	Close()
+}
+
+// OpenIter builds the iterator tree for a plan under the given context and
+// free-variable environment.
+func OpenIter(op Op, ctx *Ctx, env value.Tuple) Iterator {
+	switch w := op.(type) {
+	case Singleton:
+		return &sliceIter{ts: value.TupleSeq{value.EmptyTuple()}}
+	case Select:
+		return &selectIter{in: OpenIter(w.In, ctx, env), pred: w.Pred, ctx: ctx, env: env}
+	case Project:
+		return &mapTupleIter{in: OpenIter(w.In, ctx, env), f: func(t value.Tuple) value.Tuple {
+			return t.Project(w.Names)
+		}}
+	case ProjectDrop:
+		return &mapTupleIter{in: OpenIter(w.In, ctx, env), f: func(t value.Tuple) value.Tuple {
+			return t.Drop(w.Names)
+		}}
+	case ProjectRename:
+		return &mapTupleIter{in: OpenIter(w.In, ctx, env), f: func(t value.Tuple) value.Tuple {
+			nt := t.Copy()
+			for _, r := range w.Pairs {
+				if v, ok := nt[r.Old]; ok {
+					delete(nt, r.Old)
+					nt[r.New] = v
+				}
+			}
+			return nt
+		}}
+	case ProjectDistinct:
+		return newDistinctIter(OpenIter(w.In, ctx, env), w.Pairs)
+	case Map:
+		return &mapTupleIter{in: OpenIter(w.In, ctx, env), f: func(t value.Tuple) value.Tuple {
+			nt := t.Copy()
+			nt[w.Attr] = w.E.Eval(ctx, env.Concat(t))
+			return nt
+		}}
+	case UnnestMap:
+		return &unnestMapIter{in: OpenIter(w.In, ctx, env), attr: w.Attr, posAttr: w.PosAttr,
+			e: w.E, ctx: ctx, env: env}
+	case XiSimple:
+		return &xiIter{in: OpenIter(w.In, ctx, env), cmds: w.Cmds, ctx: ctx, env: env}
+	case XiGroupStream:
+		return &xiGroupStreamIter{op: w, in: OpenIter(w.In, ctx, env), ctx: ctx, env: env}
+	case Unnest:
+		return &unnestIter{op: w, in: OpenIter(w.In, ctx, env)}
+	case Cross:
+		return newCrossIter(w, ctx, env)
+	case Join:
+		return newJoinIter(w.L, w.R, w.Pred, ctx, env, joinModeInner, "", nil)
+	case SemiJoin:
+		return newJoinIter(w.L, w.R, w.Pred, ctx, env, joinModeSemi, "", nil)
+	case AntiJoin:
+		return newJoinIter(w.L, w.R, w.Pred, ctx, env, joinModeAnti, "", nil)
+	case OuterJoin:
+		return newJoinIter(w.L, w.R, w.Pred, ctx, env, joinModeOuter, w.G, w.Default)
+	default:
+		// Pipeline breakers without a streaming decomposition (Γ, µD,
+		// group-detecting Ξ) materialize through the definitional
+		// evaluator and stream their output.
+		return &sliceIter{ts: op.Eval(ctx, env)}
+	}
+}
+
+// RunIter drains a plan through the iterator engine and returns the
+// materialized result (for comparison and for callers that need the whole
+// sequence anyway). Side effects (Ξ output) happen while streaming.
+func RunIter(op Op, ctx *Ctx, env value.Tuple) value.TupleSeq {
+	it := OpenIter(op, ctx, env)
+	defer it.Close()
+	var out value.TupleSeq
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// DrainIter pulls a plan to completion discarding tuples — the execution
+// mode of a top-level query, where the Ξ side effects are the result.
+func DrainIter(op Op, ctx *Ctx, env value.Tuple) {
+	it := OpenIter(op, ctx, env)
+	defer it.Close()
+	for {
+		if _, ok := it.Next(); !ok {
+			return
+		}
+	}
+}
+
+type sliceIter struct {
+	ts  value.TupleSeq
+	pos int
+}
+
+func (s *sliceIter) Next() (value.Tuple, bool) {
+	if s.pos >= len(s.ts) {
+		return nil, false
+	}
+	t := s.ts[s.pos]
+	s.pos++
+	return t, true
+}
+
+func (s *sliceIter) Close() { s.ts = nil }
+
+type selectIter struct {
+	in   Iterator
+	pred Expr
+	ctx  *Ctx
+	env  value.Tuple
+}
+
+func (s *selectIter) Next() (value.Tuple, bool) {
+	for {
+		t, ok := s.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if value.EffectiveBool(s.pred.Eval(s.ctx, s.env.Concat(t))) {
+			return t, true
+		}
+	}
+}
+
+func (s *selectIter) Close() { s.in.Close() }
+
+type mapTupleIter struct {
+	in Iterator
+	f  func(value.Tuple) value.Tuple
+}
+
+func (m *mapTupleIter) Next() (value.Tuple, bool) {
+	t, ok := m.in.Next()
+	if !ok {
+		return nil, false
+	}
+	return m.f(t), true
+}
+
+func (m *mapTupleIter) Close() { m.in.Close() }
+
+type distinctIter struct {
+	in    Iterator
+	pairs []Rename
+	seen  map[string]bool
+}
+
+func newDistinctIter(in Iterator, pairs []Rename) *distinctIter {
+	return &distinctIter{in: in, pairs: pairs, seen: map[string]bool{}}
+}
+
+func (d *distinctIter) Next() (value.Tuple, bool) {
+	for {
+		t, ok := d.in.Next()
+		if !ok {
+			return nil, false
+		}
+		nt := make(value.Tuple, len(d.pairs))
+		key := ""
+		for _, r := range d.pairs {
+			v := t[r.Old]
+			nt[r.New] = v
+			key += value.Key(v) + "|"
+		}
+		if !d.seen[key] {
+			d.seen[key] = true
+			return nt, true
+		}
+	}
+}
+
+func (d *distinctIter) Close() { d.in.Close() }
+
+// xiGroupStreamIter streams the boundary-detecting Ξ: it holds exactly one
+// tuple of state (the previous one) and fires S1/S2/S3 as boundaries open
+// and close — the pipelined implementation the paper's Sec. 2 describes.
+type xiGroupStreamIter struct {
+	op  XiGroupStream
+	in  Iterator
+	ctx *Ctx
+	env value.Tuple
+
+	prev   value.Tuple
+	closed bool
+}
+
+func (x *xiGroupStreamIter) Next() (value.Tuple, bool) {
+	t, ok := x.in.Next()
+	if !ok {
+		if x.prev != nil && !x.closed {
+			execCommands(x.ctx, x.env, x.prev, x.op.S3)
+			x.closed = true
+		}
+		return nil, false
+	}
+	if x.prev == nil {
+		execCommands(x.ctx, x.env, t, x.op.S1)
+	} else if !sameGroup(x.prev, t, x.op.By) {
+		execCommands(x.ctx, x.env, x.prev, x.op.S3)
+		execCommands(x.ctx, x.env, t, x.op.S1)
+	}
+	execCommands(x.ctx, x.env, t, x.op.S2)
+	x.prev = t
+	return t, true
+}
+
+func (x *xiGroupStreamIter) Close() { x.in.Close() }
+
+type unnestMapIter struct {
+	in      Iterator
+	attr    string
+	posAttr string
+	e       Expr
+	ctx     *Ctx
+	env     value.Tuple
+
+	cur     value.Tuple
+	pending value.Seq
+	pos     int
+}
+
+func (u *unnestMapIter) Next() (value.Tuple, bool) {
+	for {
+		if u.pos < len(u.pending) {
+			nt := u.cur.Copy()
+			nt[u.attr] = u.pending[u.pos]
+			if u.posAttr != "" {
+				nt[u.posAttr] = value.Int(int64(u.pos + 1))
+			}
+			u.pos++
+			u.ctx.Stats.Tuples++
+			return nt, true
+		}
+		t, ok := u.in.Next()
+		if !ok {
+			return nil, false
+		}
+		u.cur = t
+		u.pending = value.AsSeq(u.e.Eval(u.ctx, u.env.Concat(t)))
+		u.pos = 0
+	}
+}
+
+func (u *unnestMapIter) Close() { u.in.Close() }
+
+type xiIter struct {
+	in   Iterator
+	cmds []Command
+	ctx  *Ctx
+	env  value.Tuple
+}
+
+func (x *xiIter) Next() (value.Tuple, bool) {
+	t, ok := x.in.Next()
+	if !ok {
+		return nil, false
+	}
+	execCommands(x.ctx, x.env, t, x.cmds)
+	return t, true
+}
+
+func (x *xiIter) Close() { x.in.Close() }
+
+type unnestIter struct {
+	op Unnest
+	in Iterator
+
+	inner   []string
+	cur     value.Tuple
+	pending value.TupleSeq
+	pos     int
+	padded  bool
+}
+
+func (u *unnestIter) Next() (value.Tuple, bool) {
+	for {
+		if u.pos < len(u.pending) {
+			base := u.cur.Drop([]string{u.op.Attr})
+			g := u.pending[u.pos]
+			u.pos++
+			return base.Concat(g), true
+		}
+		t, ok := u.in.Next()
+		if !ok {
+			return nil, false
+		}
+		u.cur = t
+		ts, _ := t[u.op.Attr].(value.TupleSeq)
+		if len(ts) == 0 {
+			// ⊥-pad: infer inner attributes lazily from previous groups or
+			// the operator hint.
+			inner := u.op.InnerAttrs
+			if inner == nil {
+				inner = u.inner
+			}
+			u.pending = nil
+			u.pos = 0
+			return t.Drop([]string{u.op.Attr}).Concat(value.NullTuple(inner)), true
+		}
+		if u.inner == nil {
+			u.inner = ts[0].Attrs()
+		}
+		u.pending = ts
+		u.pos = 0
+	}
+}
+
+func (u *unnestIter) Close() { u.in.Close() }
+
+type crossIter struct {
+	left  Iterator
+	right value.TupleSeq
+	cur   value.Tuple
+	pos   int
+	done  bool
+}
+
+func newCrossIter(c Cross, ctx *Ctx, env value.Tuple) Iterator {
+	return &crossIter{left: OpenIter(c.L, ctx, env), right: c.R.Eval(ctx, env), pos: -1}
+}
+
+func (c *crossIter) Next() (value.Tuple, bool) {
+	for {
+		if c.done {
+			return nil, false
+		}
+		if c.pos >= 0 && c.pos < len(c.right) {
+			t := c.cur.Concat(c.right[c.pos])
+			c.pos++
+			return t, true
+		}
+		lt, ok := c.left.Next()
+		if !ok {
+			c.done = true
+			return nil, false
+		}
+		c.cur = lt
+		c.pos = 0
+		if len(c.right) == 0 {
+			c.pos = len(c.right) // skip
+		}
+	}
+}
+
+func (c *crossIter) Close() { c.left.Close() }
+
+type joinMode uint8
+
+const (
+	joinModeInner joinMode = iota
+	joinModeSemi
+	joinModeAnti
+	joinModeOuter
+)
+
+// joinIter is the probe-order-preserving hash/nested-loop join family: the
+// build side (right operand) materializes once, the probe side streams.
+type joinIter struct {
+	left Iterator
+	jp   joinPlan
+	mode joinMode
+	ctx  *Ctx
+	env  value.Tuple
+
+	g        string
+	def      SeqFunc
+	padAttrs []string
+
+	cur     value.Tuple
+	pending value.TupleSeq
+	pos     int
+}
+
+func newJoinIter(l, r Op, pred Expr, ctx *Ctx, env value.Tuple, mode joinMode, g string, def SeqFunc) Iterator {
+	it := &joinIter{left: OpenIter(l, ctx, env), mode: mode, ctx: ctx, env: env, g: g, def: def}
+	it.jp = prepareJoin(ctx, env, l, r, pred)
+	if mode == joinModeOuter {
+		rAttrs, known := r.Attrs()
+		if !known && len(it.jp.right) > 0 {
+			rAttrs = it.jp.right[0].Attrs()
+		}
+		for _, a := range rAttrs {
+			if a != g {
+				it.padAttrs = append(it.padAttrs, a)
+			}
+		}
+	}
+	return it
+}
+
+func (j *joinIter) Next() (value.Tuple, bool) {
+	for {
+		if j.pos < len(j.pending) {
+			t := j.cur.Concat(j.pending[j.pos])
+			j.pos++
+			return t, true
+		}
+		lt, ok := j.left.Next()
+		if !ok {
+			return nil, false
+		}
+		switch j.mode {
+		case joinModeSemi:
+			if j.jp.anyMatch(j.ctx, j.env, lt) {
+				return lt, true
+			}
+		case joinModeAnti:
+			if !j.jp.anyMatch(j.ctx, j.env, lt) {
+				return lt, true
+			}
+		case joinModeInner:
+			j.cur = lt
+			j.pending = j.jp.matches(j.ctx, j.env, lt)
+			j.pos = 0
+		case joinModeOuter:
+			ms := j.jp.matches(j.ctx, j.env, lt)
+			if len(ms) == 0 {
+				nt := lt.Concat(value.NullTuple(j.padAttrs))
+				nt[j.g] = j.def.Apply(j.ctx, j.env, nil)
+				return nt, true
+			}
+			j.cur = lt
+			j.pending = ms
+			j.pos = 0
+		}
+	}
+}
+
+func (j *joinIter) Close() { j.left.Close() }

@@ -1,0 +1,70 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"nalquery/internal/value"
+)
+
+// The iterator engine materializes operators without a streaming
+// decomposition through the definitional evaluator. These tests pin the
+// contract for the operators added after the original engine: RunIter must
+// agree with Eval exactly.
+
+// TestIterMatchesEvalNewOps: Sort (with directions), the Claussen
+// order-preserving hash join, and the unordered family agree across
+// engines.
+func TestIterMatchesEvalNewOps(t *testing.T) {
+	quickCheck(t, "iter=eval-new-ops", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1", "C"}, 8, 3)
+		e2 := randRel(rng, []string{"A2", "B"}, 8, 3)
+		ops := []Op{
+			Sort{In: e1, By: []string{"A1", "C"}, Dirs: []bool{true, false}},
+			OPHashJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Partitions: 4},
+			UnorderedJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}},
+			UnorderedSemiJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}},
+			UnorderedAntiJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}},
+			UnorderedGroupUnary{In: e2, G: "g", By: []string{"A2"}, Theta: value.CmpEq, F: SFCount{}},
+			UnorderedGroupBinary{L: e1, R: e2, G: "g",
+				LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Theta: value.CmpEq, F: SFCount{}},
+		}
+		for _, op := range ops {
+			want := op.Eval(NewCtx(nil), nil)
+			got := RunIter(op, NewCtx(nil), nil)
+			if !value.TupleSeqEqual(want, got) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestIterUnnestMapPositions: the streaming Υ assigns the same positions as
+// the materialized one.
+func TestIterUnnestMapPositions(t *testing.T) {
+	in := constOp{
+		ts: value.TupleSeq{
+			{"s": value.Seq{value.Str("a"), value.Str("b")}},
+			{"s": value.Seq{}},
+			{"s": value.Seq{value.Str("c")}},
+		},
+		attrs: []string{"s"},
+	}
+	op := UnnestMap{In: in, Attr: "x", PosAttr: "i", E: Var{Name: "s"}}
+	want := op.Eval(NewCtx(nil), nil)
+	got := RunIter(op, NewCtx(nil), nil)
+	if !value.TupleSeqEqual(want, got) {
+		t.Fatalf("iterator Υ with positions differs:\n%v\nvs\n%v", got, want)
+	}
+	if len(want) != 3 {
+		t.Fatalf("got %d tuples, want 3", len(want))
+	}
+	wantPos := []int64{1, 2, 1}
+	for i, p := range wantPos {
+		if int64(want[i]["i"].(value.Int)) != p {
+			t.Errorf("tuple %d: position %v, want %d", i, want[i]["i"], p)
+		}
+	}
+}

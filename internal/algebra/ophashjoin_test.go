@@ -1,0 +1,127 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nalquery/internal/value"
+)
+
+// randRel builds a random constant relation for the join properties.
+func randRel(rng *rand.Rand, attrs []string, maxLen, keyRange int) constOp {
+	n := rng.Intn(maxLen + 1)
+	ts := make(value.TupleSeq, n)
+	for i := range ts {
+		t := value.Tuple{}
+		for _, a := range attrs {
+			t[a] = value.Int(int64(rng.Intn(keyRange)))
+		}
+		ts[i] = t
+	}
+	return constOp{ts: ts, attrs: attrs}
+}
+
+func quickCheck(t *testing.T, name string, prop func(seed int64) bool) {
+	t.Helper()
+	cfg := &quick.Config{MaxCount: 300}
+	if testing.Short() {
+		cfg.MaxCount = 50
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("%s violated: %v", name, err)
+	}
+}
+
+// TestOPHashJoinMatchesDefinition: the Claussen order-preserving hash join
+// produces exactly σ[A1=A2](e1 × e2), including order, for any partition
+// count.
+func TestOPHashJoinMatchesDefinition(t *testing.T) {
+	quickCheck(t, "OPHashJoin=σ(×)", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1", "C"}, 10, 4)
+		e2 := randRel(rng, []string{"A2", "B"}, 10, 4)
+		pred := CmpExpr{L: Var{Name: "A1"}, R: Var{Name: "A2"}, Op: value.CmpEq}
+		ref := Select{In: Cross{L: e1, R: e2}, Pred: pred}.Eval(NewCtx(nil), nil)
+		for _, p := range []int{0, 2, 3, 7, 64} {
+			j := OPHashJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Partitions: p}
+			if !value.TupleSeqEqual(ref, j.Eval(NewCtx(nil), nil)) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestOPHashJoinResidual: with a residual predicate the operator equals the
+// definitional join on the conjunction.
+func TestOPHashJoinResidual(t *testing.T) {
+	quickCheck(t, "OPHashJoin-residual", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1", "C"}, 10, 4)
+		e2 := randRel(rng, []string{"A2", "B"}, 10, 4)
+		eq := CmpExpr{L: Var{Name: "A1"}, R: Var{Name: "A2"}, Op: value.CmpEq}
+		res := CmpExpr{L: Var{Name: "C"}, R: Var{Name: "B"}, Op: value.CmpLe}
+		ref := Select{In: Cross{L: e1, R: e2}, Pred: AndExpr{L: eq, R: res}}.Eval(NewCtx(nil), nil)
+		j := OPHashJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"},
+			Residual: res, Partitions: 4}
+		return value.TupleSeqEqual(ref, j.Eval(NewCtx(nil), nil))
+	})
+}
+
+// TestOPHashJoinMultiKey: composite equality keys partition and match
+// correctly.
+func TestOPHashJoinMultiKey(t *testing.T) {
+	quickCheck(t, "OPHashJoin-multikey", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1", "K1"}, 10, 3)
+		e2 := randRel(rng, []string{"A2", "K2"}, 10, 3)
+		pred := AndExpr{
+			L: CmpExpr{L: Var{Name: "A1"}, R: Var{Name: "A2"}, Op: value.CmpEq},
+			R: CmpExpr{L: Var{Name: "K1"}, R: Var{Name: "K2"}, Op: value.CmpEq},
+		}
+		ref := Select{In: Cross{L: e1, R: e2}, Pred: pred}.Eval(NewCtx(nil), nil)
+		j := OPHashJoin{L: e1, R: e2,
+			LAttrs: []string{"A1", "K1"}, RAttrs: []string{"A2", "K2"}, Partitions: 4}
+		return value.TupleSeqEqual(ref, j.Eval(NewCtx(nil), nil))
+	})
+}
+
+// TestOPHashJoinEmptyInputs: empty operands follow the binary-operator
+// convention (empty left ⇒ empty output; empty right ⇒ no matches).
+func TestOPHashJoinEmptyInputs(t *testing.T) {
+	nonEmpty := constOp{ts: value.TupleSeq{{"A1": value.Int(1)}}, attrs: []string{"A1"}}
+	empty := constOp{attrs: []string{"A2"}}
+	j1 := OPHashJoin{L: empty, R: nonEmpty, LAttrs: []string{"A2"}, RAttrs: []string{"A1"}}
+	if got := j1.Eval(NewCtx(nil), nil); len(got) != 0 {
+		t.Errorf("empty left: got %d tuples, want 0", len(got))
+	}
+	j2 := OPHashJoin{L: nonEmpty, R: empty, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}}
+	if got := j2.Eval(NewCtx(nil), nil); len(got) != 0 {
+		t.Errorf("empty right: got %d tuples, want 0", len(got))
+	}
+}
+
+// TestOPHashJoinAgainstGraceSort: OPHashJoin output equals the paper's
+// Grace+restore-order strategy (AttachSeq → GraceJoin → Sort → drop seq).
+func TestOPHashJoinAgainstGraceSort(t *testing.T) {
+	quickCheck(t, "OPHashJoin=Grace+Sort", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1", "C"}, 10, 4)
+		e2 := randRel(rng, []string{"A2", "B"}, 10, 4)
+		grace := ProjectDrop{
+			In: Sort{
+				In: GraceJoin{
+					L:      AttachSeq{In: e1, Attr: "#l"},
+					R:      AttachSeq{In: e2, Attr: "#r"},
+					LAttrs: []string{"A1"},
+					RAttrs: []string{"A2"},
+				},
+				By: []string{"#l", "#r"},
+			},
+			Names: []string{"#l", "#r"},
+		}
+		op := OPHashJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Partitions: 8}
+		return value.TupleSeqEqual(grace.Eval(NewCtx(nil), nil), op.Eval(NewCtx(nil), nil))
+	})
+}

@@ -1,0 +1,101 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"nalquery/internal/value"
+)
+
+func sortFixture(vals ...value.Tuple) constOp {
+	seen := map[string]bool{}
+	var names []string
+	for _, t := range vals {
+		for _, a := range t.Attrs() {
+			if !seen[a] {
+				seen[a] = true
+				names = append(names, a)
+			}
+		}
+	}
+	return constOp{ts: vals, attrs: names}
+}
+
+// TestSortDescending: Dirs flips individual keys.
+func TestSortDescending(t *testing.T) {
+	in := sortFixture(
+		value.Tuple{"k": value.Int(2)},
+		value.Tuple{"k": value.Int(1)},
+		value.Tuple{"k": value.Int(3)},
+	)
+	out := Sort{In: in, By: []string{"k"}, Dirs: []bool{true}}.Eval(NewCtx(nil), nil)
+	want := []int64{3, 2, 1}
+	for i, w := range want {
+		if got := int64(out[i]["k"].(value.Int)); got != w {
+			t.Errorf("position %d: k = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestSortMixedDirections: ascending primary key, descending secondary key.
+func TestSortMixedDirections(t *testing.T) {
+	in := sortFixture(
+		value.Tuple{"a": value.Int(1), "b": value.Int(1)},
+		value.Tuple{"a": value.Int(1), "b": value.Int(3)},
+		value.Tuple{"a": value.Int(0), "b": value.Int(2)},
+		value.Tuple{"a": value.Int(1), "b": value.Int(2)},
+	)
+	out := Sort{In: in, By: []string{"a", "b"}, Dirs: []bool{false, true}}.Eval(NewCtx(nil), nil)
+	wantA := []int64{0, 1, 1, 1}
+	wantB := []int64{2, 3, 2, 1}
+	for i := range out {
+		if int64(out[i]["a"].(value.Int)) != wantA[i] || int64(out[i]["b"].(value.Int)) != wantB[i] {
+			t.Errorf("position %d: (%v,%v), want (%d,%d)", i, out[i]["a"], out[i]["b"], wantA[i], wantB[i])
+		}
+	}
+}
+
+// TestSortStabilityWithDirs: equal keys keep input order in both
+// directions — the property XQuery's stable order by depends on.
+func TestSortStabilityWithDirs(t *testing.T) {
+	quickCheck(t, "sort-stability-dirs", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20)
+		in := make(value.TupleSeq, n)
+		for i := range in {
+			in[i] = value.Tuple{"k": value.Int(int64(rng.Intn(3))), "i": value.Int(int64(i))}
+		}
+		for _, desc := range []bool{false, true} {
+			out := Sort{In: constOp{ts: in, attrs: []string{"k", "i"}},
+				By: []string{"k"}, Dirs: []bool{desc}}.Eval(NewCtx(nil), nil)
+			last := map[int64]int64{}
+			for _, tp := range out {
+				k := int64(tp["k"].(value.Int))
+				i := int64(tp["i"].(value.Int))
+				if prev, ok := last[k]; ok && i < prev {
+					return false
+				}
+				last[k] = i
+			}
+		}
+		return true
+	})
+}
+
+// TestSortEmptyDescending: empty keys sort first ascending and last
+// descending.
+func TestSortEmptyDescending(t *testing.T) {
+	in := sortFixture(
+		value.Tuple{"k": value.Int(1)},
+		value.Tuple{"k": value.Null{}},
+		value.Tuple{"k": value.Int(0)},
+	)
+	asc := Sort{In: in, By: []string{"k"}}.Eval(NewCtx(nil), nil)
+	if _, isNull := asc[0]["k"].(value.Null); !isNull {
+		t.Errorf("ascending: empty key must sort first, got %v", asc[0]["k"])
+	}
+	desc := Sort{In: in, By: []string{"k"}, Dirs: []bool{true}}.Eval(NewCtx(nil), nil)
+	if _, isNull := desc[2]["k"].(value.Null); !isNull {
+		t.Errorf("descending: empty key must sort last, got %v", desc[2]["k"])
+	}
+}

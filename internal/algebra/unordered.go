@@ -1,0 +1,409 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nalquery/internal/value"
+)
+
+// The unordered operator family. The paper opens (Sec. 1) with the
+// observation that the object-oriented unnesting techniques of Cluet and
+// Moerkotte [9, 10] apply when the result's order is irrelevant — when the
+// query is wrapped in XQuery's unordered() function, or inside contexts the
+// processor can prove order-insensitive (aggregates, distinct-values,
+// quantifiers). These operators are the engine's unordered algebra: they
+// compute the same bags as their order-preserving counterparts but emit
+// output in join/group key order instead of probe order — the natural order
+// of a partitioned hash implementation, which never pays for order
+// bookkeeping. Determinism is retained (key order is a fixed total order),
+// as the paper requires of even its non-order-preserving operators (ΠD).
+//
+// Correctness contract, property-tested in unordered_test.go: for every
+// operator U with ordered counterpart O, U(e…) is a permutation of O(e…),
+// and U is insensitive to permutations of its inputs whenever its subscript
+// function is.
+
+// sortedKeys returns the partition keys in their canonical total order.
+func sortedKeys(m map[string]value.TupleSeq) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unorderedJoinCore partitions both inputs on the equality columns and
+// iterates partitions in key order. Residual is applied to concatenated
+// tuples.
+type unorderedJoinCore struct {
+	LAttrs, RAttrs []string
+	Residual       Expr
+}
+
+func (c unorderedJoinCore) partitions(ctx *Ctx, env value.Tuple, l, r value.TupleSeq) ([]string, map[string]value.TupleSeq, map[string]value.TupleSeq) {
+	lParts := buildHash(l, c.LAttrs)
+	rParts := buildHash(r, c.RAttrs)
+	return sortedKeys(lParts), lParts, rParts
+}
+
+// UnorderedJoin is the unordered hash join: the bag σ[A1=A2 ∧ residual]
+// (e1 × e2) emitted in key order.
+type UnorderedJoin struct {
+	L, R     Op
+	LAttrs   []string
+	RAttrs   []string
+	Residual Expr
+}
+
+// Eval implements Op.
+func (j UnorderedJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
+	l := j.L.Eval(ctx, env)
+	if len(l) == 0 {
+		return nil
+	}
+	r := j.R.Eval(ctx, env)
+	core := unorderedJoinCore{LAttrs: j.LAttrs, RAttrs: j.RAttrs, Residual: j.Residual}
+	keys, lParts, rParts := core.partitions(ctx, env, l, r)
+	var out value.TupleSeq
+	for _, k := range keys {
+		rp := rParts[k]
+		if len(rp) == 0 {
+			continue
+		}
+		for _, lt := range lParts[k] {
+			for _, rt := range rp {
+				if j.Residual != nil &&
+					!value.EffectiveBool(j.Residual.Eval(ctx, env.Concat(lt).Concat(rt))) {
+					continue
+				}
+				out = append(out, lt.Concat(rt))
+			}
+		}
+	}
+	return out
+}
+
+func (j UnorderedJoin) String() string {
+	return fmt.Sprintf("⋈ᵁ[%s=%s]", strings.Join(j.LAttrs, ","), strings.Join(j.RAttrs, ","))
+}
+
+// Children implements Op.
+func (j UnorderedJoin) Children() []Op { return []Op{j.L, j.R} }
+
+// Exprs implements Op.
+func (j UnorderedJoin) Exprs() []Expr {
+	if j.Residual != nil {
+		return []Expr{j.Residual}
+	}
+	return nil
+}
+
+// Attrs implements Op.
+func (j UnorderedJoin) Attrs() ([]string, bool) {
+	l, ok1 := j.L.Attrs()
+	r, ok2 := j.R.Attrs()
+	if !ok1 || !ok2 {
+		return nil, false
+	}
+	return unionAttrs(l, r), true
+}
+
+// UnorderedSemiJoin emits, in key order, the left tuples with at least one
+// join partner.
+type UnorderedSemiJoin struct {
+	L, R     Op
+	LAttrs   []string
+	RAttrs   []string
+	Residual Expr
+}
+
+// Eval implements Op.
+func (j UnorderedSemiJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
+	l := j.L.Eval(ctx, env)
+	if len(l) == 0 {
+		return nil
+	}
+	r := j.R.Eval(ctx, env)
+	core := unorderedJoinCore{LAttrs: j.LAttrs, RAttrs: j.RAttrs, Residual: j.Residual}
+	keys, lParts, rParts := core.partitions(ctx, env, l, r)
+	var out value.TupleSeq
+	for _, k := range keys {
+		rp := rParts[k]
+		if len(rp) == 0 {
+			continue
+		}
+		for _, lt := range lParts[k] {
+			if j.Residual == nil {
+				out = append(out, lt)
+				continue
+			}
+			for _, rt := range rp {
+				if value.EffectiveBool(j.Residual.Eval(ctx, env.Concat(lt).Concat(rt))) {
+					out = append(out, lt)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (j UnorderedSemiJoin) String() string {
+	return fmt.Sprintf("⋉ᵁ[%s=%s]", strings.Join(j.LAttrs, ","), strings.Join(j.RAttrs, ","))
+}
+
+// Children implements Op.
+func (j UnorderedSemiJoin) Children() []Op { return []Op{j.L, j.R} }
+
+// Exprs implements Op.
+func (j UnorderedSemiJoin) Exprs() []Expr {
+	if j.Residual != nil {
+		return []Expr{j.Residual}
+	}
+	return nil
+}
+
+// Attrs implements Op.
+func (j UnorderedSemiJoin) Attrs() ([]string, bool) { return j.L.Attrs() }
+
+// UnorderedAntiJoin emits, in key order, the left tuples without any join
+// partner.
+type UnorderedAntiJoin struct {
+	L, R     Op
+	LAttrs   []string
+	RAttrs   []string
+	Residual Expr
+}
+
+// Eval implements Op.
+func (j UnorderedAntiJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
+	l := j.L.Eval(ctx, env)
+	if len(l) == 0 {
+		return nil
+	}
+	r := j.R.Eval(ctx, env)
+	core := unorderedJoinCore{LAttrs: j.LAttrs, RAttrs: j.RAttrs, Residual: j.Residual}
+	keys, lParts, rParts := core.partitions(ctx, env, l, r)
+	var out value.TupleSeq
+	for _, k := range keys {
+		rp := rParts[k]
+		for _, lt := range lParts[k] {
+			matched := false
+			for _, rt := range rp {
+				if j.Residual == nil ||
+					value.EffectiveBool(j.Residual.Eval(ctx, env.Concat(lt).Concat(rt))) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				out = append(out, lt)
+			}
+		}
+	}
+	return out
+}
+
+func (j UnorderedAntiJoin) String() string {
+	return fmt.Sprintf("▷ᵁ[%s=%s]", strings.Join(j.LAttrs, ","), strings.Join(j.RAttrs, ","))
+}
+
+// Children implements Op.
+func (j UnorderedAntiJoin) Children() []Op { return []Op{j.L, j.R} }
+
+// Exprs implements Op.
+func (j UnorderedAntiJoin) Exprs() []Expr {
+	if j.Residual != nil {
+		return []Expr{j.Residual}
+	}
+	return nil
+}
+
+// Attrs implements Op.
+func (j UnorderedAntiJoin) Attrs() ([]string, bool) { return j.L.Attrs() }
+
+// UnorderedOuterJoin is the unordered counterpart of the paper's ⟕ with
+// defaults: matched left tuples join as usual, unmatched ones are ⊥-padded
+// with the default on G — all in key order.
+type UnorderedOuterJoin struct {
+	L, R    Op
+	LAttrs  []string
+	RAttrs  []string
+	G       string
+	Default SeqFunc
+}
+
+// Eval implements Op.
+func (j UnorderedOuterJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
+	l := j.L.Eval(ctx, env)
+	if len(l) == 0 {
+		return nil
+	}
+	r := j.R.Eval(ctx, env)
+	rAttrs, rKnown := j.R.Attrs()
+	if !rKnown && len(r) > 0 {
+		rAttrs = r[0].Attrs()
+	}
+	var padAttrs []string
+	for _, a := range rAttrs {
+		if a != j.G {
+			padAttrs = append(padAttrs, a)
+		}
+	}
+	lParts := buildHash(l, j.LAttrs)
+	rParts := buildHash(r, j.RAttrs)
+	var out value.TupleSeq
+	for _, k := range sortedKeys(lParts) {
+		rp := rParts[k]
+		for _, lt := range lParts[k] {
+			if len(rp) == 0 {
+				nt := lt.Concat(value.NullTuple(padAttrs))
+				nt[j.G] = j.Default.Apply(ctx, env, nil)
+				out = append(out, nt)
+				continue
+			}
+			for _, rt := range rp {
+				out = append(out, lt.Concat(rt))
+			}
+		}
+	}
+	return out
+}
+
+func (j UnorderedOuterJoin) String() string {
+	return fmt.Sprintf("⟕ᵁ[%s:%s(); %s=%s]", j.G, j.Default.String(),
+		strings.Join(j.LAttrs, ","), strings.Join(j.RAttrs, ","))
+}
+
+// Children implements Op.
+func (j UnorderedOuterJoin) Children() []Op { return []Op{j.L, j.R} }
+
+// Exprs implements Op.
+func (j UnorderedOuterJoin) Exprs() []Expr { return nil }
+
+// Attrs implements Op.
+func (j UnorderedOuterJoin) Attrs() ([]string, bool) {
+	l, ok1 := j.L.Attrs()
+	r, ok2 := j.R.Attrs()
+	if !ok1 || !ok2 {
+		return nil, false
+	}
+	return unionAttrs(l, r), true
+}
+
+// UnorderedGroupUnary is Γ emitting one tuple per distinct key in key order
+// (the ordered operator emits keys in first-occurrence order). Only θ = '='
+// admits the hash implementation; general θ falls back to comparing every
+// key against every tuple, still in key order.
+type UnorderedGroupUnary struct {
+	In    Op
+	G     string
+	By    []string
+	Theta value.CmpOp
+	F     SeqFunc
+}
+
+// Eval implements Op.
+func (g UnorderedGroupUnary) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
+	in := g.In.Eval(ctx, env)
+	buckets := buildHash(in, g.By)
+	var out value.TupleSeq
+	for _, k := range sortedKeys(buckets) {
+		b := buckets[k]
+		keyT := b[0].Project(g.By)
+		grp := b
+		if g.Theta != value.CmpEq {
+			grp = nil
+			for _, t := range in {
+				if thetaMatch(keyT, t, g.By, g.By, g.Theta) {
+					grp = append(grp, t)
+				}
+			}
+		}
+		nt := keyT.Copy()
+		nt[g.G] = g.F.Apply(ctx, env, grp)
+		out = append(out, nt)
+	}
+	return out
+}
+
+func (g UnorderedGroupUnary) String() string {
+	return fmt.Sprintf("Γᵁ[%s;%s%s;%s]", g.G, strings.Join(g.By, ","), g.Theta, g.F.String())
+}
+
+// Children implements Op.
+func (g UnorderedGroupUnary) Children() []Op { return []Op{g.In} }
+
+// Exprs implements Op.
+func (g UnorderedGroupUnary) Exprs() []Expr { return nil }
+
+// Attrs implements Op.
+func (g UnorderedGroupUnary) Attrs() ([]string, bool) {
+	return unionAttrs(g.By, []string{g.G}), true
+}
+
+// UnorderedGroupBinary is the nest-join emitting left tuples in key order.
+type UnorderedGroupBinary struct {
+	L, R   Op
+	G      string
+	LAttrs []string
+	RAttrs []string
+	Theta  value.CmpOp
+	F      SeqFunc
+}
+
+// Eval implements Op.
+func (g UnorderedGroupBinary) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
+	l := g.L.Eval(ctx, env)
+	if len(l) == 0 {
+		return nil
+	}
+	r := g.R.Eval(ctx, env)
+	lParts := buildHash(l, g.LAttrs)
+	var rHash map[string]value.TupleSeq
+	if g.Theta == value.CmpEq {
+		rHash = buildHash(r, g.RAttrs)
+	}
+	var out value.TupleSeq
+	for _, k := range sortedKeys(lParts) {
+		for _, lt := range lParts[k] {
+			var grp value.TupleSeq
+			if g.Theta == value.CmpEq {
+				grp = rHash[hashKey(lt, g.LAttrs)]
+			} else {
+				for _, rt := range r {
+					if thetaMatch(lt, rt, g.LAttrs, g.RAttrs, g.Theta) {
+						grp = append(grp, rt)
+					}
+				}
+			}
+			nt := lt.Copy()
+			nt[g.G] = g.F.Apply(ctx, env, grp)
+			out = append(out, nt)
+		}
+	}
+	return out
+}
+
+func (g UnorderedGroupBinary) String() string {
+	return fmt.Sprintf("Γᵁ[%s;%s%s%s;%s]", g.G, strings.Join(g.LAttrs, ","), g.Theta,
+		strings.Join(g.RAttrs, ","), g.F.String())
+}
+
+// Children implements Op.
+func (g UnorderedGroupBinary) Children() []Op { return []Op{g.L, g.R} }
+
+// Exprs implements Op.
+func (g UnorderedGroupBinary) Exprs() []Expr { return nil }
+
+// Attrs implements Op.
+func (g UnorderedGroupBinary) Attrs() ([]string, bool) {
+	l, ok := g.L.Attrs()
+	if !ok {
+		return nil, false
+	}
+	return unionAttrs(l, []string{g.G}), true
+}

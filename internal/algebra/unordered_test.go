@@ -1,0 +1,176 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"nalquery/internal/value"
+)
+
+// The unordered operator family must compute the same bag as the ordered
+// counterparts and be insensitive to input permutations (for
+// order-insensitive subscript functions).
+
+func shuffled(rng *rand.Rand, c constOp) constOp {
+	ts := c.ts.Copy()
+	rng.Shuffle(len(ts), func(i, j int) { ts[i], ts[j] = ts[j], ts[i] })
+	return constOp{ts: ts, attrs: c.attrs}
+}
+
+func eqPred() Expr {
+	return CmpExpr{L: Var{Name: "A1"}, R: Var{Name: "A2"}, Op: value.CmpEq}
+}
+
+// TestUnorderedJoinBagEqual: ⋈ᵁ computes the bag of ⋈, and is permutation
+// insensitive.
+func TestUnorderedJoinBagEqual(t *testing.T) {
+	quickCheck(t, "⋈ᵁ", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1", "C"}, 10, 4)
+		e2 := randRel(rng, []string{"A2", "B"}, 10, 4)
+		ordered := Join{L: e1, R: e2, Pred: eqPred()}.Eval(NewCtx(nil), nil)
+		u := UnorderedJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}}
+		got := u.Eval(NewCtx(nil), nil)
+		if !value.TupleSeqEqualBag(ordered, got) {
+			return false
+		}
+		// Permutation insensitivity: same output on shuffled inputs.
+		u2 := UnorderedJoin{L: shuffled(rng, e1), R: shuffled(rng, e2),
+			LAttrs: []string{"A1"}, RAttrs: []string{"A2"}}
+		return value.TupleSeqEqualBag(got, u2.Eval(NewCtx(nil), nil))
+	})
+}
+
+// TestUnorderedJoinResidual: residual predicates filter the same bag.
+func TestUnorderedJoinResidual(t *testing.T) {
+	quickCheck(t, "⋈ᵁ-residual", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1", "C"}, 10, 4)
+		e2 := randRel(rng, []string{"A2", "B"}, 10, 4)
+		res := CmpExpr{L: Var{Name: "C"}, R: Var{Name: "B"}, Op: value.CmpLe}
+		ordered := Join{L: e1, R: e2, Pred: AndExpr{L: eqPred(), R: res}}.Eval(NewCtx(nil), nil)
+		u := UnorderedJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Residual: res}
+		return value.TupleSeqEqualBag(ordered, u.Eval(NewCtx(nil), nil))
+	})
+}
+
+// TestUnorderedSemiAntiBagEqual: ⋉ᵁ and ▷ᵁ compute the bags of ⋉ and ▷.
+func TestUnorderedSemiAntiBagEqual(t *testing.T) {
+	quickCheck(t, "⋉ᵁ/▷ᵁ", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1", "C"}, 10, 4)
+		e2 := randRel(rng, []string{"A2"}, 10, 4)
+		semi := SemiJoin{L: e1, R: e2, Pred: eqPred()}.Eval(NewCtx(nil), nil)
+		anti := AntiJoin{L: e1, R: e2, Pred: eqPred()}.Eval(NewCtx(nil), nil)
+		uSemi := UnorderedSemiJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}}
+		uAnti := UnorderedAntiJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}}
+		return value.TupleSeqEqualBag(semi, uSemi.Eval(NewCtx(nil), nil)) &&
+			value.TupleSeqEqualBag(anti, uAnti.Eval(NewCtx(nil), nil))
+	})
+}
+
+// TestUnorderedSemiAntiPartition: ⋉ᵁ and ▷ᵁ partition the left input — every
+// left tuple appears in exactly one of the two outputs.
+func TestUnorderedSemiAntiPartition(t *testing.T) {
+	quickCheck(t, "⋉ᵁ∪▷ᵁ=e1", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1"}, 10, 3)
+		e2 := randRel(rng, []string{"A2"}, 10, 3)
+		uSemi := UnorderedSemiJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}}
+		uAnti := UnorderedAntiJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}}
+		both := append(uSemi.Eval(NewCtx(nil), nil), uAnti.Eval(NewCtx(nil), nil)...)
+		return value.TupleSeqEqualBag(e1.ts, both)
+	})
+}
+
+// TestUnorderedOuterJoinBagEqual: ⟕ᵁ computes the bag of ⟕ (with grouped
+// right side and count default, the Eqv. 2 configuration).
+func TestUnorderedOuterJoinBagEqual(t *testing.T) {
+	quickCheck(t, "⟕ᵁ", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1"}, 10, 4)
+		e2 := randRel(rng, []string{"A2", "B"}, 10, 4)
+		grouped := GroupUnary{In: e2, G: "g", By: []string{"A2"}, Theta: value.CmpEq, F: SFCount{}}
+		ordered := OuterJoin{L: e1, R: grouped, Pred: eqPred(), G: "g", Default: SFCount{}}.
+			Eval(NewCtx(nil), nil)
+		u := UnorderedOuterJoin{L: e1, R: grouped, LAttrs: []string{"A1"}, RAttrs: []string{"A2"},
+			G: "g", Default: SFCount{}}
+		return value.TupleSeqEqualBag(ordered, u.Eval(NewCtx(nil), nil))
+	})
+}
+
+// TestUnorderedGroupUnaryBagEqual: Γᵁ computes the bag of Γ for all θ with an
+// order-insensitive f, and is permutation insensitive.
+func TestUnorderedGroupUnaryBagEqual(t *testing.T) {
+	quickCheck(t, "Γᵁ", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randRel(rng, []string{"A2", "B"}, 10, 4)
+		theta := thetasAll[rng.Intn(len(thetasAll))]
+		f := SFAgg{Fn: "sum", Attr: "B"}
+		ordered := GroupUnary{In: e, G: "g", By: []string{"A2"}, Theta: theta, F: f}.
+			Eval(NewCtx(nil), nil)
+		u := UnorderedGroupUnary{In: e, G: "g", By: []string{"A2"}, Theta: theta, F: f}
+		got := u.Eval(NewCtx(nil), nil)
+		if !value.TupleSeqEqualBag(ordered, got) {
+			return false
+		}
+		u2 := UnorderedGroupUnary{In: shuffled(rng, e), G: "g", By: []string{"A2"}, Theta: theta, F: f}
+		return value.TupleSeqEqualBag(got, u2.Eval(NewCtx(nil), nil))
+	})
+}
+
+var thetasAll = []value.CmpOp{value.CmpEq, value.CmpNe, value.CmpLt, value.CmpLe, value.CmpGt, value.CmpGe}
+
+// TestUnorderedGroupBinaryBagEqual: the unordered nest-join computes the bag
+// of the ordered one.
+func TestUnorderedGroupBinaryBagEqual(t *testing.T) {
+	quickCheck(t, "Γᵁ-binary", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1"}, 8, 4)
+		e2 := randRel(rng, []string{"A2", "B"}, 8, 4)
+		theta := thetasAll[rng.Intn(len(thetasAll))]
+		f := SFCount{}
+		ordered := GroupBinary{L: e1, R: e2, G: "g",
+			LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Theta: theta, F: f}.
+			Eval(NewCtx(nil), nil)
+		u := UnorderedGroupBinary{L: e1, R: e2, G: "g",
+			LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Theta: theta, F: f}
+		return value.TupleSeqEqualBag(ordered, u.Eval(NewCtx(nil), nil))
+	})
+}
+
+// TestUnorderedDeterminism: key order is a fixed total order — two
+// evaluations produce identical sequences (not merely equal bags).
+func TestUnorderedDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	e1 := randRel(rng, []string{"A1"}, 20, 5)
+	e2 := randRel(rng, []string{"A2", "B"}, 20, 5)
+	u := UnorderedJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}}
+	first := u.Eval(NewCtx(nil), nil)
+	for i := 0; i < 5; i++ {
+		if !value.TupleSeqEqual(first, u.Eval(NewCtx(nil), nil)) {
+			t.Fatalf("unordered join is nondeterministic at repetition %d", i)
+		}
+	}
+}
+
+// TestUnorderedEmptyInputs: the binary-operator conventions hold.
+func TestUnorderedEmptyInputs(t *testing.T) {
+	empty := constOp{attrs: []string{"A1"}}
+	one := constOp{ts: value.TupleSeq{{"A2": value.Int(1)}}, attrs: []string{"A2"}}
+	ops := []Op{
+		UnorderedJoin{L: empty, R: one, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}},
+		UnorderedSemiJoin{L: empty, R: one, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}},
+		UnorderedAntiJoin{L: empty, R: one, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}},
+		UnorderedOuterJoin{L: empty, R: one, LAttrs: []string{"A1"}, RAttrs: []string{"A2"},
+			G: "A2", Default: SFCount{}},
+		UnorderedGroupBinary{L: empty, R: one, G: "g",
+			LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Theta: value.CmpEq, F: SFCount{}},
+		UnorderedGroupUnary{In: empty, G: "g", By: []string{"A1"}, Theta: value.CmpEq, F: SFCount{}},
+	}
+	for _, op := range ops {
+		if got := op.Eval(NewCtx(nil), nil); len(got) != 0 {
+			t.Errorf("%s on empty left: got %d tuples, want 0", op.String(), len(got))
+		}
+	}
+}

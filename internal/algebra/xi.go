@@ -1,0 +1,367 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"nalquery/internal/dom"
+	"nalquery/internal/value"
+)
+
+// Command is one element of a Ξ command list: either a literal string copied
+// to the output stream or an expression whose value is printed.
+type Command struct {
+	Lit   string
+	E     Expr
+	IsLit bool
+}
+
+// LitCmd builds a literal command.
+func LitCmd(s string) Command { return Command{Lit: s, IsLit: true} }
+
+// ExprCmd builds an expression command.
+func ExprCmd(e Expr) Command { return Command{E: e} }
+
+func (c Command) String() string {
+	if c.IsLit {
+		return fmt.Sprintf("%q", c.Lit)
+	}
+	return c.E.String()
+}
+
+func cmdStrings(cs []Command) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+func execCommands(ctx *Ctx, env value.Tuple, t value.Tuple, cs []Command) {
+	for _, c := range cs {
+		if c.IsLit {
+			ctx.Out.WriteString(c.Lit)
+			continue
+		}
+		ctx.Out.WriteString(PrintValue(c.E.Eval(ctx, env.Concat(t))))
+	}
+}
+
+// PrintValue renders a value for result construction, following the paper's
+// simplified Ξ semantics: strings are copied, element nodes are serialized,
+// attribute and text nodes contribute their data, sequences concatenate
+// their items, and tuple sequences concatenate the values of their tuples.
+func PrintValue(v value.Value) string {
+	switch w := v.(type) {
+	case nil, value.Null:
+		return ""
+	case value.NodeVal:
+		if w.Node == nil {
+			return ""
+		}
+		switch w.Node.Kind {
+		case dom.KindAttribute, dom.KindText:
+			return w.Node.Data
+		default:
+			return dom.XMLString(w.Node)
+		}
+	case value.Seq:
+		var sb strings.Builder
+		for _, item := range w {
+			sb.WriteString(PrintValue(item))
+		}
+		return sb.String()
+	case value.TupleSeq:
+		var sb strings.Builder
+		for _, t := range w {
+			for _, a := range t.Attrs() {
+				sb.WriteString(PrintValue(t[a]))
+			}
+		}
+		return sb.String()
+	case value.Str:
+		return dom.EscapeText(string(w))
+	default:
+		return v.String()
+	}
+}
+
+// XiSimple is the simple form of the Ξ result-construction operator: it
+// executes its command list for every input tuple as a side effect on the
+// output stream and returns its input (Sec. 2).
+type XiSimple struct {
+	In   Op
+	Cmds []Command
+}
+
+// Eval implements Op.
+func (x XiSimple) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
+	in := x.In.Eval(ctx, env)
+	for _, t := range in {
+		execCommands(ctx, env, t, x.Cmds)
+	}
+	return in
+}
+
+func (x XiSimple) String() string { return fmt.Sprintf("Ξ[%s]", cmdStrings(x.Cmds)) }
+
+// Children implements Op.
+func (x XiSimple) Children() []Op { return []Op{x.In} }
+
+// Exprs implements Op.
+func (x XiSimple) Exprs() []Expr {
+	var out []Expr
+	for _, c := range x.Cmds {
+		if !c.IsLit {
+			out = append(out, c.E)
+		}
+	}
+	return out
+}
+
+// Attrs implements Op.
+func (x XiSimple) Attrs() ([]string, bool) { return x.In.Attrs() }
+
+// XiGroup is the group-detecting form s1Ξs3A;s2 (Sec. 2): the input is
+// grouped on A (order-preserving first-occurrence groups, as produced by
+// Γg;=A;id); for every group, S1 runs on the group's first tuple, S2 on
+// every tuple of the group, and S3 on the last tuple. It saves materializing
+// a sequence-valued group attribute.
+type XiGroup struct {
+	In         Op
+	By         []string
+	S1, S2, S3 []Command
+}
+
+// Eval implements Op.
+func (x XiGroup) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
+	in := x.In.Eval(ctx, env)
+	keys, buckets := partition(in, x.By)
+	for _, k := range keys {
+		grp := buckets[k]
+		execCommands(ctx, env, grp[0], x.S1)
+		for _, t := range grp {
+			execCommands(ctx, env, t, x.S2)
+		}
+		execCommands(ctx, env, grp[len(grp)-1], x.S3)
+	}
+	return in
+}
+
+func (x XiGroup) String() string {
+	return fmt.Sprintf("Ξ[%s | %s ; %s | %s]", cmdStrings(x.S1), strings.Join(x.By, ","),
+		cmdStrings(x.S2), cmdStrings(x.S3))
+}
+
+// Children implements Op.
+func (x XiGroup) Children() []Op { return []Op{x.In} }
+
+// Exprs implements Op.
+func (x XiGroup) Exprs() []Expr {
+	var out []Expr
+	for _, cs := range [][]Command{x.S1, x.S2, x.S3} {
+		for _, c := range cs {
+			if !c.IsLit {
+				out = append(out, c.E)
+			}
+		}
+	}
+	return out
+}
+
+// Attrs implements Op.
+func (x XiGroup) Attrs() ([]string, bool) { return x.In.Attrs() }
+
+// XiGroupStream is the paper's literal implementation of the
+// group-detecting Ξ (Sec. 2): "a group spans consecutive tuples in the
+// input sequence and group boundaries are detected by a change of any of
+// the attribute values in A. ... This condition can be met by a stable(!)
+// sort on A." It requires contiguous groups (produce them with Sort{By: A}
+// upstream) and streams: S1 fires when a boundary opens, S2 per tuple, S3
+// when it closes — holding one tuple of state, never a whole group.
+//
+// On inputs whose groups are not contiguous it simply treats every maximal
+// run as a group (that is what boundary detection means); XiGroup is the
+// order-preserving hash-bucket alternative that needs no sort.
+type XiGroupStream struct {
+	In         Op
+	By         []string
+	S1, S2, S3 []Command
+}
+
+// Eval implements Op.
+func (x XiGroupStream) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
+	in := x.In.Eval(ctx, env)
+	var prev value.Tuple
+	for _, t := range in {
+		if prev == nil {
+			execCommands(ctx, env, t, x.S1)
+		} else if !sameGroup(prev, t, x.By) {
+			execCommands(ctx, env, prev, x.S3)
+			execCommands(ctx, env, t, x.S1)
+		}
+		execCommands(ctx, env, t, x.S2)
+		prev = t
+	}
+	if prev != nil {
+		execCommands(ctx, env, prev, x.S3)
+	}
+	return in
+}
+
+// sameGroup reports whether two consecutive tuples belong to the same
+// group: no attribute of A changed value.
+func sameGroup(a, b value.Tuple, by []string) bool {
+	for _, k := range by {
+		if value.Key(a[k]) != value.Key(b[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (x XiGroupStream) String() string {
+	return fmt.Sprintf("Ξstream[%s | %s ; %s | %s]", cmdStrings(x.S1), strings.Join(x.By, ","),
+		cmdStrings(x.S2), cmdStrings(x.S3))
+}
+
+// Children implements Op.
+func (x XiGroupStream) Children() []Op { return []Op{x.In} }
+
+// Exprs implements Op.
+func (x XiGroupStream) Exprs() []Expr {
+	var out []Expr
+	for _, cs := range [][]Command{x.S1, x.S2, x.S3} {
+		for _, c := range cs {
+			if !c.IsLit {
+				out = append(out, c.E)
+			}
+		}
+	}
+	return out
+}
+
+// Attrs implements Op.
+func (x XiGroupStream) Attrs() ([]string, bool) { return x.In.Attrs() }
+
+// Explain renders an operator tree as an indented multi-line plan.
+func Explain(op Op) string {
+	var sb strings.Builder
+	var walk func(o Op, depth int)
+	walk = func(o Op, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(o.String())
+		sb.WriteByte('\n')
+		for _, c := range o.Children() {
+			walk(c, depth+1)
+		}
+		// Show nested algebraic expressions inside subscripts.
+		for _, e := range o.Exprs() {
+			explainNested(&sb, e, depth+1)
+		}
+	}
+	walk(op, 0)
+	return sb.String()
+}
+
+// ExplainDot renders an operator tree in Graphviz dot syntax. Nested
+// algebraic expressions inside subscripts appear as dashed edges hanging
+// off the operator that evaluates them per tuple — making the nested-loop
+// structure the unnesting equivalences remove visually apparent.
+func ExplainDot(op Op) string {
+	var sb strings.Builder
+	sb.WriteString("digraph plan {\n  node [shape=box, fontname=\"monospace\"];\n")
+	id := 0
+	var walk func(o Op) int
+	var walkExpr func(e Expr, from int)
+	walk = func(o Op) int {
+		me := id
+		id++
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", me, o.String())
+		for _, c := range o.Children() {
+			child := walk(c)
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", me, child)
+		}
+		for _, e := range o.Exprs() {
+			walkExpr(e, me)
+		}
+		return me
+	}
+	walkExpr = func(e Expr, from int) {
+		switch w := e.(type) {
+		case NestedApply:
+			child := walk(w.Plan)
+			fmt.Fprintf(&sb, "  n%d -> n%d [style=dashed, label=\"nested %s\"];\n",
+				from, child, w.F.String())
+		case ExistsQ:
+			child := walk(w.Range)
+			fmt.Fprintf(&sb, "  n%d -> n%d [style=dashed, label=\"exists %s\"];\n", from, child, w.Var)
+		case ForallQ:
+			child := walk(w.Range)
+			fmt.Fprintf(&sb, "  n%d -> n%d [style=dashed, label=\"forall %s\"];\n", from, child, w.Var)
+		case AndExpr:
+			walkExpr(w.L, from)
+			walkExpr(w.R, from)
+		case OrExpr:
+			walkExpr(w.L, from)
+			walkExpr(w.R, from)
+		case NotExpr:
+			walkExpr(w.E, from)
+		case CmpExpr:
+			walkExpr(w.L, from)
+			walkExpr(w.R, from)
+		case CondExpr:
+			walkExpr(w.If, from)
+			walkExpr(w.Then, from)
+			walkExpr(w.Else, from)
+		case Call:
+			for _, a := range w.Args {
+				walkExpr(a, from)
+			}
+		}
+	}
+	walk(op)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func explainNested(sb *strings.Builder, e Expr, depth int) {
+	switch w := e.(type) {
+	case NestedApply:
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString("nested:\n")
+		for _, line := range strings.Split(strings.TrimRight(Explain(w.Plan), "\n"), "\n") {
+			sb.WriteString(strings.Repeat("  ", depth+1))
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+	case ExistsQ:
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString("∃-range:\n")
+		for _, line := range strings.Split(strings.TrimRight(Explain(w.Range), "\n"), "\n") {
+			sb.WriteString(strings.Repeat("  ", depth+1))
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+	case ForallQ:
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString("∀-range:\n")
+		for _, line := range strings.Split(strings.TrimRight(Explain(w.Range), "\n"), "\n") {
+			sb.WriteString(strings.Repeat("  ", depth+1))
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+	case AndExpr:
+		explainNested(sb, w.L, depth)
+		explainNested(sb, w.R, depth)
+	case NotExpr:
+		explainNested(sb, w.E, depth)
+	case CmpExpr:
+		explainNested(sb, w.L, depth)
+		explainNested(sb, w.R, depth)
+	case Call:
+		for _, a := range w.Args {
+			explainNested(sb, a, depth)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"nalquery/internal/value"
+)
+
+// Tests for the boundary-detecting streaming Ξ (the paper's literal
+// "stable sort + group boundaries by attribute change" implementation).
+
+func xiCmds() (s1, s2, s3 []Command) {
+	s1 = []Command{LitCmd("<g k='"), {E: Var{Name: "k"}}, LitCmd("'>")}
+	s2 = []Command{LitCmd("<v>"), {E: Var{Name: "v"}}, LitCmd("</v>")}
+	s3 = []Command{LitCmd("</g>")}
+	return
+}
+
+func runXi(op Op) string {
+	ctx := NewCtx(nil)
+	op.Eval(ctx, nil)
+	return ctx.OutString()
+}
+
+func runXiIter(op Op) string {
+	ctx := NewCtx(nil)
+	DrainIter(op, ctx, nil)
+	return ctx.OutString()
+}
+
+// TestXiGroupStreamMatchesHashOnSorted: on contiguous (sorted) input the
+// streaming Ξ produces exactly the hash-bucket XiGroup's output.
+func TestXiGroupStreamMatchesHashOnSorted(t *testing.T) {
+	quickCheck(t, "Ξstream=Ξ-on-sorted", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20)
+		ts := make(value.TupleSeq, n)
+		for i := range ts {
+			ts[i] = value.Tuple{"k": value.Int(int64(rng.Intn(4))), "v": value.Int(int64(i))}
+		}
+		in := constOp{ts: ts, attrs: []string{"k", "v"}}
+		sorted := Sort{In: in, By: []string{"k"}}
+		s1, s2, s3 := xiCmds()
+		stream := XiGroupStream{In: sorted, By: []string{"k"}, S1: s1, S2: s2, S3: s3}
+		hash := XiGroup{In: sorted, By: []string{"k"}, S1: s1, S2: s2, S3: s3}
+		return runXi(stream) == runXi(hash)
+	})
+}
+
+// TestXiGroupStreamIterMatchesEval: the pipelined iterator fires the same
+// side effects as the materialized evaluation.
+func TestXiGroupStreamIterMatchesEval(t *testing.T) {
+	quickCheck(t, "Ξstream-iter=eval", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20)
+		ts := make(value.TupleSeq, n)
+		for i := range ts {
+			ts[i] = value.Tuple{"k": value.Int(int64(rng.Intn(3))), "v": value.Int(int64(i))}
+		}
+		in := constOp{ts: ts, attrs: []string{"k", "v"}}
+		s1, s2, s3 := xiCmds()
+		op := XiGroupStream{In: Sort{In: in, By: []string{"k"}}, By: []string{"k"},
+			S1: s1, S2: s2, S3: s3}
+		return runXi(op) == runXiIter(op)
+	})
+}
+
+// TestXiGroupStreamBoundaries: explicit boundary checks — one group, every
+// tuple its own group, empty input.
+func TestXiGroupStreamBoundaries(t *testing.T) {
+	s1, s2, s3 := xiCmds()
+	mk := func(keys ...int) Op {
+		ts := make(value.TupleSeq, len(keys))
+		for i, k := range keys {
+			ts[i] = value.Tuple{"k": value.Int(int64(k)), "v": value.Int(int64(i))}
+		}
+		return XiGroupStream{In: constOp{ts: ts, attrs: []string{"k", "v"}},
+			By: []string{"k"}, S1: s1, S2: s2, S3: s3}
+	}
+	if got := runXi(mk()); got != "" {
+		t.Errorf("empty input produced %q", got)
+	}
+	if got := runXi(mk(1, 1, 1)); got != "<g k='1'><v>0</v><v>1</v><v>2</v></g>" {
+		t.Errorf("single group: %q", got)
+	}
+	if got := runXi(mk(1, 2, 3)); got != "<g k='1'><v>0</v></g><g k='2'><v>1</v></g><g k='3'><v>2</v></g>" {
+		t.Errorf("singleton groups: %q", got)
+	}
+	// Non-contiguous keys: boundary detection treats each run as a group
+	// (the documented behaviour without the upstream sort).
+	if got := runXi(mk(1, 2, 1)); got != "<g k='1'><v>0</v></g><g k='2'><v>1</v></g><g k='1'><v>2</v></g>" {
+		t.Errorf("runs as groups: %q", got)
+	}
+}
+
+// TestXiGroupStreamMultiKeyBoundary: a change in any of the attributes of A
+// opens a new group.
+func TestXiGroupStreamMultiKeyBoundary(t *testing.T) {
+	ts := value.TupleSeq{
+		{"a": value.Int(1), "b": value.Int(1), "v": value.Int(0)},
+		{"a": value.Int(1), "b": value.Int(2), "v": value.Int(1)},
+		{"a": value.Int(2), "b": value.Int(2), "v": value.Int(2)},
+	}
+	s1 := []Command{LitCmd("[")}
+	s2 := []Command{{E: Var{Name: "v"}}}
+	s3 := []Command{LitCmd("]")}
+	op := XiGroupStream{In: constOp{ts: ts, attrs: []string{"a", "b", "v"}},
+		By: []string{"a", "b"}, S1: s1, S2: s2, S3: s3}
+	if got := runXi(op); got != "[0][1][2]" {
+		t.Errorf("multi-key boundaries: %q", got)
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"nalquery/internal/algebra"
+)
+
+// This file implements the "familiar equivalences" the paper restates for
+// the ordered context at the end of Sec. 2 as a plan-simplification pass:
+//
+//	σp1(σp2(e))        = σp2(σp1(e))                 (commutation)
+//	σp(e1 × e2)        = σp(e1) × e2                  if F(p) ∩ A(e2) = ∅
+//	σp(e1 × e2)        = e1 × σp(e2)                  if F(p) ∩ A(e1) = ∅
+//	σp1(e1 ⋈p2 e2)     = σp1(e1) ⋈p2 e2              if F(p1) ∩ A(e2) = ∅
+//	σp1(e1 ⋈p2 e2)     = e1 ⋈p2 σp1(e2)              if F(p1) ∩ A(e1) = ∅
+//	σp1(e1 ⋉p2 e2)     = σp1(e1) ⋉p2 e2              if F(p1) ∩ A(e2) = ∅
+//	σp1(e1 ⟕g:e p2 e2) = σp1(e1) ⟕g:e p2 e2          if F(p1) ∩ A(e2) = ∅
+//	e1 × (e2 × e3)     = (e1 × e2) × e3               (associativity)
+//	e1 ⋈p1 (e2 ⋈p2 e3) = (e1 ⋈p1 e2) ⋈p2 e3          (usual restrictions)
+//
+// The pass applies them left to right: selections sink towards the leaves
+// (conjunct by conjunct — sound by the commutation rule) and product/join
+// trees are canonicalized to left-deep form, the shape the hash-based join
+// family evaluates with the least intermediate state. The anti-join ▷ admits
+// the same left push as ⋉ (its output is also a subsequence of e1); the pass
+// uses it and the property tests check it alongside the listed rules.
+//
+// In the ordered context neither × nor ⋈ is commutative, so no rule here
+// swaps operands.
+
+// Simplify applies the Sec. 2 equivalences until fixpoint. It returns the
+// simplified plan and whether anything changed.
+func Simplify(op algebra.Op) (algebra.Op, bool) {
+	changedAny := false
+	for i := 0; i < maxSimplifyRounds; i++ {
+		out, changed := simplifyOnce(op)
+		if !changed {
+			return out, changedAny
+		}
+		changedAny = true
+		op = out
+	}
+	return op, changedAny
+}
+
+// maxSimplifyRounds bounds the fixpoint iteration. Every round either sinks
+// a selection conjunct or rotates one product/join; plans are finite, so the
+// bound is a safety net, not a tuning knob.
+const maxSimplifyRounds = 64
+
+func simplifyOnce(op algebra.Op) (algebra.Op, bool) {
+	op, changed := rebuildChildren(op, func(c algebra.Op) (algebra.Op, bool) {
+		return simplifyOnce(c)
+	})
+	switch w := op.(type) {
+	case algebra.Select:
+		if out, ok := pushSelect(w); ok {
+			return out, true
+		}
+	case algebra.Cross:
+		if inner, ok := w.R.(algebra.Cross); ok {
+			// e1 × (e2 × e3) = (e1 × e2) × e3.
+			return algebra.Cross{L: algebra.Cross{L: w.L, R: inner.L}, R: inner.R}, true
+		}
+	case algebra.Join:
+		if out, ok := reassocJoin(w); ok {
+			return out, true
+		}
+	}
+	return op, changed
+}
+
+// pushSelect sinks the conjuncts of a selection into the inputs of a binary
+// operator below it, where the side conditions allow.
+func pushSelect(s algebra.Select) (algebra.Op, bool) {
+	conjuncts := splitConjuncts(s.Pred)
+	in := s.In
+	switch j := in.(type) {
+	case algebra.Cross:
+		left, right, stuck := classifyConjuncts(conjuncts, j.L, j.R, true)
+		if left == nil && right == nil {
+			return nil, false
+		}
+		var out algebra.Op = algebra.Cross{L: wrapSelect(j.L, left), R: wrapSelect(j.R, right)}
+		return wrapSelect(out, stuck), true
+	case algebra.Join:
+		left, right, stuck := classifyConjuncts(conjuncts, j.L, j.R, true)
+		if left == nil && right == nil {
+			return nil, false
+		}
+		var out algebra.Op = algebra.Join{L: wrapSelect(j.L, left), R: wrapSelect(j.R, right), Pred: j.Pred}
+		return wrapSelect(out, stuck), true
+	case algebra.SemiJoin:
+		left, _, stuck := classifyConjuncts(conjuncts, j.L, j.R, false)
+		if left == nil {
+			return nil, false
+		}
+		var out algebra.Op = algebra.SemiJoin{L: wrapSelect(j.L, left), R: j.R, Pred: j.Pred}
+		return wrapSelect(out, stuck), true
+	case algebra.AntiJoin:
+		left, _, stuck := classifyConjuncts(conjuncts, j.L, j.R, false)
+		if left == nil {
+			return nil, false
+		}
+		var out algebra.Op = algebra.AntiJoin{L: wrapSelect(j.L, left), R: j.R, Pred: j.Pred}
+		return wrapSelect(out, stuck), true
+	case algebra.OuterJoin:
+		left, _, stuck := classifyConjuncts(conjuncts, j.L, j.R, false)
+		if left == nil {
+			return nil, false
+		}
+		var out algebra.Op = algebra.OuterJoin{
+			L: wrapSelect(j.L, left), R: j.R, Pred: j.Pred, G: j.G, Default: j.Default,
+		}
+		return wrapSelect(out, stuck), true
+	}
+	return nil, false
+}
+
+// classifyConjuncts partitions predicate conjuncts into those pushable into
+// the left input (F(p) ∩ A(right) = ∅), those pushable into the right input
+// (F(p) ∩ A(left) = ∅, only when pushRight holds), and the rest. Conjuncts
+// referencing neither side (outer-environment predicates) go left — they
+// filter earlier there. When an input's attribute set is unknown, nothing is
+// pushed across it.
+func classifyConjuncts(conjuncts []algebra.Expr, l, r algebra.Op, pushRight bool) (left, right, stuck []algebra.Expr) {
+	lAttrs, lok := l.Attrs()
+	rAttrs, rok := r.Attrs()
+	if !lok || !rok {
+		return nil, nil, conjuncts
+	}
+	lSet := toSet(lAttrs)
+	rSet := toSet(rAttrs)
+	for _, c := range conjuncts {
+		fv := map[string]bool{}
+		c.FreeVars(fv)
+		switch {
+		case disjoint(fv, rSet):
+			left = append(left, c)
+		case pushRight && disjoint(fv, lSet):
+			right = append(right, c)
+		default:
+			stuck = append(stuck, c)
+		}
+	}
+	return left, right, stuck
+}
+
+// reassocJoin rotates e1 ⋈p1 (e2 ⋈p2 e3) to (e1 ⋈p1 e2) ⋈p2 e3 under the
+// usual restrictions: p1 must not reference A(e3) and p2 must not reference
+// A(e1).
+func reassocJoin(j algebra.Join) (algebra.Op, bool) {
+	inner, ok := j.R.(algebra.Join)
+	if !ok {
+		return nil, false
+	}
+	a1, ok1 := j.L.Attrs()
+	a3, ok3 := inner.R.Attrs()
+	if !ok1 || !ok3 {
+		return nil, false
+	}
+	fv1 := map[string]bool{}
+	j.Pred.FreeVars(fv1)
+	fv2 := map[string]bool{}
+	inner.Pred.FreeVars(fv2)
+	if !disjoint(fv1, toSet(a3)) || !disjoint(fv2, toSet(a1)) {
+		return nil, false
+	}
+	return algebra.Join{
+		L:    algebra.Join{L: j.L, R: inner.L, Pred: j.Pred},
+		R:    inner.R,
+		Pred: inner.Pred,
+	}, true
+}
+
+// splitConjuncts flattens a conjunction into its conjuncts, including the
+// predicates of directly stacked selections — sound by the commutation rule
+// σp1(σp2(e)) = σp2(σp1(e)).
+func splitConjuncts(p algebra.Expr) []algebra.Expr {
+	if a, ok := p.(algebra.AndExpr); ok {
+		return append(splitConjuncts(a.L), splitConjuncts(a.R)...)
+	}
+	return []algebra.Expr{p}
+}
+
+// wrapSelect places the conjuncts back on top of op as a single selection;
+// with no conjuncts it returns op unchanged.
+func wrapSelect(op algebra.Op, conjuncts []algebra.Expr) algebra.Op {
+	if len(conjuncts) == 0 {
+		return op
+	}
+	pred := conjuncts[0]
+	for _, c := range conjuncts[1:] {
+		pred = algebra.AndExpr{L: pred, R: c}
+	}
+	return algebra.Select{In: op, Pred: pred}
+}
+
+func toSet(attrs []string) map[string]bool {
+	m := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		m[a] = true
+	}
+	return m
+}
+
+func disjoint(a, b map[string]bool) bool {
+	for k := range a {
+		if b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildChildren applies f to every algebraic input of op and rebuilds the
+// operator when any input changed. Operators are value types, so rebuilding
+// is a field-wise copy.
+func rebuildChildren(op algebra.Op, f func(algebra.Op) (algebra.Op, bool)) (algebra.Op, bool) {
+	switch w := op.(type) {
+	case algebra.Select:
+		in, ch := f(w.In)
+		return algebra.Select{In: in, Pred: w.Pred}, ch
+	case algebra.Project:
+		in, ch := f(w.In)
+		return algebra.Project{In: in, Names: w.Names}, ch
+	case algebra.ProjectDrop:
+		in, ch := f(w.In)
+		return algebra.ProjectDrop{In: in, Names: w.Names}, ch
+	case algebra.ProjectRename:
+		in, ch := f(w.In)
+		return algebra.ProjectRename{In: in, Pairs: w.Pairs}, ch
+	case algebra.ProjectDistinct:
+		in, ch := f(w.In)
+		return algebra.ProjectDistinct{In: in, Pairs: w.Pairs}, ch
+	case algebra.Map:
+		in, ch := f(w.In)
+		return algebra.Map{In: in, Attr: w.Attr, E: w.E}, ch
+	case algebra.UnnestMap:
+		in, ch := f(w.In)
+		return algebra.UnnestMap{In: in, Attr: w.Attr, E: w.E, PosAttr: w.PosAttr}, ch
+	case algebra.Cross:
+		l, ch1 := f(w.L)
+		r, ch2 := f(w.R)
+		return algebra.Cross{L: l, R: r}, ch1 || ch2
+	case algebra.Join:
+		l, ch1 := f(w.L)
+		r, ch2 := f(w.R)
+		return algebra.Join{L: l, R: r, Pred: w.Pred}, ch1 || ch2
+	case algebra.SemiJoin:
+		l, ch1 := f(w.L)
+		r, ch2 := f(w.R)
+		return algebra.SemiJoin{L: l, R: r, Pred: w.Pred}, ch1 || ch2
+	case algebra.AntiJoin:
+		l, ch1 := f(w.L)
+		r, ch2 := f(w.R)
+		return algebra.AntiJoin{L: l, R: r, Pred: w.Pred}, ch1 || ch2
+	case algebra.OuterJoin:
+		l, ch1 := f(w.L)
+		r, ch2 := f(w.R)
+		return algebra.OuterJoin{L: l, R: r, Pred: w.Pred, G: w.G, Default: w.Default}, ch1 || ch2
+	case algebra.GroupUnary:
+		in, ch := f(w.In)
+		return algebra.GroupUnary{In: in, G: w.G, By: w.By, Theta: w.Theta, F: w.F}, ch
+	case algebra.GroupBinary:
+		l, ch1 := f(w.L)
+		r, ch2 := f(w.R)
+		return algebra.GroupBinary{L: l, R: r, G: w.G, LAttrs: w.LAttrs, RAttrs: w.RAttrs,
+			Theta: w.Theta, F: w.F, ForceScan: w.ForceScan}, ch1 || ch2
+	case algebra.Unnest:
+		in, ch := f(w.In)
+		return algebra.Unnest{In: in, Attr: w.Attr, InnerAttrs: w.InnerAttrs}, ch
+	case algebra.UnnestDistinct:
+		in, ch := f(w.In)
+		return algebra.UnnestDistinct{In: in, Attr: w.Attr}, ch
+	case algebra.XiSimple:
+		in, ch := f(w.In)
+		return algebra.XiSimple{In: in, Cmds: w.Cmds}, ch
+	case algebra.XiGroup:
+		in, ch := f(w.In)
+		return algebra.XiGroup{In: in, By: w.By, S1: w.S1, S2: w.S2, S3: w.S3}, ch
+	case algebra.Sort:
+		in, ch := f(w.In)
+		return algebra.Sort{In: in, By: w.By, Dirs: w.Dirs}, ch
+	case algebra.AttachSeq:
+		in, ch := f(w.In)
+		return algebra.AttachSeq{In: in, Attr: w.Attr}, ch
+	case algebra.GraceJoin:
+		l, ch1 := f(w.L)
+		r, ch2 := f(w.R)
+		return algebra.GraceJoin{L: l, R: r, LAttrs: w.LAttrs, RAttrs: w.RAttrs, Residual: w.Residual}, ch1 || ch2
+	case algebra.OPHashJoin:
+		l, ch1 := f(w.L)
+		r, ch2 := f(w.R)
+		return algebra.OPHashJoin{L: l, R: r, LAttrs: w.LAttrs, RAttrs: w.RAttrs,
+			Residual: w.Residual, Partitions: w.Partitions}, ch1 || ch2
+	default:
+		// Leaves (□, document scans, test fixtures) have no algebraic inputs.
+		return op, false
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"nalquery/internal/algebra"
+	"nalquery/internal/value"
+)
+
+// Plan-level properties of the ToUnordered conversion.
+
+// TestToUnorderedBagPreserving: converting a composite ordered plan to the
+// unordered family preserves the result bag.
+func TestToUnorderedBagPreserving(t *testing.T) {
+	check(t, "ToUnordered-bag", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randSeq(rng, []string{"A1", "C"}, 8, 3)
+		e2 := randSeq(rng, []string{"A2", "B"}, 8, 3)
+		eq := algebra.CmpExpr{L: algebra.Var{Name: "A1"}, R: algebra.Var{Name: "A2"}, Op: value.CmpEq}
+		plans := []algebra.Op{
+			algebra.Join{L: e1, R: e2, Pred: eq},
+			algebra.SemiJoin{L: e1, R: e2, Pred: eq},
+			algebra.AntiJoin{L: e1, R: e2, Pred: eq},
+			algebra.GroupBinary{L: e1, R: e2, G: "g",
+				LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Theta: value.CmpEq, F: algebra.SFCount{}},
+			algebra.Select{
+				In: algebra.SemiJoin{
+					L:    algebra.GroupUnary{In: e1, G: "g", By: []string{"A1"}, Theta: value.CmpEq, F: algebra.SFCount{}},
+					R:    e2,
+					Pred: eq,
+				},
+				Pred: algebra.CmpExpr{L: algebra.Var{Name: "g"}, R: algebra.ConstVal{V: value.Int(0)}, Op: value.CmpGt},
+			},
+		}
+		for _, plan := range plans {
+			u, changed := ToUnordered(plan)
+			if !changed {
+				return false
+			}
+			want := evalOp(plan)
+			got := evalOp(u)
+			if !value.TupleSeqEqualBag(want, got) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestToUnorderedNoEquiKeysUntouched: predicates without extractable
+// equality keys keep the ordered operator.
+func TestToUnorderedNoEquiKeysUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e1 := randSeq(rng, []string{"A1"}, 6, 3)
+	e2 := randSeq(rng, []string{"A2"}, 6, 3)
+	lt := algebra.CmpExpr{L: algebra.Var{Name: "A1"}, R: algebra.Var{Name: "A2"}, Op: value.CmpLt}
+	plan := algebra.Join{L: e1, R: e2, Pred: lt}
+	u, changed := ToUnordered(plan)
+	if changed {
+		t.Errorf("θ-join without equality keys was converted: %T", u)
+	}
+	if _, ok := u.(algebra.Join); !ok {
+		t.Errorf("plan type changed to %T", u)
+	}
+}
+
+// TestToUnorderedValidates: converted plans still pass attribute-safety
+// validation.
+func TestToUnorderedValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e1 := randSeq(rng, []string{"A1"}, 6, 3)
+	e2 := randSeq(rng, []string{"A2", "B"}, 6, 3)
+	eq := algebra.CmpExpr{L: algebra.Var{Name: "A1"}, R: algebra.Var{Name: "A2"}, Op: value.CmpEq}
+	plan := algebra.XiSimple{
+		In:   algebra.Join{L: e1, R: e2, Pred: eq},
+		Cmds: []algebra.Command{algebra.LitCmd("<r>"), {E: algebra.Var{Name: "B"}}, algebra.LitCmd("</r>")},
+	}
+	u, changed := ToUnordered(plan)
+	if !changed {
+		t.Fatalf("join under Ξ not converted")
+	}
+	if !Validate(u) {
+		t.Errorf("converted plan fails validation:\n%s", algebra.Explain(u))
+	}
+}

@@ -1,0 +1,293 @@
+// Package cost implements a simple cardinality-based cost model for NAL
+// plans. The paper chooses among alternative unnested plans informally
+// ("the most efficient plan typically results from the equivalences with
+// the most restrictive conditions attached"); this model makes the choice
+// mechanical: nested algebraic expressions multiply their cost by the
+// cardinality of the outer sequence, which is exactly why unnesting wins.
+//
+// Cardinalities derive from document statistics (element counts by name);
+// selectivities use fixed textbook defaults. The model only needs to rank
+// plans whose costs differ by orders of magnitude, so crude is fine — and
+// the ranking is validated against measured times in the tests.
+package cost
+
+import (
+	"nalquery/internal/algebra"
+	"nalquery/internal/dom"
+)
+
+// Model holds the document statistics estimation runs against.
+type Model struct {
+	// elemCount is the total number of elements with a given name across
+	// all loaded documents.
+	elemCount map[string]float64
+	// docElems is the total element count per document.
+	total float64
+}
+
+// Selectivity defaults.
+const (
+	selSelect     = 0.5 // generic predicate
+	selDistinct   = 0.5 // distinct values fraction
+	selGroupKeys  = 0.3 // distinct grouping keys fraction
+	nestedPenalty = 1.0 // weight of a nested evaluation per outer tuple
+	tupleCost     = 1.0 // cost of producing one tuple
+)
+
+// NewModel gathers element statistics from the loaded documents.
+func NewModel(docs map[string]*dom.Document) *Model {
+	m := &Model{elemCount: map[string]float64{}}
+	for _, d := range docs {
+		var walk func(n *dom.Node)
+		walk = func(n *dom.Node) {
+			if n.Kind == dom.KindElement {
+				m.elemCount[n.Name]++
+				m.total++
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(d.Root)
+	}
+	return m
+}
+
+// Estimate is the estimated cardinality and cumulative cost of a plan.
+type Estimate struct {
+	Card float64
+	Cost float64
+}
+
+// Plan estimates a full operator tree.
+func (m *Model) Plan(op algebra.Op) Estimate {
+	switch w := op.(type) {
+	case algebra.Singleton:
+		return Estimate{Card: 1, Cost: 1}
+	case algebra.Select:
+		in := m.Plan(w.In)
+		return Estimate{
+			Card: in.Card * selSelect,
+			Cost: in.Cost + in.Card*(tupleCost+m.expr(w.Pred)),
+		}
+	case algebra.Project:
+		return m.passThrough(w.In)
+	case algebra.ProjectDrop:
+		return m.passThrough(w.In)
+	case algebra.ProjectRename:
+		return m.passThrough(w.In)
+	case algebra.ProjectDistinct:
+		in := m.Plan(w.In)
+		return Estimate{Card: in.Card * selDistinct, Cost: in.Cost + in.Card*tupleCost}
+	case algebra.Map:
+		in := m.Plan(w.In)
+		return Estimate{Card: in.Card, Cost: in.Cost + in.Card*(tupleCost+m.expr(w.E))}
+	case algebra.UnnestMap:
+		in := m.Plan(w.In)
+		card := m.pathCard(w.E, in.Card)
+		return Estimate{Card: card, Cost: in.Cost + in.Card*m.expr(w.E) + card*tupleCost}
+	case algebra.Cross:
+		l, r := m.Plan(w.L), m.Plan(w.R)
+		card := l.Card * r.Card
+		return Estimate{Card: card, Cost: l.Cost + r.Cost + card*tupleCost}
+	case algebra.Join:
+		l, r := m.Plan(w.L), m.Plan(w.R)
+		card := maxF(l.Card, r.Card)
+		return Estimate{Card: card, Cost: l.Cost + r.Cost + (l.Card+r.Card+card)*tupleCost}
+	case algebra.SemiJoin:
+		l, r := m.Plan(w.L), m.Plan(w.R)
+		return Estimate{Card: l.Card * selSelect, Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+	case algebra.AntiJoin:
+		l, r := m.Plan(w.L), m.Plan(w.R)
+		return Estimate{Card: l.Card * selSelect, Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+	case algebra.OuterJoin:
+		l, r := m.Plan(w.L), m.Plan(w.R)
+		return Estimate{Card: maxF(l.Card, r.Card), Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+	case algebra.GroupUnary:
+		in := m.Plan(w.In)
+		card := in.Card * selGroupKeys
+		if w.Theta != 0 { // non-equality θ: key × input scan
+			return Estimate{Card: card, Cost: in.Cost + card*in.Card*tupleCost}
+		}
+		return Estimate{Card: card, Cost: in.Cost + in.Card*tupleCost}
+	case algebra.GroupBinary:
+		l, r := m.Plan(w.L), m.Plan(w.R)
+		if w.Theta != 0 || w.ForceScan {
+			return Estimate{Card: l.Card, Cost: l.Cost + r.Cost + l.Card*r.Card*tupleCost}
+		}
+		return Estimate{Card: l.Card, Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+	case algebra.Unnest:
+		in := m.Plan(w.In)
+		card := in.Card * 3
+		return Estimate{Card: card, Cost: in.Cost + card*tupleCost}
+	case algebra.UnnestDistinct:
+		in := m.Plan(w.In)
+		card := in.Card * 3
+		return Estimate{Card: card, Cost: in.Cost + card*tupleCost}
+	case algebra.XiSimple:
+		in := m.Plan(w.In)
+		return Estimate{Card: in.Card, Cost: in.Cost + in.Card*tupleCost}
+	case algebra.XiGroup:
+		in := m.Plan(w.In)
+		return Estimate{Card: in.Card, Cost: in.Cost + in.Card*tupleCost}
+	case algebra.Sort:
+		in := m.Plan(w.In)
+		return Estimate{Card: in.Card, Cost: in.Cost + in.Card*logF(in.Card)*tupleCost}
+	case algebra.AttachSeq:
+		return m.passThrough(w.In)
+	case algebra.GraceJoin:
+		l, r := m.Plan(w.L), m.Plan(w.R)
+		return Estimate{Card: maxF(l.Card, r.Card), Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+	case algebra.OPHashJoin:
+		// Partitioned probe + P-way merge: linear passes plus a log-P merge
+		// term on the output.
+		l, r := m.Plan(w.L), m.Plan(w.R)
+		card := maxF(l.Card, r.Card)
+		return Estimate{Card: card, Cost: l.Cost + r.Cost + (l.Card + r.Card) + card*0.5}
+	case algebra.UnorderedJoin:
+		l, r := m.Plan(w.L), m.Plan(w.R)
+		card := maxF(l.Card, r.Card)
+		return Estimate{Card: card, Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+	case algebra.UnorderedSemiJoin:
+		l, r := m.Plan(w.L), m.Plan(w.R)
+		return Estimate{Card: l.Card * selSelect, Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+	case algebra.UnorderedAntiJoin:
+		l, r := m.Plan(w.L), m.Plan(w.R)
+		return Estimate{Card: l.Card * selSelect, Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+	case algebra.UnorderedOuterJoin:
+		l, r := m.Plan(w.L), m.Plan(w.R)
+		return Estimate{Card: maxF(l.Card, r.Card), Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+	case algebra.UnorderedGroupUnary:
+		in := m.Plan(w.In)
+		card := in.Card * selGroupKeys
+		if w.Theta != 0 {
+			return Estimate{Card: card, Cost: in.Cost + card*in.Card*tupleCost}
+		}
+		return Estimate{Card: card, Cost: in.Cost + in.Card*tupleCost}
+	case algebra.UnorderedGroupBinary:
+		l, r := m.Plan(w.L), m.Plan(w.R)
+		if w.Theta != 0 {
+			return Estimate{Card: l.Card, Cost: l.Cost + r.Cost + l.Card*r.Card*tupleCost}
+		}
+		return Estimate{Card: l.Card, Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+	case algebra.XiGroupStream:
+		in := m.Plan(w.In)
+		return Estimate{Card: in.Card, Cost: in.Cost + in.Card*tupleCost}
+	default:
+		// Unknown operator: pass through children pessimistically.
+		var est Estimate
+		for _, c := range op.Children() {
+			ce := m.Plan(c)
+			est.Card = maxF(est.Card, ce.Card)
+			est.Cost += ce.Cost
+		}
+		if est.Card == 0 {
+			est.Card = 1
+		}
+		est.Cost += est.Card * tupleCost
+		return est
+	}
+}
+
+func (m *Model) passThrough(in algebra.Op) Estimate {
+	e := m.Plan(in)
+	return Estimate{Card: e.Card, Cost: e.Cost + e.Card*tupleCost}
+}
+
+// expr estimates the per-invocation cost of a subscript expression. Nested
+// algebraic expressions cost their full plan — the caller multiplies by the
+// outer cardinality, producing the quadratic term unnesting removes.
+func (m *Model) expr(e algebra.Expr) float64 {
+	switch w := e.(type) {
+	case nil:
+		return 0
+	case algebra.NestedApply:
+		return nestedPenalty * m.Plan(w.Plan).Cost
+	case algebra.ExistsQ:
+		return nestedPenalty * (m.Plan(w.Range).Cost + m.expr(w.Pred))
+	case algebra.ForallQ:
+		return nestedPenalty * (m.Plan(w.Range).Cost + m.expr(w.Pred))
+	case algebra.AndExpr:
+		return m.expr(w.L) + m.expr(w.R)
+	case algebra.OrExpr:
+		return m.expr(w.L) + m.expr(w.R)
+	case algebra.NotExpr:
+		return m.expr(w.E)
+	case algebra.CmpExpr:
+		return m.expr(w.L) + m.expr(w.R) + 0.1
+	case algebra.InExpr:
+		return m.expr(w.Item) + m.expr(w.Seq) + 0.5
+	case algebra.Call:
+		c := 0.2
+		for _, a := range w.Args {
+			c += m.expr(a)
+		}
+		return c
+	case algebra.AggOfAttr:
+		return 1
+	case algebra.PathOf:
+		return m.expr(w.Input) + 1
+	case algebra.BindTuples:
+		return m.expr(w.E) + 0.5
+	case algebra.Doc:
+		return 1
+	default:
+		return 0.1
+	}
+}
+
+// pathCard estimates the output cardinality of an unnest-map over a path or
+// distinct-values expression: the total number of elements with the path's
+// final name (a whole-pipeline scan reaches them all).
+func (m *Model) pathCard(e algebra.Expr, inCard float64) float64 {
+	name, distinct := finalElemName(e)
+	if name == "" {
+		return maxF(inCard*2, 1)
+	}
+	n := m.elemCount[name]
+	if n == 0 {
+		n = maxF(m.total*0.01, 1)
+	}
+	if distinct {
+		n *= selDistinct
+	}
+	return maxF(n, 1)
+}
+
+func finalElemName(e algebra.Expr) (string, bool) {
+	switch w := e.(type) {
+	case algebra.PathOf:
+		steps := w.Path.Steps
+		for i := len(steps) - 1; i >= 0; i-- {
+			if steps[i].Name != "" {
+				return steps[i].Name, false
+			}
+		}
+		return "", false
+	case algebra.Call:
+		if w.Fn == "distinct-values" && len(w.Args) == 1 {
+			n, _ := finalElemName(w.Args[0])
+			return n, true
+		}
+	case algebra.BindTuples:
+		return finalElemName(w.E)
+	}
+	return "", false
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func logF(x float64) float64 {
+	// Cheap log2 approximation, enough for a ranking model.
+	l := 1.0
+	for x > 2 {
+		x /= 2
+		l++
+	}
+	return l
+}

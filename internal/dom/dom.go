@@ -1,0 +1,272 @@
+// Package dom implements the ordered XML data model used as the storage
+// substrate of the reproduction. It corresponds to the role the Natix store
+// plays in the paper: documents are trees of nodes, every node has a stable
+// document-order rank, and algebra operators reference nodes through
+// lightweight handles (*Node pointers).
+//
+// The model is deliberately small: documents, elements, attributes and text.
+// This is everything the XQuery use-case documents of the paper require.
+package dom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind identifies the node kind.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindDocument Kind = iota
+	KindElement
+	KindAttribute
+	KindText
+)
+
+// String returns the XPath-style name of the node kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDocument:
+		return "document"
+	case KindElement:
+		return "element"
+	case KindAttribute:
+		return "attribute"
+	case KindText:
+		return "text"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Node is a single node of an XML tree. Nodes are created through a Builder
+// or the Parse functions and are immutable afterwards; algebra evaluation
+// never mutates documents.
+type Node struct {
+	Kind     Kind
+	Name     string  // element and attribute name; empty for text and document
+	Data     string  // text content or attribute value
+	Parent   *Node   // nil for the document node
+	Children []*Node // element and text children, in order
+	Attrs    []*Node // attribute nodes, in declaration order
+
+	// Order is the document-order rank of the node. It is unique within a
+	// document and monotone in a pre-order traversal (attributes rank after
+	// their owner element and before its children, matching the XPath data
+	// model closely enough for the paper's queries).
+	Order int
+
+	doc *Document
+}
+
+// Document is a parsed or generated XML document.
+type Document struct {
+	// URI is the name the document was registered under (e.g. "bib.xml").
+	URI string
+	// Root is the document node; its single element child is the root element.
+	Root *Node
+
+	nodes int
+}
+
+// Doc returns the document a node belongs to.
+func (n *Node) Doc() *Document { return n.doc }
+
+// NumNodes reports how many nodes the document contains (including the
+// document node itself).
+func (d *Document) NumNodes() int { return d.nodes }
+
+// RootElement returns the root element of the document, or nil if the
+// document is empty.
+func (d *Document) RootElement() *Node {
+	for _, c := range d.Root.Children {
+		if c.Kind == KindElement {
+			return c
+		}
+	}
+	return nil
+}
+
+// StringValue returns the string value of a node following the XPath data
+// model: the concatenation of all descendant text for documents and elements,
+// the value for attributes and text nodes.
+func (n *Node) StringValue() string {
+	switch n.Kind {
+	case KindAttribute, KindText:
+		return n.Data
+	default:
+		var sb strings.Builder
+		n.appendText(&sb)
+		return sb.String()
+	}
+}
+
+func (n *Node) appendText(sb *strings.Builder) {
+	if n.Kind == KindText {
+		sb.WriteString(n.Data)
+		return
+	}
+	for _, c := range n.Children {
+		c.appendText(sb)
+	}
+}
+
+// Attr returns the attribute node with the given name, or nil.
+func (n *Node) Attr(name string) *Node {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// ChildElements returns the element children with the given name in document
+// order. The empty name matches every element child.
+func (n *Node) ChildElements(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == KindElement && (name == "" || c.Name == name) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FirstChildElement returns the first element child with the given name, or
+// nil if there is none.
+func (n *Node) FirstChildElement(name string) *Node {
+	for _, c := range n.Children {
+		if c.Kind == KindElement && (name == "" || c.Name == name) {
+			return c
+		}
+	}
+	return nil
+}
+
+// Descendants appends to dst all descendant elements (not including n) with
+// the given name, in document order, and returns the extended slice. The
+// empty name matches every element.
+func (n *Node) Descendants(name string, dst []*Node) []*Node {
+	for _, c := range n.Children {
+		if c.Kind == KindElement {
+			if name == "" || c.Name == name {
+				dst = append(dst, c)
+			}
+			dst = c.Descendants(name, dst)
+		}
+	}
+	return dst
+}
+
+// CompareOrder compares two nodes by document order. Nodes from different
+// documents are ordered by document URI (an arbitrary but stable global
+// order).
+func CompareOrder(a, b *Node) int {
+	if a.doc != b.doc {
+		switch {
+		case a.doc.URI < b.doc.URI:
+			return -1
+		case a.doc.URI > b.doc.URI:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case a.Order < b.Order:
+		return -1
+	case a.Order > b.Order:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// SortDocOrder sorts nodes into document order in place, keeping duplicates.
+func SortDocOrder(nodes []*Node) {
+	sort.SliceStable(nodes, func(i, j int) bool { return CompareOrder(nodes[i], nodes[j]) < 0 })
+}
+
+// Builder constructs documents programmatically. It is used by the synthetic
+// document generators and by tests.
+type Builder struct {
+	doc   *Document
+	stack []*Node
+}
+
+// NewBuilder starts a new document with the given URI.
+func NewBuilder(uri string) *Builder {
+	root := &Node{Kind: KindDocument}
+	doc := &Document{URI: uri, Root: root}
+	root.doc = doc
+	return &Builder{doc: doc, stack: []*Node{root}}
+}
+
+func (b *Builder) top() *Node { return b.stack[len(b.stack)-1] }
+
+// Begin opens a new element under the current node.
+func (b *Builder) Begin(name string) *Builder {
+	n := &Node{Kind: KindElement, Name: name, Parent: b.top(), doc: b.doc}
+	b.top().Children = append(b.top().Children, n)
+	b.stack = append(b.stack, n)
+	return b
+}
+
+// Attrib adds an attribute to the currently open element.
+func (b *Builder) Attrib(name, value string) *Builder {
+	n := b.top()
+	if n.Kind != KindElement {
+		panic("dom: Attrib outside of element")
+	}
+	a := &Node{Kind: KindAttribute, Name: name, Data: value, Parent: n, doc: b.doc}
+	n.Attrs = append(n.Attrs, a)
+	return b
+}
+
+// Text adds a text node under the current node.
+func (b *Builder) Text(data string) *Builder {
+	n := &Node{Kind: KindText, Data: data, Parent: b.top(), doc: b.doc}
+	b.top().Children = append(b.top().Children, n)
+	return b
+}
+
+// End closes the current element.
+func (b *Builder) End() *Builder {
+	if len(b.stack) == 1 {
+		panic("dom: End without matching Begin")
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	return b
+}
+
+// Element is shorthand for Begin(name).Text(text).End().
+func (b *Builder) Element(name, text string) *Builder {
+	return b.Begin(name).Text(text).End()
+}
+
+// Done finalizes the document: it assigns document-order ranks and returns
+// the document. The builder must be balanced (every Begin matched by an End).
+func (b *Builder) Done() *Document {
+	if len(b.stack) != 1 {
+		panic(fmt.Sprintf("dom: Done with %d unclosed elements", len(b.stack)-1))
+	}
+	order := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.Order = order
+		order++
+		for _, a := range n.Attrs {
+			a.Order = order
+			order++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(b.doc.Root)
+	b.doc.nodes = order
+	return b.doc
+}

@@ -1,0 +1,147 @@
+package dom
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r and builds the ordered node tree.
+// Whitespace-only text between elements is dropped (the use-case DTDs are
+// element-content DTDs where such whitespace is insignificant).
+func Parse(r io.Reader, uri string) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	b := NewBuilder(uri)
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dom: parse %s: %w", uri, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			b.Begin(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				b.Attrib(a.Name.Local, a.Value)
+			}
+			depth++
+		case xml.EndElement:
+			b.End()
+			depth--
+		case xml.CharData:
+			s := string(t)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			if depth > 0 {
+				b.Text(s)
+			}
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Ignored: not part of the paper's data model.
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("dom: parse %s: unbalanced document", uri)
+	}
+	return b.Done(), nil
+}
+
+// ParseString parses an XML document from a string.
+func ParseString(s, uri string) (*Document, error) {
+	return Parse(strings.NewReader(s), uri)
+}
+
+// MustParseString parses a document and panics on error. For tests and
+// examples.
+func MustParseString(s, uri string) *Document {
+	d, err := ParseString(s, uri)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// WriteXML serializes the subtree rooted at n to w without insignificant
+// whitespace. Attribute values and text are escaped.
+func WriteXML(w io.Writer, n *Node) error {
+	sw := &stickyWriter{w: w}
+	writeNode(sw, n)
+	return sw.err
+}
+
+// XMLString serializes the subtree rooted at n to a string.
+func XMLString(n *Node) string {
+	var sb strings.Builder
+	_ = WriteXML(&sb, n)
+	return sb.String()
+}
+
+type stickyWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *stickyWriter) str(v string) {
+	if s.err == nil {
+		_, s.err = io.WriteString(s.w, v)
+	}
+}
+
+func writeNode(w *stickyWriter, n *Node) {
+	switch n.Kind {
+	case KindDocument:
+		for _, c := range n.Children {
+			writeNode(w, c)
+		}
+	case KindText:
+		w.str(EscapeText(n.Data))
+	case KindAttribute:
+		w.str(n.Name)
+		w.str(`="`)
+		w.str(EscapeAttr(n.Data))
+		w.str(`"`)
+	case KindElement:
+		w.str("<")
+		w.str(n.Name)
+		for _, a := range n.Attrs {
+			w.str(" ")
+			writeNode(w, a)
+		}
+		if len(n.Children) == 0 {
+			w.str("/>")
+			return
+		}
+		w.str(">")
+		for _, c := range n.Children {
+			writeNode(w, c)
+		}
+		w.str("</")
+		w.str(n.Name)
+		w.str(">")
+	}
+}
+
+// EscapeText escapes character data for element content.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "&<>") {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// EscapeAttr escapes character data for attribute values.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, `&<>"`) {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,126 @@
+package dom
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Serializer/parser round-trip property over random documents: parsing the
+// serialization reproduces the same tree (names, text, attributes,
+// document-order ranks).
+
+func randDoc(rng *rand.Rand) *Document {
+	b := NewBuilder("rand.xml")
+	var build func(depth int)
+	names := []string{"a", "b", "c", "item", "x1"}
+	build = func(depth int) {
+		n := rng.Intn(4)
+		if depth > 3 {
+			n = 0
+		}
+		lastWasText := false
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				// Adjacent text siblings would merge on reparse; emit text
+				// only after an element (or at the start).
+				if lastWasText {
+					continue
+				}
+				b.Text("t" + string(rune('a'+rng.Intn(26))))
+				lastWasText = true
+			default:
+				lastWasText = false
+				name := names[rng.Intn(len(names))]
+				b.Begin(name)
+				if rng.Intn(3) == 0 {
+					b.Attrib("k", "v"+string(rune('0'+rng.Intn(10))))
+				}
+				build(depth + 1)
+				b.End()
+			}
+		}
+	}
+	b.Begin("root")
+	build(0)
+	b.End()
+	return b.Done()
+}
+
+func sameTree(a, b *Node) bool {
+	if a.Kind != b.Kind || a.Name != b.Name || a.Data != b.Data {
+		return false
+	}
+	if len(a.Children) != len(b.Children) || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i].Name != b.Attrs[i].Name || a.Attrs[i].Data != b.Attrs[i].Data {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !sameTree(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSerializeParseRoundTrip: WriteXML → Parse reproduces the tree.
+func TestSerializeParseRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	if testing.Short() {
+		cfg.MaxCount = 40
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randDoc(rng)
+		var sb strings.Builder
+		if err := WriteXML(&sb, doc.Root); err != nil {
+			return false
+		}
+		back, err := Parse(strings.NewReader(sb.String()), "rand.xml")
+		if err != nil {
+			return false
+		}
+		return sameTree(doc.Root, back.Root)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundTripPreservesOrderRanks: document-order ranks are strictly
+// increasing in a preorder walk after a round trip.
+func TestRoundTripPreservesOrderRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	doc := randDoc(rng)
+	var sb strings.Builder
+	if err := WriteXML(&sb, doc.Root); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(strings.NewReader(sb.String()), "rand.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := -1
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if n.Order <= last {
+			return false
+		}
+		last = n.Order
+		for _, c := range n.Children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if !walk(back.Root) {
+		t.Errorf("document-order ranks not strictly increasing after round trip")
+	}
+}

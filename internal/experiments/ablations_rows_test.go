@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Row-shape tests for the ablation families added beyond the paper's
+// tables.
+
+// TestAblationGraceJoinRows: three physical join strategies per size.
+func TestAblationGraceJoinRows(t *testing.T) {
+	rs := AblationGraceJoin([]int{60})
+	if len(rs) != 3 {
+		t.Fatalf("got %d rows, want 3 (probe-order, grace+sort, claussen)", len(rs))
+	}
+	variants := map[string]bool{}
+	for _, r := range rs {
+		variants[r.Variant] = true
+		if r.Elapsed <= 0 {
+			t.Errorf("variant %s: non-positive elapsed time", r.Variant)
+		}
+	}
+	for _, want := range []string{"probe-order-hash", "grace+sort", "claussen-ophj"} {
+		if !variants[want] {
+			t.Errorf("missing variant %q; have %v", want, variants)
+		}
+	}
+}
+
+// TestAblationUnorderedRows: the unordered family runs both the ordered and
+// unordered variants of every unnested Q1 plan.
+func TestAblationUnorderedRows(t *testing.T) {
+	rs, err := AblationUnordered([]int{40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) < 4 {
+		t.Fatalf("got %d rows, want at least ordered+unordered pairs", len(rs))
+	}
+	unordered := 0
+	for _, r := range rs {
+		if r.Variant == "nested" {
+			t.Errorf("nested must be excluded from the unordered ablation")
+		}
+		if strings.HasPrefix(r.Variant, "unordered ") {
+			unordered++
+		}
+	}
+	if unordered == 0 {
+		t.Errorf("no unordered variants measured: %+v", rs)
+	}
+}
+
+// TestAblationPrintIncludesNewFamilies: the printer renders the new rows.
+func TestAblationPrintIncludesNewFamilies(t *testing.T) {
+	rs := AblationGraceJoin([]int{40})
+	rs2, err := AblationUnordered([]int{40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	PrintAblations(&sb, append(rs, rs2...))
+	out := sb.String()
+	for _, want := range []string{"order-preserving-join", "claussen-ophj", "unordered-family"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printout missing %q:\n%s", want, out)
+		}
+	}
+}

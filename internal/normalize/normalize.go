@@ -1,0 +1,463 @@
+// Package normalize implements the source-level normalization step of
+// Sec. 3 of the paper. It rewrites an XQuery AST so that the translation of
+// Sec. 3 produces algebra expressions matching the left-hand sides of the
+// unnesting equivalences:
+//
+//  1. range expressions of quantifiers are embedded into new FLWR
+//     expressions,
+//  2. complex expressions are broken up with new let-bound variables,
+//  3. single-use let-bound nested queries are fused into the aggregates that
+//     consume them,
+//  4. predicates of XPath expressions are moved into where clauses.
+//
+// All rewrites preserve the query semantics; they only expose structure.
+package normalize
+
+import (
+	"fmt"
+
+	"nalquery/internal/schema"
+	"nalquery/internal/xquery"
+)
+
+// Normalizer rewrites queries. It hands out globally fresh variable names.
+type Normalizer struct {
+	used map[string]bool
+	next int
+	// docVars tracks let variables bound to doc()/document() calls, so that
+	// nested query blocks can receive their own local document bindings.
+	docVars map[string]xquery.Call
+	// cat supplies the DTD facts the soundness-restricted rewrites need
+	// (e.g. narrowing a universal quantifier's range variable to an
+	// attribute requires the attribute to be #REQUIRED). May be nil.
+	cat *schema.Catalog
+}
+
+// New creates a Normalizer.
+func New() *Normalizer {
+	return &Normalizer{used: map[string]bool{}, docVars: map[string]xquery.Call{}}
+}
+
+// Normalize rewrites a parsed query without DTD facts; fact-dependent
+// rewrites are skipped where they would be unsound.
+func Normalize(e xquery.Expr) xquery.Expr {
+	return NormalizeWithCatalog(e, nil)
+}
+
+// NormalizeWithCatalog rewrites a parsed query using DTD facts to justify
+// the fact-dependent rewrites of Sec. 5.5.
+func NormalizeWithCatalog(e xquery.Expr, cat *schema.Catalog) xquery.Expr {
+	n := New()
+	n.cat = cat
+	collectVars(e, n.used)
+	return n.expr(e)
+}
+
+func (n *Normalizer) fresh(hint string) string {
+	for {
+		n.next++
+		name := fmt.Sprintf("%s_%d", hint, n.next)
+		if !n.used[name] {
+			n.used[name] = true
+			return name
+		}
+	}
+}
+
+func collectVars(e xquery.Expr, dst map[string]bool) {
+	switch w := e.(type) {
+	case xquery.FLWR:
+		for _, c := range w.Clauses {
+			switch cl := c.(type) {
+			case xquery.ForClause:
+				for _, b := range cl.Bindings {
+					dst[b.Var] = true
+					if b.Pos != "" {
+						dst[b.Pos] = true
+					}
+					collectVars(b.E, dst)
+				}
+			case xquery.LetClause:
+				for _, b := range cl.Bindings {
+					dst[b.Var] = true
+					collectVars(b.E, dst)
+				}
+			case xquery.WhereClause:
+				collectVars(cl.Cond, dst)
+			case xquery.OrderByClause:
+				for _, s := range cl.Specs {
+					collectVars(s.Key, dst)
+				}
+			}
+		}
+		collectVars(w.Return, dst)
+	case xquery.Quant:
+		dst[w.Var] = true
+		collectVars(w.Range, dst)
+		collectVars(w.Sat, dst)
+	case xquery.Path:
+		collectVars(w.Base, dst)
+		for _, s := range w.Steps {
+			if s.Pred != nil {
+				collectVars(s.Pred, dst)
+			}
+		}
+	case xquery.Call:
+		for _, a := range w.Args {
+			collectVars(a, dst)
+		}
+	case xquery.Cmp:
+		collectVars(w.L, dst)
+		collectVars(w.R, dst)
+	case xquery.Cond:
+		collectVars(w.If, dst)
+		collectVars(w.Then, dst)
+		collectVars(w.Else, dst)
+	case xquery.Arith:
+		collectVars(w.L, dst)
+		collectVars(w.R, dst)
+	case xquery.And:
+		collectVars(w.L, dst)
+		collectVars(w.R, dst)
+	case xquery.Or:
+		collectVars(w.L, dst)
+		collectVars(w.R, dst)
+	case xquery.ElemCtor:
+		for _, a := range w.Attrs {
+			for _, c := range a.Content {
+				if !c.IsLit {
+					collectVars(c.E, dst)
+				}
+			}
+		}
+		for _, c := range w.Content {
+			if !c.IsLit {
+				collectVars(c.E, dst)
+			}
+		}
+	}
+}
+
+// aggFns are the item-sequence functions whose FLWR arguments the normalizer
+// keeps fused for translation into f(σ...(e)) form.
+var aggFns = map[string]bool{
+	"count": true, "min": true, "max": true, "sum": true, "avg": true,
+}
+
+func (n *Normalizer) expr(e xquery.Expr) xquery.Expr {
+	switch w := e.(type) {
+	case xquery.FLWR:
+		return n.flwr(w)
+	case xquery.Quant:
+		return n.quant(w)
+	case xquery.Cmp:
+		return xquery.Cmp{L: n.expr(w.L), R: n.expr(w.R), Op: w.Op}
+	case xquery.Cond:
+		return xquery.Cond{If: n.expr(w.If), Then: n.expr(w.Then), Else: n.expr(w.Else)}
+	case xquery.Arith:
+		return xquery.Arith{L: n.expr(w.L), R: n.expr(w.R), Op: w.Op}
+	case xquery.And:
+		return xquery.And{L: n.expr(w.L), R: n.expr(w.R)}
+	case xquery.Or:
+		return xquery.Or{L: n.expr(w.L), R: n.expr(w.R)}
+	case xquery.Call:
+		args := make([]xquery.Expr, len(w.Args))
+		for i, a := range w.Args {
+			args[i] = n.expr(a)
+		}
+		return xquery.Call{Fn: w.Fn, Args: args}
+	case xquery.Path:
+		return n.path(w)
+	default:
+		return e
+	}
+}
+
+// path normalizes the base of a path; step predicates are handled where the
+// path is bound (for clauses) or used (pathToFLWR).
+func (n *Normalizer) path(p xquery.Path) xquery.Path {
+	out := xquery.Path{Base: n.expr(p.Base)}
+	for _, s := range p.Steps {
+		if s.Pred != nil {
+			s.Pred = n.expr(s.Pred)
+		}
+		out.Steps = append(out.Steps, s)
+	}
+	return out
+}
+
+// hasPred reports whether any step of the path carries a predicate.
+func hasPred(p xquery.Path) bool {
+	for _, s := range p.Steps {
+		if s.Pred != nil && !isPositionalPred(s.Pred) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPositionalPred recognizes the positional path predicates [n] and
+// [last()]. They select by position, not by value, so the Sec. 3 rewrite
+// that moves predicates into where clauses must not touch them: the path
+// layer evaluates them directly.
+func isPositionalPred(e xquery.Expr) bool {
+	switch w := e.(type) {
+	case xquery.NumLit:
+		return w.V >= 1 && w.V == float64(int(w.V))
+	case xquery.Call:
+		return w.Fn == "last" && len(w.Args) == 0
+	}
+	return false
+}
+
+// pathToFLWR embeds a path with predicates into a new FLWR expression:
+// base[pred]/rest becomes
+//
+//	for $f in base (lets for pred paths) where pred' for/return over $f/rest.
+func (n *Normalizer) pathToFLWR(p xquery.Path) xquery.FLWR {
+	// Find the first step with a value predicate (positional predicates
+	// stay in the path).
+	k := -1
+	for i, s := range p.Steps {
+		if s.Pred != nil && !isPositionalPred(s.Pred) {
+			k = i
+			break
+		}
+	}
+	f := n.fresh("b")
+	base := xquery.Path{Base: p.Base, Steps: append([]xquery.Step{}, p.Steps[:k+1]...)}
+	pred := base.Steps[k].Pred
+	base.Steps[k].Pred = nil
+
+	var clauses []xquery.Clause
+	clauses = append(clauses, xquery.ForClause{Bindings: []xquery.Binding{{Var: f, E: base}}})
+
+	// Hoist context-relative paths of the predicate into lets and rewrite
+	// the predicate to reference the new variables.
+	pred = substContext(pred, xquery.VarRef{Name: f})
+	var lets []xquery.Binding
+	pred = n.hoistPredPaths(pred, f, &lets)
+	if len(lets) > 0 {
+		clauses = append(clauses, xquery.LetClause{Bindings: lets})
+	}
+	clauses = append(clauses, xquery.WhereClause{Cond: pred})
+
+	rest := p.Steps[k+1:]
+	var ret xquery.Expr = xquery.VarRef{Name: f}
+	if len(rest) > 0 {
+		rv := n.fresh("p")
+		restPath := xquery.Path{Base: xquery.VarRef{Name: f}, Steps: append([]xquery.Step{}, rest...)}
+		if hasPred(restPath) {
+			inner := n.pathToFLWR(restPath)
+			clauses = append(clauses, xquery.ForClause{Bindings: []xquery.Binding{{Var: rv, E: inner}}})
+		} else {
+			clauses = append(clauses, xquery.ForClause{Bindings: []xquery.Binding{{Var: rv, E: restPath}}})
+		}
+		ret = xquery.VarRef{Name: rv}
+	}
+	return xquery.FLWR{Clauses: clauses, Return: ret}
+}
+
+// hoistPredPaths replaces every path rooted at the context variable inside a
+// predicate by a fresh let-bound variable ("we break up complex expressions
+// and introduce new variables for subexpressions").
+func (n *Normalizer) hoistPredPaths(e xquery.Expr, ctxVar string, lets *[]xquery.Binding) xquery.Expr {
+	switch w := e.(type) {
+	case xquery.Path:
+		if v, ok := w.Base.(xquery.VarRef); ok && v.Name == ctxVar && !hasPred(w) {
+			hint := "w"
+			if len(w.Steps) > 0 {
+				hint = w.Steps[len(w.Steps)-1].Name
+			}
+			nv := n.fresh(hint)
+			*lets = append(*lets, xquery.Binding{Var: nv, E: w})
+			return xquery.VarRef{Name: nv}
+		}
+		return w
+	case xquery.Cmp:
+		return xquery.Cmp{L: n.hoistPredPaths(w.L, ctxVar, lets), R: n.hoistPredPaths(w.R, ctxVar, lets), Op: w.Op}
+	case xquery.Cond:
+		return xquery.Cond{
+			If:   n.hoistPredPaths(w.If, ctxVar, lets),
+			Then: n.hoistPredPaths(w.Then, ctxVar, lets),
+			Else: n.hoistPredPaths(w.Else, ctxVar, lets),
+		}
+	case xquery.Arith:
+		return xquery.Arith{L: n.hoistPredPaths(w.L, ctxVar, lets), R: n.hoistPredPaths(w.R, ctxVar, lets), Op: w.Op}
+	case xquery.And:
+		return xquery.And{L: n.hoistPredPaths(w.L, ctxVar, lets), R: n.hoistPredPaths(w.R, ctxVar, lets)}
+	case xquery.Or:
+		return xquery.Or{L: n.hoistPredPaths(w.L, ctxVar, lets), R: n.hoistPredPaths(w.R, ctxVar, lets)}
+	case xquery.Call:
+		args := make([]xquery.Expr, len(w.Args))
+		for i, a := range w.Args {
+			args[i] = n.hoistPredPaths(a, ctxVar, lets)
+		}
+		return xquery.Call{Fn: w.Fn, Args: args}
+	default:
+		return e
+	}
+}
+
+// substContext replaces the implicit context item of a predicate by the
+// given expression.
+func substContext(e xquery.Expr, to xquery.Expr) xquery.Expr {
+	switch w := e.(type) {
+	case xquery.ContextRef:
+		return to
+	case xquery.Path:
+		if _, ok := w.Base.(xquery.ContextRef); ok {
+			return xquery.Path{Base: to, Steps: w.Steps}
+		}
+		return w
+	case xquery.Cmp:
+		return xquery.Cmp{L: substContext(w.L, to), R: substContext(w.R, to), Op: w.Op}
+	case xquery.Cond:
+		return xquery.Cond{If: substContext(w.If, to), Then: substContext(w.Then, to), Else: substContext(w.Else, to)}
+	case xquery.Arith:
+		return xquery.Arith{L: substContext(w.L, to), R: substContext(w.R, to), Op: w.Op}
+	case xquery.And:
+		return xquery.And{L: substContext(w.L, to), R: substContext(w.R, to)}
+	case xquery.Or:
+		return xquery.Or{L: substContext(w.L, to), R: substContext(w.R, to)}
+	case xquery.Call:
+		args := make([]xquery.Expr, len(w.Args))
+		for i, a := range w.Args {
+			args[i] = substContext(a, to)
+		}
+		return xquery.Call{Fn: w.Fn, Args: args}
+	default:
+		return e
+	}
+}
+
+// subst replaces free occurrences of $from by the expression to.
+func subst(e xquery.Expr, from string, to xquery.Expr) xquery.Expr {
+	switch w := e.(type) {
+	case xquery.VarRef:
+		if w.Name == from {
+			return to
+		}
+		return w
+	case xquery.Path:
+		return xquery.Path{Base: subst(w.Base, from, to), Steps: w.Steps}
+	case xquery.Cmp:
+		return xquery.Cmp{L: subst(w.L, from, to), R: subst(w.R, from, to), Op: w.Op}
+	case xquery.Cond:
+		return xquery.Cond{If: subst(w.If, from, to), Then: subst(w.Then, from, to), Else: subst(w.Else, from, to)}
+	case xquery.Arith:
+		return xquery.Arith{L: subst(w.L, from, to), R: subst(w.R, from, to), Op: w.Op}
+	case xquery.And:
+		return xquery.And{L: subst(w.L, from, to), R: subst(w.R, from, to)}
+	case xquery.Or:
+		return xquery.Or{L: subst(w.L, from, to), R: subst(w.R, from, to)}
+	case xquery.Call:
+		args := make([]xquery.Expr, len(w.Args))
+		for i, a := range w.Args {
+			args[i] = subst(a, from, to)
+		}
+		return xquery.Call{Fn: w.Fn, Args: args}
+	case xquery.Quant:
+		if w.Var == from {
+			return w
+		}
+		return xquery.Quant{Every: w.Every, Var: w.Var, Range: subst(w.Range, from, to), Sat: subst(w.Sat, from, to)}
+	default:
+		return e
+	}
+}
+
+// references reports whether $name occurs free in e.
+func references(e xquery.Expr, name string) bool {
+	vars := map[string]bool{}
+	collectFreeVars(e, vars, map[string]bool{})
+	return vars[name]
+}
+
+func collectFreeVars(e xquery.Expr, dst, bound map[string]bool) {
+	switch w := e.(type) {
+	case xquery.VarRef:
+		if !bound[w.Name] {
+			dst[w.Name] = true
+		}
+	case xquery.Path:
+		collectFreeVars(w.Base, dst, bound)
+		for _, s := range w.Steps {
+			if s.Pred != nil {
+				collectFreeVars(s.Pred, dst, bound)
+			}
+		}
+	case xquery.Cmp:
+		collectFreeVars(w.L, dst, bound)
+		collectFreeVars(w.R, dst, bound)
+	case xquery.Cond:
+		collectFreeVars(w.If, dst, bound)
+		collectFreeVars(w.Then, dst, bound)
+		collectFreeVars(w.Else, dst, bound)
+	case xquery.Arith:
+		collectFreeVars(w.L, dst, bound)
+		collectFreeVars(w.R, dst, bound)
+	case xquery.And:
+		collectFreeVars(w.L, dst, bound)
+		collectFreeVars(w.R, dst, bound)
+	case xquery.Or:
+		collectFreeVars(w.L, dst, bound)
+		collectFreeVars(w.R, dst, bound)
+	case xquery.Call:
+		for _, a := range w.Args {
+			collectFreeVars(a, dst, bound)
+		}
+	case xquery.Quant:
+		collectFreeVars(w.Range, dst, bound)
+		b2 := copyBound(bound)
+		b2[w.Var] = true
+		collectFreeVars(w.Sat, dst, b2)
+	case xquery.FLWR:
+		b2 := copyBound(bound)
+		for _, c := range w.Clauses {
+			switch cl := c.(type) {
+			case xquery.ForClause:
+				for _, b := range cl.Bindings {
+					collectFreeVars(b.E, dst, b2)
+					b2[b.Var] = true
+					if b.Pos != "" {
+						b2[b.Pos] = true
+					}
+				}
+			case xquery.LetClause:
+				for _, b := range cl.Bindings {
+					collectFreeVars(b.E, dst, b2)
+					b2[b.Var] = true
+				}
+			case xquery.WhereClause:
+				collectFreeVars(cl.Cond, dst, b2)
+			case xquery.OrderByClause:
+				for _, s := range cl.Specs {
+					collectFreeVars(s.Key, dst, b2)
+				}
+			}
+		}
+		collectFreeVars(w.Return, dst, b2)
+	case xquery.ElemCtor:
+		for _, a := range w.Attrs {
+			for _, c := range a.Content {
+				if !c.IsLit {
+					collectFreeVars(c.E, dst, bound)
+				}
+			}
+		}
+		for _, c := range w.Content {
+			if !c.IsLit {
+				collectFreeVars(c.E, dst, bound)
+			}
+		}
+	}
+}
+
+func copyBound(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

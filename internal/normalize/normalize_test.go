@@ -1,0 +1,329 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+
+	"nalquery/internal/schema"
+	"nalquery/internal/xquery"
+)
+
+func norm(t *testing.T, src string) xquery.FLWR {
+	t.Helper()
+	ast, err := xquery.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out := NormalizeWithCatalog(ast, schema.UseCases())
+	f, ok := out.(xquery.FLWR)
+	if !ok {
+		t.Fatalf("normalized form is %T", out)
+	}
+	return f
+}
+
+// clauseKinds summarizes the clause sequence as a string like "for,let,where".
+func clauseKinds(f xquery.FLWR) string {
+	var parts []string
+	for _, c := range f.Clauses {
+		switch c.(type) {
+		case xquery.ForClause:
+			parts = append(parts, "for")
+		case xquery.LetClause:
+			parts = append(parts, "let")
+		case xquery.WhereClause:
+			parts = append(parts, "where")
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func TestPredicateMovesToWhere(t *testing.T) {
+	f := norm(t, `let $d := doc("bib.xml") for $b in $d//book[author = $x] return $b`)
+	if !strings.Contains(clauseKinds(f), "where") {
+		t.Fatalf("path predicate must move to where: %s (%s)", clauseKinds(f), f)
+	}
+	// No residual predicates in any path.
+	if strings.Contains(f.String(), "[") {
+		t.Fatalf("residual predicate: %s", f)
+	}
+}
+
+func TestPredicateSplitKeepsTrailingSteps(t *testing.T) {
+	f := norm(t, `let $d := doc("p.xml") for $p in $d//book[title = $t]/price return $p`)
+	s := f.String()
+	if !strings.Contains(s, "/price") {
+		t.Fatalf("trailing step lost: %s", s)
+	}
+	if !strings.Contains(s, "/title") {
+		t.Fatalf("predicate path must be hoisted into a let: %s", s)
+	}
+	if rv, ok := f.Return.(xquery.VarRef); !ok || rv.Name != "p" {
+		t.Fatalf("return variable: %s", f.Return)
+	}
+}
+
+func TestNestedFLWRMovesToLet(t *testing.T) {
+	f := norm(t, `
+let $d1 := doc("bib.xml")
+for $a in distinct-values($d1//author)
+return <author>{ for $b in $d1//book return $b/title }</author>`)
+	// The constructor content must be a variable reference now.
+	ctor := f.Return.(xquery.ElemCtor)
+	if _, ok := ctor.Content[0].E.(xquery.VarRef); !ok {
+		t.Fatalf("nested FLWR must move to a let: %s", f)
+	}
+	if !strings.Contains(clauseKinds(f), "let") {
+		t.Fatalf("missing let clause: %s", clauseKinds(f))
+	}
+}
+
+func TestNestedQueryReturnsVariable(t *testing.T) {
+	f := norm(t, `
+let $d1 := doc("bib.xml")
+for $a in distinct-values($d1//author)
+return <a>{ for $b in $d1//book return $b/title }</a>`)
+	// Find the let-bound nested FLWR and check its return clause.
+	for _, c := range f.Clauses {
+		let, ok := c.(xquery.LetClause)
+		if !ok {
+			continue
+		}
+		for _, b := range let.Bindings {
+			if inner, ok := b.E.(xquery.FLWR); ok {
+				if _, isVar := inner.Return.(xquery.VarRef); !isVar {
+					t.Fatalf("nested return must be a variable: %s", inner.Return)
+				}
+			}
+		}
+	}
+}
+
+func TestDocVarLocalization(t *testing.T) {
+	f := norm(t, `
+let $d1 := doc("bib.xml")
+for $a in distinct-values($d1//author)
+return <a>{ for $b in $d1//book return $b/title }</a>`)
+	// The nested block must contain its own doc("bib.xml") binding.
+	found := false
+	for _, c := range f.Clauses {
+		let, ok := c.(xquery.LetClause)
+		if !ok {
+			continue
+		}
+		for _, b := range let.Bindings {
+			if inner, ok := b.E.(xquery.FLWR); ok {
+				if strings.Contains(inner.String(), `doc("bib.xml")`) {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("nested block lacks local doc() binding: %s", f)
+	}
+}
+
+func TestAggregateHoistedFromWhere(t *testing.T) {
+	f := norm(t, `
+let $d := doc("bids.xml")
+for $i in distinct-values($d//itemno)
+where count($d//bidtuple[itemno = $i]) >= 3
+return $i`)
+	kinds := clauseKinds(f)
+	if !strings.Contains(kinds, "let,where") {
+		t.Fatalf("aggregate must be hoisted into a let before the where: %s\n%s", kinds, f)
+	}
+	// The where condition compares a variable now.
+	var wc xquery.WhereClause
+	for _, c := range f.Clauses {
+		if w, ok := c.(xquery.WhereClause); ok {
+			wc = w
+		}
+	}
+	cmp, ok := wc.Cond.(xquery.Cmp)
+	if !ok {
+		t.Fatalf("where: %s", wc.Cond)
+	}
+	if _, ok := cmp.L.(xquery.VarRef); !ok {
+		t.Fatalf("where left side must be the hoisted variable: %s", cmp.L)
+	}
+}
+
+func TestExistsBecomesQuantifier(t *testing.T) {
+	f := norm(t, `
+let $d := doc("bib.xml")
+for $b in $d//book
+where exists(for $r in $d//review return $r)
+return $b`)
+	var q xquery.Quant
+	for _, c := range f.Clauses {
+		if w, ok := c.(xquery.WhereClause); ok {
+			q, _ = w.Cond.(xquery.Quant)
+		}
+	}
+	if q.Var == "" || q.Every {
+		t.Fatalf("exists must become a some quantifier: %s", f)
+	}
+}
+
+func TestEmptyBecomesUniversal(t *testing.T) {
+	f := norm(t, `
+let $d := doc("bib.xml")
+for $b in $d//book
+where empty(for $r in $d//review return $r)
+return $b`)
+	var q xquery.Quant
+	for _, c := range f.Clauses {
+		if w, ok := c.(xquery.WhereClause); ok {
+			q, _ = w.Cond.(xquery.Quant)
+		}
+	}
+	if !q.Every {
+		t.Fatalf("empty must become an every quantifier with false(): %s", f)
+	}
+	if call, ok := q.Sat.(xquery.Call); !ok || call.Fn != "false" {
+		t.Fatalf("empty satisfies must be false(): %s", q.Sat)
+	}
+}
+
+func TestQuantifierRangeEmbedded(t *testing.T) {
+	f := norm(t, `
+let $d := doc("bib.xml")
+for $t in $d//book/title
+where some $t2 in doc("reviews.xml")//entry/title satisfies $t = $t2
+return $t`)
+	var q xquery.Quant
+	for _, c := range f.Clauses {
+		if w, ok := c.(xquery.WhereClause); ok {
+			q, _ = w.Cond.(xquery.Quant)
+		}
+	}
+	rng, ok := q.Range.(xquery.FLWR)
+	if !ok {
+		t.Fatalf("range must be embedded in a FLWR: %T", q.Range)
+	}
+	if _, ok := rng.Return.(xquery.VarRef); !ok {
+		t.Fatalf("range must return a variable: %s", rng.Return)
+	}
+	// The correlation predicate moved into the range for the existential.
+	if !strings.Contains(rng.String(), "where") {
+		t.Fatalf("correlation must move into range: %s", rng)
+	}
+	if call, ok := q.Sat.(xquery.Call); !ok || call.Fn != "true" {
+		t.Fatalf("satisfies must become true(): %s", q.Sat)
+	}
+}
+
+func TestUniversalKeepsSatisfies(t *testing.T) {
+	// For every, non-correlating satisfies conjuncts must NOT move into the
+	// range (that would change semantics).
+	f := norm(t, `
+let $d := doc("bib.xml")
+for $a in distinct-values($d//author)
+where every $b in doc("bib.xml")//book[author = $a] satisfies $b/@year > 1993
+return $a`)
+	var q xquery.Quant
+	for _, c := range f.Clauses {
+		if w, ok := c.(xquery.WhereClause); ok {
+			q, _ = w.Cond.(xquery.Quant)
+		}
+	}
+	if !q.Every {
+		t.Fatalf("must stay universal")
+	}
+	// After narrowing the satisfies references the quantifier variable.
+	if !strings.Contains(q.Sat.String(), "$"+q.Var) {
+		t.Fatalf("satisfies must reference the quantifier variable: %s", q.Sat)
+	}
+	if !strings.Contains(q.Sat.String(), "> 1993") {
+		t.Fatalf("year predicate must remain in satisfies: %s", q.Sat)
+	}
+	// The range was narrowed to the year attribute.
+	rng := q.Range.(xquery.FLWR)
+	if !strings.Contains(rng.String(), "@year") {
+		t.Fatalf("range must bind the year attribute: %s", rng)
+	}
+}
+
+func TestLetPathBecomesForInQuantifierRange(t *testing.T) {
+	f := norm(t, `
+let $d := doc("bib.xml")
+for $a in distinct-values($d//author)
+where every $b in doc("bib.xml")//book[author = $a] satisfies $b/@year > 1993
+return $a`)
+	var q xquery.Quant
+	for _, c := range f.Clauses {
+		if w, ok := c.(xquery.WhereClause); ok {
+			q, _ = w.Cond.(xquery.Quant)
+		}
+	}
+	rng := q.Range.(xquery.FLWR)
+	// The hoisted author path must be a for binding ("we unnest the authors
+	// of the correlation predicate").
+	forCount := 0
+	for _, c := range rng.Clauses {
+		if _, ok := c.(xquery.ForClause); ok {
+			forCount++
+		}
+	}
+	if forCount < 2 {
+		t.Fatalf("author path must be unnested into a for: %s", rng)
+	}
+}
+
+func TestAggLetFusion(t *testing.T) {
+	f := norm(t, `
+let $d1 := doc("prices.xml")
+for $t1 in distinct-values($d1//book/title)
+let $p1 := (let $d2 := doc("prices.xml")
+            for $b2 in $d2//book
+            return $b2/price)
+return <m>{ min($p1) }</m>`)
+	s := f.String()
+	// $p1 must be fused away: min applied directly to the FLWR.
+	if strings.Contains(s, "$p1") {
+		t.Fatalf("single-use let must fuse into the aggregate: %s", s)
+	}
+	if !strings.Contains(s, "min(") {
+		t.Fatalf("aggregate lost: %s", s)
+	}
+}
+
+func TestFreshVariablesDoNotCollide(t *testing.T) {
+	// Variables like b_1 pre-existing in the query must not collide with
+	// generated names.
+	f := norm(t, `
+let $b_1 := doc("bib.xml")
+for $b in $b_1//book[title = $x]
+return $b`)
+	s := f.String()
+	if strings.Count(s, "$b_1 :=") > 1 {
+		t.Fatalf("fresh variable collision: %s", s)
+	}
+}
+
+func TestIdempotence(t *testing.T) {
+	src := `
+let $d1 := doc("bib.xml")
+for $a1 in distinct-values($d1//author)
+return
+  <author><name>{ $a1 }</name>
+  { let $d2 := doc("bib.xml")
+    for $b2 in $d2//book[$a1 = author]
+    return $b2/title }
+  </author>`
+	f1 := norm(t, src)
+	ast2, err := xquery.ParseQuery(f1.String())
+	if err != nil {
+		t.Fatalf("re-parse normalized: %v\n%s", err, f1)
+	}
+	f2 := NormalizeWithCatalog(ast2, schema.UseCases())
+	// Normalizing a normalized query must not change its structure (modulo
+	// fresh variable numbering): same clause kinds.
+	k1 := clauseKinds(f1)
+	k2 := clauseKinds(f2.(xquery.FLWR))
+	if k1 != k2 {
+		t.Fatalf("normalization not idempotent: %s vs %s", k1, k2)
+	}
+}

@@ -1,0 +1,88 @@
+package normalize
+
+import (
+	"testing"
+
+	"nalquery/internal/xquery"
+)
+
+// Tests for the conjunctive-where splitting that keeps quantifier
+// conjuncts matchable by Eqvs. 6/7.
+
+func whereClauses(t *testing.T, q string) []xquery.WhereClause {
+	t.Helper()
+	ast, err := xquery.ParseQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := Normalize(ast).(xquery.FLWR)
+	if !ok {
+		t.Fatalf("normalized top is not FLWR")
+	}
+	var out []xquery.WhereClause
+	for _, c := range f.Clauses {
+		if w, ok := c.(xquery.WhereClause); ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// TestWhereSplitQuantifierConjunction: a quantifier ∧ plain-predicate where
+// splits into two clauses, plain first.
+func TestWhereSplitQuantifierConjunction(t *testing.T) {
+	ws := whereClauses(t, `
+let $d := doc("bib.xml")
+for $t in $d//book/title
+where (some $x in $d//entry/title satisfies $t = $x) and starts-with(string($t), "A")
+return $t`)
+	if len(ws) != 2 {
+		t.Fatalf("got %d where clauses, want 2 (split)", len(ws))
+	}
+	if _, isQuant := ws[0].Cond.(xquery.Quant); isQuant {
+		t.Errorf("plain conjunct must come first; first clause is %T", ws[0].Cond)
+	}
+	if _, isQuant := ws[1].Cond.(xquery.Quant); !isQuant {
+		t.Errorf("quantifier conjunct must come last; last clause is %T", ws[1].Cond)
+	}
+}
+
+// TestWhereNoSplitWithoutQuantifier: plain conjunctions stay in one clause
+// (the Sec. 2 pass handles sinking them).
+func TestWhereNoSplitWithoutQuantifier(t *testing.T) {
+	ws := whereClauses(t, `
+let $d := doc("bib.xml")
+for $b in $d//book
+where $b/@year > 1990 and starts-with(string($b/title), "A")
+return $b`)
+	if len(ws) != 1 {
+		t.Fatalf("got %d where clauses, want 1 (no quantifier, no split)", len(ws))
+	}
+}
+
+// TestWhereSplitThreeConjuncts: several plain conjuncts each become their
+// own clause when a quantifier forces the split.
+func TestWhereSplitThreeConjuncts(t *testing.T) {
+	ws := whereClauses(t, `
+let $d := doc("bib.xml")
+for $t in $d//book/title
+where string-length(string($t)) > 2
+  and (every $x in $d//entry/title satisfies $t = $x)
+  and starts-with(string($t), "A")
+return $t`)
+	if len(ws) != 3 {
+		t.Fatalf("got %d where clauses, want 3", len(ws))
+	}
+	quants := 0
+	for _, w := range ws {
+		if _, ok := w.Cond.(xquery.Quant); ok {
+			quants++
+		}
+	}
+	if quants != 1 {
+		t.Errorf("got %d quantifier clauses, want 1", quants)
+	}
+	if _, ok := ws[len(ws)-1].Cond.(xquery.Quant); !ok {
+		t.Errorf("quantifier clause must be last")
+	}
+}

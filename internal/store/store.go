@@ -1,0 +1,216 @@
+// Package store implements binary persistence for documents — the stand-in
+// for the paper's Natix store. Documents serialize into a compact pre-order
+// record format that loads without re-parsing XML; document-order ranks are
+// rebuilt on load.
+//
+// Format (all integers unsigned varints, strings length-prefixed):
+//
+//	magic "NALB1\n"
+//	uri
+//	node := kind name data nattrs attrs... nchildren children...
+//
+// The format is versioned through the magic; Load rejects unknown versions.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"nalquery/internal/dom"
+)
+
+const magic = "NALB1\n"
+
+// maxString guards against corrupt length prefixes.
+const maxString = 1 << 28
+
+// Save writes a document in binary form.
+func Save(w io.Writer, d *dom.Document) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	enc := encoder{w: bw}
+	enc.str(d.URI)
+	enc.node(d.Root)
+	if enc.err != nil {
+		return enc.err
+	}
+	return bw.Flush()
+}
+
+// Load reads a document written by Save and rebuilds document order.
+func Load(r io.Reader) (*dom.Document, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("store: bad magic %q (not a nalquery binary document)", head)
+	}
+	dec := decoder{r: br}
+	uri := dec.str()
+	b := dom.NewBuilder(uri)
+	// The root record must be a document node; its children recurse.
+	kind := dec.u64()
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	if dom.Kind(kind) != dom.KindDocument {
+		return nil, fmt.Errorf("store: root record has kind %d, want document", kind)
+	}
+	dec.str() // name (empty)
+	dec.str() // data (empty)
+	nattrs := dec.u64()
+	if nattrs != 0 {
+		return nil, fmt.Errorf("store: document node with attributes")
+	}
+	nchildren := dec.u64()
+	for i := uint64(0); i < nchildren && dec.err == nil; i++ {
+		dec.child(b)
+	}
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	return b.Done(), nil
+}
+
+// SaveFile persists a document to a file.
+func SaveFile(path string, d *dom.Document) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile loads a document from a file.
+func LoadFile(path string) (*dom.Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+type encoder struct {
+	w   *bufio.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (e *encoder) u64(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.u64(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+func (e *encoder) node(n *dom.Node) {
+	if e.err != nil {
+		return
+	}
+	e.u64(uint64(n.Kind))
+	e.str(n.Name)
+	e.str(n.Data)
+	e.u64(uint64(len(n.Attrs)))
+	for _, a := range n.Attrs {
+		e.str(a.Name)
+		e.str(a.Data)
+	}
+	e.u64(uint64(len(n.Children)))
+	for _, c := range n.Children {
+		e.node(c)
+	}
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = fmt.Errorf("store: %w", err)
+	}
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxString {
+		d.err = fmt.Errorf("store: string length %d exceeds limit", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.err = fmt.Errorf("store: %w", err)
+		return ""
+	}
+	return string(buf)
+}
+
+// child decodes one element or text record into the builder.
+func (d *decoder) child(b *dom.Builder) {
+	kind := dom.Kind(d.u64())
+	name := d.str()
+	data := d.str()
+	nattrs := d.u64()
+	if d.err != nil {
+		return
+	}
+	switch kind {
+	case dom.KindElement:
+		b.Begin(name)
+		for i := uint64(0); i < nattrs && d.err == nil; i++ {
+			an := d.str()
+			av := d.str()
+			if d.err == nil {
+				b.Attrib(an, av)
+			}
+		}
+		nchildren := d.u64()
+		for i := uint64(0); i < nchildren && d.err == nil; i++ {
+			d.child(b)
+		}
+		if d.err == nil {
+			b.End()
+		}
+	case dom.KindText:
+		if nattrs != 0 {
+			d.err = fmt.Errorf("store: text node with attributes")
+			return
+		}
+		if d.u64() != 0 { // children
+			d.err = fmt.Errorf("store: text node with children")
+			return
+		}
+		b.Text(data)
+	default:
+		d.err = fmt.Errorf("store: unexpected node kind %d", kind)
+	}
+}

@@ -1,0 +1,98 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randTupleSeq(rng *rand.Rand, n int) TupleSeq {
+	ts := make(TupleSeq, n)
+	for i := range ts {
+		t := Tuple{}
+		t["a"] = Int(int64(rng.Intn(4)))
+		switch rng.Intn(4) {
+		case 0:
+			t["b"] = Str("x")
+		case 1:
+			t["b"] = Float(float64(rng.Intn(3)))
+		case 2:
+			t["b"] = Seq{Int(1), Str("y")}
+		default:
+			t["b"] = Null{}
+		}
+		ts[i] = t
+	}
+	return ts
+}
+
+// TestDeepKeyAgreesWithDeepEqual: equal keys ⇔ DeepEqual values, across the
+// value kinds the engine produces.
+func TestDeepKeyAgreesWithDeepEqual(t *testing.T) {
+	vals := []Value{
+		nil, Null{}, Bool(true), Bool(false),
+		Int(3), Float(3), Float(3.5), Str("3"), Str("x"), Str(""),
+		Seq{Int(1), Int(2)}, Seq{Int(2), Int(1)}, Seq{},
+		TupleSeq{{"a": Int(1)}}, TupleSeq{{"a": Int(2)}},
+	}
+	for i, a := range vals {
+		for j, b := range vals {
+			keyEq := DeepKey(a) == DeepKey(b)
+			deepEq := DeepEqual(a, b)
+			if keyEq != deepEq {
+				t.Errorf("vals[%d]=%v vals[%d]=%v: DeepKey equal=%v, DeepEqual=%v",
+					i, a, j, b, keyEq, deepEq)
+			}
+		}
+	}
+}
+
+// TestDeepKeyNumericCanon: Int and Float of the same number share a key
+// (the comparison semantics of the engine).
+func TestDeepKeyNumericCanon(t *testing.T) {
+	if DeepKey(Int(7)) != DeepKey(Float(7)) {
+		t.Errorf("Int(7) and Float(7) must share a key")
+	}
+	if DeepKey(Int(7)) == DeepKey(Str("7")) {
+		t.Errorf("Int(7) and Str(\"7\") must not share a key (DeepEqual distinguishes them)")
+	}
+}
+
+// TestBagEqualPermutation: every permutation of a sequence is bag-equal to
+// it.
+func TestBagEqualPermutation(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ts := randTupleSeq(rng, rng.Intn(12))
+		perm := ts.Copy()
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		return TupleSeqEqualBag(ts, perm)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBagEqualMultiplicity: dropping or duplicating a tuple breaks bag
+// equality.
+func TestBagEqualMultiplicity(t *testing.T) {
+	ts := TupleSeq{{"a": Int(1)}, {"a": Int(1)}, {"a": Int(2)}}
+	if TupleSeqEqualBag(ts, ts[:2]) {
+		t.Errorf("different lengths must not be bag-equal")
+	}
+	other := TupleSeq{{"a": Int(1)}, {"a": Int(2)}, {"a": Int(2)}}
+	if TupleSeqEqualBag(ts, other) {
+		t.Errorf("different multiplicities must not be bag-equal")
+	}
+	if !TupleSeqEqualBag(ts, TupleSeq{{"a": Int(2)}, {"a": Int(1)}, {"a": Int(1)}}) {
+		t.Errorf("reordering must be bag-equal")
+	}
+}
+
+// TestBagEqualEmpty: empty sequences are bag-equal.
+func TestBagEqualEmpty(t *testing.T) {
+	if !TupleSeqEqualBag(nil, TupleSeq{}) {
+		t.Errorf("nil and empty must be bag-equal")
+	}
+}

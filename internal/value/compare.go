@@ -1,0 +1,320 @@
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CmpOp is a comparison operator θ ∈ {=, ≠, <, ≤, >, ≥} on atomic values.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String returns the XQuery spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "="
+	case CmpNe:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("cmp(%d)", uint8(op))
+	}
+}
+
+// Negate returns the complement operator (¬θ), used by Eqv. 7 where ∀ turns
+// into an anti-join with the negated predicate.
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case CmpEq:
+		return CmpNe
+	case CmpNe:
+		return CmpEq
+	case CmpLt:
+		return CmpGe
+	case CmpLe:
+		return CmpGt
+	case CmpGt:
+		return CmpLe
+	case CmpGe:
+		return CmpLt
+	}
+	return op
+}
+
+// Atomize converts a value into its sequence of atomic items: nodes become
+// their (untyped) string value, sequences atomize element-wise, Null yields
+// the empty sequence.
+func Atomize(v Value) Seq {
+	switch w := v.(type) {
+	case nil, Null:
+		return nil
+	case NodeVal:
+		return Seq{Str(w.Node.StringValue())}
+	case Seq:
+		var out Seq
+		for _, item := range w {
+			out = append(out, Atomize(item)...)
+		}
+		return out
+	case TupleSeq:
+		// A sequence-valued attribute created by e[a] or Γ atomizes to the
+		// atomized values of its tuples' attributes, in order.
+		var out Seq
+		for _, t := range w {
+			for _, a := range t.Attrs() {
+				out = append(out, Atomize(t[a])...)
+			}
+		}
+		return out
+	default:
+		return Seq{w}
+	}
+}
+
+// AtomizeSingle atomizes and returns the single atomic item, or nil when the
+// value atomizes to the empty sequence. Multi-item sequences return their
+// first item (the use-case queries only apply this to singletons).
+func AtomizeSingle(v Value) Value {
+	s := Atomize(v)
+	if len(s) == 0 {
+		return nil
+	}
+	return s[0]
+}
+
+type atom struct {
+	isNum bool
+	num   float64
+	str   string
+}
+
+func toAtom(v Value) (atom, bool) {
+	switch w := v.(type) {
+	case nil, Null:
+		return atom{}, false
+	case Bool:
+		if bool(w) {
+			return atom{isNum: true, num: 1, str: "true"}, true
+		}
+		return atom{isNum: true, num: 0, str: "false"}, true
+	case Int:
+		return atom{isNum: true, num: float64(w), str: w.String()}, true
+	case Float:
+		return atom{isNum: true, num: float64(w), str: w.String()}, true
+	case Str:
+		s := string(w)
+		if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil && strings.TrimSpace(s) != "" {
+			return atom{isNum: true, num: f, str: s}, true
+		}
+		return atom{str: s}, true
+	case NodeVal:
+		return toAtom(Str(w.Node.StringValue()))
+	default:
+		return atom{}, false
+	}
+}
+
+// CompareAtomic applies θ to two atomic (or node) values. Untyped values
+// compare numerically when both sides parse as numbers, else as strings.
+// It reports false when either side is absent (NULL/empty).
+func CompareAtomic(a, b Value, op CmpOp) bool {
+	x, okx := toAtom(a)
+	y, oky := toAtom(b)
+	if !okx || !oky {
+		return false
+	}
+	var c int
+	if x.isNum && y.isNum {
+		switch {
+		case x.num < y.num:
+			c = -1
+		case x.num > y.num:
+			c = 1
+		}
+	} else {
+		c = strings.Compare(x.str, y.str)
+	}
+	switch op {
+	case CmpEq:
+		return c == 0
+	case CmpNe:
+		return c != 0
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// GeneralCompare implements XQuery general comparison semantics: it holds if
+// some pair of atomized items from the two operands satisfies θ. This is the
+// "simple '=' has existential semantics" rule of Sec. 5.1.
+func GeneralCompare(a, b Value, op CmpOp) bool {
+	xs := Atomize(a)
+	ys := Atomize(b)
+	for _, x := range xs {
+		for _, y := range ys {
+			if CompareAtomic(x, y, op) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Member reports whether item a1 is a member of the atomized sequence bound
+// to v (the a1 ∈ a2 predicate of Eqvs. 4 and 5).
+func Member(a Value, v Value) bool {
+	return GeneralCompare(a, v, CmpEq)
+}
+
+// Key returns a canonical grouping/join key for a value under the comparison
+// semantics of CompareAtomic: numeric values of any lexical form coincide.
+// Empty/NULL values map to a distinguished key.
+func Key(v Value) string {
+	a := AtomizeSingle(v)
+	if a == nil {
+		return "\x00null"
+	}
+	at, ok := toAtom(a)
+	if !ok {
+		return "\x00null"
+	}
+	if at.isNum {
+		return "n:" + strconv.FormatFloat(at.num, 'g', -1, 64)
+	}
+	return "s:" + at.str
+}
+
+// EffectiveBool computes an effective boolean value: false for NULL, empty
+// sequences, false, 0 and ""; true otherwise. Node handles are true
+// (existence).
+func EffectiveBool(v Value) bool {
+	switch w := v.(type) {
+	case nil, Null:
+		return false
+	case Bool:
+		return bool(w)
+	case Int:
+		return w != 0
+	case Float:
+		return w != 0
+	case Str:
+		return w != ""
+	case NodeVal:
+		return true
+	case Seq:
+		return len(w) > 0
+	case TupleSeq:
+		return len(w) > 0
+	default:
+		return false
+	}
+}
+
+// DeepEqual compares two values structurally, with numeric cross-kind
+// equality (Int(3) equals Float(3)). Used by tests and by the property-based
+// equivalence checks.
+func DeepEqual(a, b Value) bool {
+	switch x := a.(type) {
+	case nil:
+		return b == nil
+	case Null:
+		_, ok := b.(Null)
+		return ok
+	case Seq:
+		y, ok := b.(Seq)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !DeepEqual(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case TupleSeq:
+		y, ok := b.(TupleSeq)
+		if !ok {
+			return false
+		}
+		return TupleSeqEqual(x, y)
+	case NodeVal:
+		y, ok := b.(NodeVal)
+		return ok && x.Node == y.Node
+	case Bool:
+		y, ok := b.(Bool)
+		return ok && x == y
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case Int:
+		switch y := b.(type) {
+		case Int:
+			return x == y
+		case Float:
+			return float64(x) == float64(y)
+		}
+		return false
+	case Float:
+		switch y := b.(type) {
+		case Int:
+			return float64(x) == float64(y)
+		case Float:
+			return x == y
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// TupleEqual compares two tuples attribute-wise with DeepEqual.
+func TupleEqual(a, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || !DeepEqual(v, w) {
+			return false
+		}
+	}
+	return true
+}
+
+// TupleSeqEqual compares two ordered tuple sequences.
+func TupleSeqEqual(a, b TupleSeq) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !TupleEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,293 @@
+// Package xpath implements the path-expression subset the paper's queries
+// use: child steps (/), descendant-or-self steps (//) and attribute steps
+// (@name), with name tests. Evaluation returns nodes in document order
+// without duplicates.
+//
+// Trailing predicates like book[author = $a1] are handled at the XQuery AST
+// level: the normalizer of Sec. 3 moves them into where clauses before
+// translation, so the algebra only ever sees plain axis paths. The paper
+// declares optimized XPath translation orthogonal (Sec. 2), and so do we.
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nalquery/internal/dom"
+	"nalquery/internal/value"
+)
+
+// Axis selects the node set relative to a context node.
+type Axis uint8
+
+// Axes.
+const (
+	AxisChild Axis = iota
+	AxisDescendant
+	AxisAttribute
+)
+
+// String returns the XPath spelling of the axis.
+func (a Axis) String() string {
+	switch a {
+	case AxisChild:
+		return "child"
+	case AxisDescendant:
+		return "descendant"
+	case AxisAttribute:
+		return "attribute"
+	default:
+		return fmt.Sprintf("axis(%d)", uint8(a))
+	}
+}
+
+// PosLast selects the last node of each context node's step result
+// (spelled [last()]).
+const PosLast = -1
+
+// Step is a single location step: an axis plus a name test. The empty name
+// (spelled "*") matches every element or attribute. Pos, when non-zero,
+// applies a positional predicate to the step: Pos = n keeps the n-th node
+// (1-based) of the nodes the step selects from each context node, PosLast
+// keeps the last one. Per XPath, the predicate applies within each context
+// node's result list, not to the concatenated sequence.
+type Step struct {
+	Axis Axis
+	Name string
+	Pos  int
+}
+
+// Path is a relative path: a sequence of steps applied to a context
+// sequence.
+type Path struct {
+	Steps []Step
+}
+
+// String renders the path in XPath syntax (descendant steps as //).
+func (p Path) String() string {
+	var sb strings.Builder
+	for i, s := range p.Steps {
+		switch s.Axis {
+		case AxisDescendant:
+			sb.WriteString("//")
+		case AxisChild:
+			if i > 0 {
+				sb.WriteString("/")
+			}
+		case AxisAttribute:
+			if i > 0 {
+				sb.WriteString("/")
+			}
+			sb.WriteString("@")
+		}
+		if s.Name == "" {
+			sb.WriteString("*")
+		} else {
+			sb.WriteString(s.Name)
+		}
+		switch {
+		case s.Pos == PosLast:
+			sb.WriteString("[last()]")
+		case s.Pos > 0:
+			fmt.Fprintf(&sb, "[%d]", s.Pos)
+		}
+	}
+	return sb.String()
+}
+
+// Parse parses a relative path such as "book/title", "//book/@year" or
+// "bidtuple/itemno". A leading "/" is treated as a child step from the
+// context (the context item supplied by the caller is the document or
+// element the path is relative to); a leading "//" is a descendant step.
+func Parse(s string) (Path, error) {
+	var p Path
+	rest := s
+	axis := AxisChild
+	if strings.HasPrefix(rest, "//") {
+		axis = AxisDescendant
+		rest = rest[2:]
+	} else if strings.HasPrefix(rest, "/") {
+		rest = rest[1:]
+	}
+	for rest != "" {
+		var name string
+		// Find end of this step.
+		end := len(rest)
+		nextAxis := AxisChild
+		advance := 0
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			end = i
+			advance = 1
+			nextAxis = AxisChild
+			if strings.HasPrefix(rest[i:], "//") {
+				advance = 2
+				nextAxis = AxisDescendant
+			}
+		}
+		name = rest[:end]
+		stepAxis := axis
+		if strings.HasPrefix(name, "@") {
+			stepAxis = AxisAttribute
+			name = name[1:]
+		}
+		// Positional predicate suffix: name[3] or name[last()].
+		pos := 0
+		if i := strings.IndexByte(name, '['); i >= 0 {
+			if !strings.HasSuffix(name, "]") {
+				return Path{}, fmt.Errorf("xpath: unterminated predicate in %q", s)
+			}
+			inner := name[i+1 : len(name)-1]
+			name = name[:i]
+			if inner == "last()" {
+				pos = PosLast
+			} else {
+				n, err := strconv.Atoi(inner)
+				if err != nil || n < 1 {
+					return Path{}, fmt.Errorf("xpath: unsupported predicate [%s] in %q (only positional predicates reach the path layer; value predicates are normalized into where clauses)", inner, s)
+				}
+				pos = n
+			}
+			if stepAxis == AxisAttribute {
+				return Path{}, fmt.Errorf("xpath: positional predicate on attribute step in %q", s)
+			}
+		}
+		if name == "" {
+			return Path{}, fmt.Errorf("xpath: empty step in %q", s)
+		}
+		if name == "*" {
+			name = ""
+		}
+		if !validName(name) {
+			return Path{}, fmt.Errorf("xpath: invalid name test %q in %q", name, s)
+		}
+		p.Steps = append(p.Steps, Step{Axis: stepAxis, Name: name, Pos: pos})
+		if end == len(rest) {
+			break
+		}
+		rest = rest[end+advance:]
+		axis = nextAxis
+		if rest == "" {
+			return Path{}, fmt.Errorf("xpath: trailing slash in %q", s)
+		}
+	}
+	if len(p.Steps) == 0 {
+		return Path{}, fmt.Errorf("xpath: empty path %q", s)
+	}
+	return p, nil
+}
+
+// MustParse parses a path and panics on error. For tests and examples.
+func MustParse(s string) Path {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return true // wildcard
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9', r == '-', r == '.':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Eval applies the path to a context value (a node, a node sequence, or
+// NULL) and returns the resulting nodes in document order without
+// duplicates.
+func (p Path) Eval(ctx value.Value) value.Seq {
+	cur := contextNodes(ctx)
+	for _, st := range p.Steps {
+		cur = applyStep(cur, st)
+	}
+	return value.NodeSeq(cur)
+}
+
+func contextNodes(v value.Value) []*dom.Node {
+	switch w := v.(type) {
+	case nil, value.Null:
+		return nil
+	case value.NodeVal:
+		if w.Node == nil {
+			return nil
+		}
+		return []*dom.Node{w.Node}
+	case value.Seq:
+		var out []*dom.Node
+		for _, item := range w {
+			out = append(out, contextNodes(item)...)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func applyStep(ctx []*dom.Node, st Step) []*dom.Node {
+	var out []*dom.Node
+	for _, n := range ctx {
+		var sel []*dom.Node
+		switch st.Axis {
+		case AxisChild:
+			for _, c := range n.Children {
+				if c.Kind == dom.KindElement && (st.Name == "" || c.Name == st.Name) {
+					sel = append(sel, c)
+				}
+			}
+		case AxisDescendant:
+			sel = n.Descendants(st.Name, nil)
+		case AxisAttribute:
+			if st.Name == "" {
+				sel = append(sel, n.Attrs...)
+			} else if a := n.Attr(st.Name); a != nil {
+				sel = append(sel, a)
+			}
+		}
+		// Positional predicates apply within each context node's selection
+		// (XPath semantics), before the global merge.
+		switch {
+		case st.Pos == PosLast:
+			if len(sel) > 0 {
+				sel = sel[len(sel)-1:]
+			}
+		case st.Pos > 0:
+			if st.Pos <= len(sel) {
+				sel = sel[st.Pos-1 : st.Pos]
+			} else {
+				sel = nil
+			}
+		}
+		out = append(out, sel...)
+	}
+	return dedupeDocOrder(out)
+}
+
+// dedupeDocOrder sorts into document order and removes duplicate handles.
+// Contexts produced by upstream steps are already in document order, but
+// descendant steps over overlapping contexts can produce duplicates; the
+// XPath data model requires a duplicate-free, document-ordered result.
+func dedupeDocOrder(nodes []*dom.Node) []*dom.Node {
+	if len(nodes) < 2 {
+		return nodes
+	}
+	dom.SortDocOrder(nodes)
+	out := nodes[:1]
+	for _, n := range nodes[1:] {
+		if n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+// Package xquery implements the XQuery-subset frontend: lexer, parser and
+// abstract syntax tree for the FLWR expressions, quantifiers and constructors
+// the paper's queries use.
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"nalquery/internal/value"
+)
+
+// Expr is an XQuery AST expression.
+type Expr interface {
+	// String renders the expression in (pretty-printed, single-line) XQuery
+	// syntax.
+	String() string
+}
+
+// FLWR is a for-let-where-return expression.
+type FLWR struct {
+	Clauses []Clause
+	Return  Expr
+}
+
+// Clause is one of ForClause, LetClause or WhereClause.
+type Clause interface{ clauseString() string }
+
+// Binding binds a variable to an expression. Pos, set only on for-clause
+// bindings, names the positional variable of XQuery's
+// "for $x at $pos in e" form.
+type Binding struct {
+	Var string
+	Pos string
+	E   Expr
+}
+
+// ForClause iterates variables over sequences.
+type ForClause struct{ Bindings []Binding }
+
+// LetClause binds variables to values.
+type LetClause struct{ Bindings []Binding }
+
+// WhereClause filters the binding tuples.
+type WhereClause struct{ Cond Expr }
+
+// OrderSpec is one ordering key of an order by clause.
+type OrderSpec struct {
+	Key        Expr
+	Descending bool
+}
+
+// OrderByClause is the (stable) order by clause. The paper's translation
+// (Fig. 3) deliberately skips order by — it concentrates on retaining the
+// input order — so this clause is an extension: it translates into an
+// explicit stable Sort operator over computed sort-key attributes.
+type OrderByClause struct {
+	Specs []OrderSpec
+	// Stable records the "stable order by" spelling; the engine's sort is
+	// always stable, so the flag is informational.
+	Stable bool
+}
+
+func bindingsString(kw string, bs []Binding, sep string) string {
+	parts := make([]string, len(bs))
+	for i, b := range bs {
+		if b.Pos != "" {
+			parts[i] = fmt.Sprintf("$%s at $%s %s %s", b.Var, b.Pos, sep, b.E.String())
+		} else {
+			parts[i] = fmt.Sprintf("$%s %s %s", b.Var, sep, b.E.String())
+		}
+	}
+	return kw + " " + strings.Join(parts, ", ")
+}
+
+func (c ForClause) clauseString() string   { return bindingsString("for", c.Bindings, "in") }
+func (c LetClause) clauseString() string   { return bindingsString("let", c.Bindings, ":=") }
+func (c WhereClause) clauseString() string { return "where " + c.Cond.String() }
+
+func (c OrderByClause) clauseString() string {
+	parts := make([]string, len(c.Specs))
+	for i, s := range c.Specs {
+		parts[i] = s.Key.String()
+		if s.Descending {
+			parts[i] += " descending"
+		}
+	}
+	kw := "order by"
+	if c.Stable {
+		kw = "stable order by"
+	}
+	return kw + " " + strings.Join(parts, ", ")
+}
+
+func (f FLWR) String() string {
+	var parts []string
+	for _, c := range f.Clauses {
+		parts = append(parts, c.clauseString())
+	}
+	parts = append(parts, "return "+f.Return.String())
+	return strings.Join(parts, " ")
+}
+
+// Quant is a quantified expression: some/every $Var in Range satisfies Sat.
+type Quant struct {
+	Every bool
+	Var   string
+	Range Expr
+	Sat   Expr
+}
+
+func (q Quant) String() string {
+	kw := "some"
+	if q.Every {
+		kw = "every"
+	}
+	return fmt.Sprintf("%s $%s in %s satisfies %s", kw, q.Var, q.Range.String(), q.Sat.String())
+}
+
+// Cond is the conditional expression if (If) then Then else Else. XQuery
+// requires the else branch; the parser accepts a missing one and fills in
+// the empty sequence.
+type Cond struct {
+	If, Then, Else Expr
+}
+
+func (c Cond) String() string {
+	return fmt.Sprintf("if (%s) then %s else %s", c.If.String(), c.Then.String(), c.Else.String())
+}
+
+// EmptySeq is the literal empty sequence ().
+type EmptySeq struct{}
+
+func (EmptySeq) String() string { return "()" }
+
+// VarRef references a variable.
+type VarRef struct{ Name string }
+
+func (v VarRef) String() string { return "$" + v.Name }
+
+// ContextRef is the implicit context item inside a path predicate
+// (e.g. the "author" in book[author = $a1] is a path from the context).
+type ContextRef struct{}
+
+func (ContextRef) String() string { return "." }
+
+// StrLit is a string literal.
+type StrLit struct{ V string }
+
+func (s StrLit) String() string { return fmt.Sprintf("%q", s.V) }
+
+// NumLit is a numeric literal.
+type NumLit struct{ V float64 }
+
+func (n NumLit) String() string { return value.Float(n.V).String() }
+
+// Step is one XPath step of a path expression, optionally carrying a
+// predicate (which the normalizer later moves into a where clause).
+type Step struct {
+	Descendant bool // true for //
+	Attribute  bool // true for @name
+	Name       string
+	Pred       Expr // nil if none
+}
+
+func (s Step) String() string {
+	var sb strings.Builder
+	if s.Descendant {
+		sb.WriteString("/")
+	}
+	sb.WriteString("/")
+	if s.Attribute {
+		sb.WriteString("@")
+	}
+	sb.WriteString(s.Name)
+	if s.Pred != nil {
+		sb.WriteString("[" + s.Pred.String() + "]")
+	}
+	return sb.String()
+}
+
+// Path applies location steps to a base expression.
+type Path struct {
+	Base  Expr
+	Steps []Step
+}
+
+func (p Path) String() string {
+	var sb strings.Builder
+	sb.WriteString(p.Base.String())
+	for _, s := range p.Steps {
+		sb.WriteString(s.String())
+	}
+	return sb.String()
+}
+
+// Call is a function call.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+func (c Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Fn, strings.Join(parts, ", "))
+}
+
+// Cmp is a general comparison.
+type Cmp struct {
+	L, R Expr
+	Op   value.CmpOp
+}
+
+func (c Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L.String(), c.Op, c.R.String()) }
+
+// Arith is an arithmetic expression (+, -, *, div, mod).
+type Arith struct {
+	L, R Expr
+	Op   byte // '+', '-', '*', '/', '%'
+}
+
+func (a Arith) String() string {
+	op := string(a.Op)
+	if a.Op == '/' {
+		op = "div"
+	}
+	if a.Op == '%' {
+		op = "mod"
+	}
+	return fmt.Sprintf("(%s %s %s)", a.L.String(), op, a.R.String())
+}
+
+// And is logical conjunction.
+type And struct{ L, R Expr }
+
+func (a And) String() string { return fmt.Sprintf("(%s and %s)", a.L.String(), a.R.String()) }
+
+// Or is logical disjunction.
+type Or struct{ L, R Expr }
+
+func (o Or) String() string { return fmt.Sprintf("(%s or %s)", o.L.String(), o.R.String()) }
+
+// Content is a piece of element-constructor content: literal text or an
+// enclosed expression ({ expr }).
+type Content struct {
+	Text  string
+	E     Expr
+	IsLit bool
+}
+
+func (c Content) String() string {
+	if c.IsLit {
+		return c.Text
+	}
+	return "{ " + c.E.String() + " }"
+}
+
+// AttrCtor is an attribute constructor inside an element constructor; its
+// value may mix literal text and enclosed expressions.
+type AttrCtor struct {
+	Name    string
+	Content []Content
+}
+
+// ElemCtor is a direct element constructor.
+type ElemCtor struct {
+	Name    string
+	Attrs   []AttrCtor
+	Content []Content
+}
+
+func (e ElemCtor) String() string {
+	var sb strings.Builder
+	sb.WriteString("<" + e.Name)
+	for _, a := range e.Attrs {
+		sb.WriteString(" " + a.Name + `="`)
+		for _, c := range a.Content {
+			sb.WriteString(c.String())
+		}
+		sb.WriteString(`"`)
+	}
+	sb.WriteString(">")
+	for _, c := range e.Content {
+		sb.WriteString(c.String())
+	}
+	sb.WriteString("</" + e.Name + ">")
+	return sb.String()
+}

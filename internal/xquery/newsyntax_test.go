@@ -1,0 +1,135 @@
+package xquery
+
+import (
+	"testing"
+)
+
+// Parser units for the frontend extensions: positional for-bindings,
+// multi-variable quantifiers and conditionals.
+
+// TestParsePositionalFor: "for $x at $i in e" fills Binding.Pos.
+func TestParsePositionalFor(t *testing.T) {
+	e, err := ParseQuery(`for $b at $i in doc("b.xml")//book return $b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := e.(FLWR)
+	fc, ok := f.Clauses[0].(ForClause)
+	if !ok {
+		t.Fatalf("first clause is %T", f.Clauses[0])
+	}
+	if fc.Bindings[0].Var != "b" || fc.Bindings[0].Pos != "i" {
+		t.Errorf("binding = %+v, want Var=b Pos=i", fc.Bindings[0])
+	}
+	if got := fc.clauseString(); got != `for $b at $i in doc("b.xml")//book` {
+		t.Errorf("clauseString = %q", got)
+	}
+}
+
+// TestParsePositionalForOnlyInFor: "at" is rejected in let bindings.
+func TestParsePositionalForOnlyInFor(t *testing.T) {
+	if _, err := ParseQuery(`let $b at $i := doc("b.xml") return $b`); err == nil {
+		t.Errorf("no error for 'at' in a let binding")
+	}
+}
+
+// TestParseMultiVarQuant: multiple in-bindings desugar into nested
+// quantifiers, innermost last.
+func TestParseMultiVarQuant(t *testing.T) {
+	e, err := ParseQuery(`
+for $p in doc("m.xml")//pair
+where some $x in $p/a, $y in $p/b satisfies $x = $y
+return $p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := e.(FLWR)
+	var wc WhereClause
+	for _, c := range f.Clauses {
+		if w, ok := c.(WhereClause); ok {
+			wc = w
+		}
+	}
+	outer, ok := wc.Cond.(Quant)
+	if !ok {
+		t.Fatalf("where cond is %T, want Quant", wc.Cond)
+	}
+	if outer.Var != "x" || outer.Every {
+		t.Errorf("outer quantifier = %+v, want some $x", outer)
+	}
+	inner, ok := outer.Sat.(Quant)
+	if !ok {
+		t.Fatalf("outer.Sat is %T, want nested Quant", outer.Sat)
+	}
+	if inner.Var != "y" || inner.Every {
+		t.Errorf("inner quantifier = %+v, want some $y", inner)
+	}
+	if _, ok := inner.Sat.(Cmp); !ok {
+		t.Errorf("innermost satisfies is %T, want Cmp", inner.Sat)
+	}
+}
+
+// TestParseEveryMultiVar: the every keyword distributes over all bindings.
+func TestParseEveryMultiVar(t *testing.T) {
+	e, err := ParseQuery(`
+for $p in doc("m.xml")//pair
+where every $x in $p/a, $y in $p/b satisfies $x = $y
+return $p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := e.(FLWR)
+	var wc WhereClause
+	for _, c := range f.Clauses {
+		if w, ok := c.(WhereClause); ok {
+			wc = w
+		}
+	}
+	outer := wc.Cond.(Quant)
+	inner := outer.Sat.(Quant)
+	if !outer.Every || !inner.Every {
+		t.Errorf("every must distribute: outer=%v inner=%v", outer.Every, inner.Every)
+	}
+}
+
+// TestParseCond: if/then/else round-trips.
+func TestParseCond(t *testing.T) {
+	e, err := ParseQuery(`for $b in doc("b.xml")//book
+return if ($b/@year > 2000) then "new" else "old"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := e.(FLWR)
+	c, ok := f.Return.(Cond)
+	if !ok {
+		t.Fatalf("return is %T, want Cond", f.Return)
+	}
+	if got := c.String(); got != `if ($b/@year > 2000) then "new" else "old"` {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestParseCondMissingElse: the else branch defaults to the empty
+// sequence.
+func TestParseCondMissingElse(t *testing.T) {
+	e, err := ParseQuery(`for $b in doc("b.xml")//book return if ($b/@year > 2000) then "new"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.(FLWR).Return.(Cond)
+	if _, ok := c.Else.(EmptySeq); !ok {
+		t.Errorf("Else is %T, want EmptySeq", c.Else)
+	}
+}
+
+// TestParseCondErrors: malformed conditionals are rejected.
+func TestParseCondErrors(t *testing.T) {
+	for _, q := range []string{
+		`for $b in doc("b")//x return if $b then 1 else 2`,
+		`for $b in doc("b")//x return if ($b) 1 else 2`,
+	} {
+		if _, err := ParseQuery(q); err == nil {
+			t.Errorf("no error for %q", q)
+		}
+	}
+}

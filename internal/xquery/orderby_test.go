@@ -1,0 +1,104 @@
+package xquery
+
+import (
+	"testing"
+)
+
+// findOrderBy extracts the first order by clause of a parsed FLWR.
+func findOrderBy(t *testing.T, q string) OrderByClause {
+	t.Helper()
+	e, err := ParseQuery(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	f, ok := e.(FLWR)
+	if !ok {
+		t.Fatalf("top-level is %T, want FLWR", e)
+	}
+	for _, c := range f.Clauses {
+		if ob, ok := c.(OrderByClause); ok {
+			return ob
+		}
+	}
+	t.Fatalf("no order by clause in %q", q)
+	return OrderByClause{}
+}
+
+// TestParseOrderBySimple: a single ascending key.
+func TestParseOrderBySimple(t *testing.T) {
+	ob := findOrderBy(t, `for $b in doc("bib.xml")//book order by $b/title return $b`)
+	if len(ob.Specs) != 1 || ob.Specs[0].Descending || ob.Stable {
+		t.Errorf("got %+v, want one ascending non-stable key", ob)
+	}
+}
+
+// TestParseOrderByDescending: the descending modifier.
+func TestParseOrderByDescending(t *testing.T) {
+	ob := findOrderBy(t, `for $b in doc("p.xml")//book order by decimal($b/price) descending return $b`)
+	if len(ob.Specs) != 1 || !ob.Specs[0].Descending {
+		t.Errorf("got %+v, want one descending key", ob)
+	}
+}
+
+// TestParseOrderByMultipleKeys: comma-separated keys with mixed modifiers.
+func TestParseOrderByMultipleKeys(t *testing.T) {
+	ob := findOrderBy(t, `for $b in doc("p.xml")//book
+		order by $b/author ascending, decimal($b/price) descending, $b/title
+		return $b`)
+	if len(ob.Specs) != 3 {
+		t.Fatalf("got %d keys, want 3", len(ob.Specs))
+	}
+	wantDesc := []bool{false, true, false}
+	for i, w := range wantDesc {
+		if ob.Specs[i].Descending != w {
+			t.Errorf("key %d descending = %v, want %v", i, ob.Specs[i].Descending, w)
+		}
+	}
+}
+
+// TestParseStableOrderBy: the stable spelling sets the flag.
+func TestParseStableOrderBy(t *testing.T) {
+	ob := findOrderBy(t, `for $b in doc("p.xml")//book stable order by $b/title return $b`)
+	if !ob.Stable {
+		t.Errorf("Stable = false, want true")
+	}
+}
+
+// TestParseOrderByRoundTrip: the clause renders back to source syntax.
+func TestParseOrderByRoundTrip(t *testing.T) {
+	ob := findOrderBy(t, `for $b in doc("p.xml")//book order by $b/t descending, $b/u return $b`)
+	s := ob.clauseString()
+	if s != "order by $b/t descending, $b/u" {
+		t.Errorf("clauseString = %q", s)
+	}
+}
+
+// TestParseOrderElementName: "order" as an element name in a path must not
+// be mistaken for the clause keyword.
+func TestParseOrderElementName(t *testing.T) {
+	e, err := ParseQuery(`for $o in doc("s.xml")//order where $o/total > 10 return $o`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	f, ok := e.(FLWR)
+	if !ok {
+		t.Fatalf("top-level is %T, want FLWR", e)
+	}
+	for _, c := range f.Clauses {
+		if _, ok := c.(OrderByClause); ok {
+			t.Errorf("path element 'order' misparsed as order by clause")
+		}
+	}
+}
+
+// TestParseOrderByErrors: malformed clauses report errors.
+func TestParseOrderByErrors(t *testing.T) {
+	for _, q := range []string{
+		`for $b in doc("p.xml")//book order $b/t return $b`,
+		`for $b in doc("p.xml")//book order by return $b`,
+	} {
+		if _, err := ParseQuery(q); err == nil {
+			t.Errorf("no error for %q", q)
+		}
+	}
+}

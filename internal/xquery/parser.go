@@ -1,0 +1,778 @@
+package xquery
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nalquery/internal/value"
+)
+
+// ParseQuery parses an XQuery-subset query into its AST.
+func ParseQuery(src string) (Expr, error) {
+	p := &parser{src: src}
+	e, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos < len(p.src) {
+		return nil, p.errf("unexpected trailing input %q", p.remainder(20))
+	}
+	return e, nil
+}
+
+// MustParse parses a query and panics on error. For tests and examples.
+func MustParse(src string) Expr {
+	e, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	line := 1 + strings.Count(p.src[:p.pos], "\n")
+	return fmt.Errorf("xquery: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) remainder(n int) string {
+	r := p.src[p.pos:]
+	if len(r) > n {
+		r = r[:n] + "..."
+	}
+	return r
+}
+
+func (p *parser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		// XQuery comments (: ... :), possibly nested.
+		if c == '(' && p.pos+1 < len(p.src) && p.src[p.pos+1] == ':' {
+			depth := 0
+			i := p.pos
+			for i < len(p.src) {
+				if strings.HasPrefix(p.src[i:], "(:") {
+					depth++
+					i += 2
+				} else if strings.HasPrefix(p.src[i:], ":)") {
+					depth--
+					i += 2
+					if depth == 0 {
+						break
+					}
+				} else {
+					i++
+				}
+			}
+			p.pos = i
+			continue
+		}
+		return
+	}
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '-' || c == '.'
+}
+
+// peekName returns the NCName at the cursor without consuming it.
+func (p *parser) peekName() string {
+	p.skipWS()
+	if p.pos >= len(p.src) || !isNameStart(p.src[p.pos]) {
+		return ""
+	}
+	i := p.pos
+	for i < len(p.src) && isNameChar(p.src[i]) {
+		i++
+	}
+	return p.src[p.pos:i]
+}
+
+func (p *parser) takeName() string {
+	n := p.peekName()
+	p.pos += len(n)
+	return n
+}
+
+// peekSym reports whether the given symbol is next (after whitespace).
+func (p *parser) peekSym(sym string) bool {
+	p.skipWS()
+	return strings.HasPrefix(p.src[p.pos:], sym)
+}
+
+func (p *parser) takeSym(sym string) bool {
+	if p.peekSym(sym) {
+		p.pos += len(sym)
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(sym string) error {
+	if !p.takeSym(sym) {
+		return p.errf("expected %q, found %q", sym, p.remainder(20))
+	}
+	return nil
+}
+
+// peekKeyword reports whether the next token is the given keyword (a name
+// not continued by a name character).
+func (p *parser) peekKeyword(kw string) bool {
+	return p.peekName() == kw
+}
+
+func (p *parser) takeKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.pos += len(kw)
+		return true
+	}
+	return false
+}
+
+var reserved = map[string]bool{
+	"for": true, "let": true, "where": true, "return": true, "in": true,
+	"some": true, "every": true, "satisfies": true, "and": true, "or": true,
+}
+
+// parseExprSingle parses a full single expression (FLWR, quantifier or an
+// operator expression).
+func (p *parser) parseExprSingle() (Expr, error) {
+	p.skipWS()
+	switch {
+	case p.peekKeyword("for"), p.peekKeyword("let"):
+		return p.parseFLWR()
+	case p.peekKeyword("some"), p.peekKeyword("every"):
+		return p.parseQuant()
+	case p.peekIf():
+		return p.parseIf()
+	default:
+		return p.parseOr()
+	}
+}
+
+// peekIf reports whether a conditional expression starts at the cursor:
+// the keyword "if" immediately followed by "(" (which distinguishes it from
+// an element named if in a path).
+func (p *parser) peekIf() bool {
+	if !p.peekKeyword("if") {
+		return false
+	}
+	save := p.pos
+	p.takeKeyword("if")
+	ok := p.peekSym("(")
+	p.pos = save
+	return ok
+}
+
+// parseIf parses "if (cond) then e1 else e2". A missing else branch — an
+// extension convenience — defaults to the empty sequence.
+func (p *parser) parseIf() (Expr, error) {
+	p.takeKeyword("if")
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if !p.takeKeyword("then") {
+		return nil, p.errf("expected 'then', found %q", p.remainder(20))
+	}
+	thenE, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	var elseE Expr = EmptySeq{}
+	if p.takeKeyword("else") {
+		if elseE, err = p.parseExprSingle(); err != nil {
+			return nil, err
+		}
+	}
+	return Cond{If: cond, Then: thenE, Else: elseE}, nil
+}
+
+func (p *parser) parseFLWR() (Expr, error) {
+	var f FLWR
+	for {
+		switch {
+		case p.takeKeyword("for"):
+			bs, err := p.parseBindings("in")
+			if err != nil {
+				return nil, err
+			}
+			f.Clauses = append(f.Clauses, ForClause{Bindings: bs})
+		case p.takeKeyword("let"):
+			bs, err := p.parseBindings(":=")
+			if err != nil {
+				return nil, err
+			}
+			f.Clauses = append(f.Clauses, LetClause{Bindings: bs})
+		case p.takeKeyword("where"):
+			cond, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			f.Clauses = append(f.Clauses, WhereClause{Cond: cond})
+		case p.peekOrderBy():
+			ob, err := p.parseOrderBy()
+			if err != nil {
+				return nil, err
+			}
+			f.Clauses = append(f.Clauses, ob)
+		case p.takeKeyword("return"):
+			ret, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			f.Return = ret
+			return f, nil
+		default:
+			return nil, p.errf("expected for/let/where/return, found %q", p.remainder(20))
+		}
+	}
+}
+
+// peekOrderBy reports whether an (optionally stable) order by clause starts
+// at the cursor, without consuming input.
+func (p *parser) peekOrderBy() bool {
+	if p.peekKeyword("order") {
+		return true
+	}
+	if !p.peekKeyword("stable") {
+		return false
+	}
+	// Look ahead past "stable" for "order".
+	save := p.pos
+	p.takeKeyword("stable")
+	ok := p.peekKeyword("order")
+	p.pos = save
+	return ok
+}
+
+// parseOrderBy parses "[stable] order by key [ascending|descending]
+// (, key [ascending|descending])*".
+func (p *parser) parseOrderBy() (OrderByClause, error) {
+	var ob OrderByClause
+	if p.takeKeyword("stable") {
+		ob.Stable = true
+	}
+	if !p.takeKeyword("order") {
+		return ob, p.errf("expected 'order', found %q", p.remainder(20))
+	}
+	if !p.takeKeyword("by") {
+		return ob, p.errf("expected 'by' after 'order', found %q", p.remainder(20))
+	}
+	for {
+		key, err := p.parseExprSingle()
+		if err != nil {
+			return ob, err
+		}
+		spec := OrderSpec{Key: key}
+		switch {
+		case p.takeKeyword("descending"):
+			spec.Descending = true
+		case p.takeKeyword("ascending"):
+		}
+		ob.Specs = append(ob.Specs, spec)
+		if !p.takeSym(",") {
+			return ob, nil
+		}
+	}
+}
+
+func (p *parser) parseBindings(sep string) ([]Binding, error) {
+	var out []Binding
+	for {
+		if err := p.expectSym("$"); err != nil {
+			return nil, err
+		}
+		name := p.takeName()
+		if name == "" {
+			return nil, p.errf("expected variable name after $")
+		}
+		// Positional variable of a for binding: "for $x at $i in e".
+		pos := ""
+		if sep == "in" && p.takeKeyword("at") {
+			if err := p.expectSym("$"); err != nil {
+				return nil, err
+			}
+			pos = p.takeName()
+			if pos == "" {
+				return nil, p.errf("expected positional variable name after 'at $'")
+			}
+		}
+		// Accept both ":=" and "=" for let (the paper's examples write
+		// "for $i2 = ..." once; be forgiving for both separators).
+		if !p.takeSym(sep) {
+			alt := "="
+			if sep == "=" {
+				alt = ":="
+			}
+			if sep == "in" || !p.takeSym(alt) {
+				return nil, p.errf("expected %q after $%s", sep, name)
+			}
+		}
+		e, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Binding{Var: name, Pos: pos, E: e})
+		if !p.takeSym(",") {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) parseQuant() (Expr, error) {
+	every := false
+	switch {
+	case p.takeKeyword("some"):
+	case p.takeKeyword("every"):
+		every = true
+	default:
+		return nil, p.errf("expected some/every")
+	}
+	// XQuery allows several in-bindings: "some $x in e1, $y in e2
+	// satisfies p". The parser desugars them into nested single-variable
+	// quantifiers — some $x … (some $y … p) / every $x … (every $y … p) —
+	// the form the translation and unnesting machinery handles.
+	type qBinding struct {
+		name string
+		rng  Expr
+	}
+	var bindings []qBinding
+	for {
+		if err := p.expectSym("$"); err != nil {
+			return nil, err
+		}
+		name := p.takeName()
+		if name == "" {
+			return nil, p.errf("expected variable name after $")
+		}
+		if !p.takeKeyword("in") {
+			return nil, p.errf("expected 'in' in quantifier")
+		}
+		rng, err := p.parseOr() // range is an operand expression (often parenthesized FLWR or a path)
+		if err != nil {
+			return nil, err
+		}
+		bindings = append(bindings, qBinding{name: name, rng: rng})
+		if !p.takeSym(",") {
+			break
+		}
+	}
+	if !p.takeKeyword("satisfies") {
+		return nil, p.errf("expected 'satisfies' in quantifier")
+	}
+	sat, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	out := sat
+	for i := len(bindings) - 1; i >= 0; i-- {
+		out = Quant{Every: every, Var: bindings[i].name, Range: bindings[i].rng, Sat: out}
+	}
+	return out, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.takeKeyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.takeKeyword("and") {
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	var op value.CmpOp
+	switch {
+	case p.takeSym("!="):
+		op = value.CmpNe
+	case p.takeSym("<="):
+		op = value.CmpLe
+	case p.takeSym(">="):
+		op = value.CmpGe
+	case p.takeSym("="):
+		op = value.CmpEq
+	case p.peekSym("<") && !p.startsCtor():
+		p.pos++
+		op = value.CmpLt
+	case p.takeSym(">"):
+		op = value.CmpGt
+	default:
+		return l, nil
+	}
+	r, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return Cmp{L: l, R: r, Op: op}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipWS()
+		var op byte
+		switch {
+		case p.takeSym("+"):
+			op = '+'
+		case p.takeSym("-"):
+			op = '-'
+		default:
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = Arith{L: l, R: r, Op: op}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipWS()
+		var op byte
+		switch {
+		case p.takeSym("*"):
+			op = '*'
+		case p.takeKeyword("div"):
+			op = '/'
+		case p.takeKeyword("mod"):
+			op = '%'
+		default:
+			return l, nil
+		}
+		r, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		l = Arith{L: l, R: r, Op: op}
+	}
+}
+
+// startsCtor reports whether the cursor is at an element constructor
+// (< immediately followed by a name start character).
+func (p *parser) startsCtor() bool {
+	p.skipWS()
+	return p.pos+1 < len(p.src) && p.src[p.pos] == '<' && isNameStart(p.src[p.pos+1])
+}
+
+func (p *parser) parsePath() (Expr, error) {
+	var base Expr
+	p.skipWS()
+	if p.peekSym("/") {
+		// A leading / or // is a path from the context item.
+		base = ContextRef{}
+	} else {
+		b, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		base = b
+	}
+	var steps []Step
+	for {
+		desc := false
+		switch {
+		case p.takeSym("//"):
+			desc = true
+		case p.peekSym("/") && !p.peekSym("/>"):
+			p.pos++
+		default:
+			if len(steps) == 0 {
+				return base, nil
+			}
+			return Path{Base: base, Steps: steps}, nil
+		}
+		attr := p.takeSym("@")
+		name := p.takeName()
+		if name == "" && !p.takeSym("*") {
+			return nil, p.errf("expected step name after / or //")
+		}
+		st := Step{Descendant: desc, Attribute: attr, Name: name}
+		if p.takeSym("[") {
+			pred, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym("]"); err != nil {
+				return nil, err
+			}
+			st.Pred = pred
+		}
+		steps = append(steps, st)
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unexpected end of query")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '$':
+		p.pos++
+		name := p.takeName()
+		if name == "" {
+			return nil, p.errf("expected variable name after $")
+		}
+		return VarRef{Name: name}, nil
+	case c == '"' || c == '\'':
+		return p.parseStringLit()
+	case c >= '0' && c <= '9':
+		return p.parseNumber()
+	case c == '(':
+		p.pos++
+		if p.takeSym(")") {
+			return Call{Fn: "empty-sequence"}, nil
+		}
+		e, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case c == '.':
+		p.pos++
+		return ContextRef{}, nil
+	case c == '<':
+		if p.startsCtor() {
+			return p.parseCtor()
+		}
+		return nil, p.errf("unexpected '<'")
+	case isNameStart(c):
+		name := p.takeName()
+		if reserved[name] {
+			return nil, p.errf("unexpected keyword %q", name)
+		}
+		if p.takeSym("(") {
+			var args []Expr
+			if !p.takeSym(")") {
+				for {
+					a, err := p.parseExprSingle()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.takeSym(")") {
+						break
+					}
+					if err := p.expectSym(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return Call{Fn: name, Args: args}, nil
+		}
+		// A bare name is a relative child path from the context item.
+		return Path{Base: ContextRef{}, Steps: []Step{{Name: name}}}, nil
+	default:
+		return nil, p.errf("unexpected character %q", string(c))
+	}
+}
+
+func (p *parser) parseStringLit() (Expr, error) {
+	quote := p.src[p.pos]
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unterminated string literal")
+	}
+	s := p.src[start:p.pos]
+	p.pos++
+	return StrLit{V: s}, nil
+}
+
+func (p *parser) parseNumber() (Expr, error) {
+	start := p.pos
+	for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.') {
+		p.pos++
+	}
+	f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return nil, p.errf("bad number %q", p.src[start:p.pos])
+	}
+	return NumLit{V: f}, nil
+}
+
+// parseCtor parses a direct element constructor. The cursor is at '<'.
+func (p *parser) parseCtor() (Expr, error) {
+	p.pos++ // consume <
+	name := p.takeName()
+	if name == "" {
+		return nil, p.errf("expected element name in constructor")
+	}
+	var ctor ElemCtor
+	ctor.Name = name
+	// Attributes.
+	for {
+		p.skipWS()
+		if p.takeSym("/>") {
+			return ctor, nil
+		}
+		if p.takeSym(">") {
+			break
+		}
+		an := p.takeName()
+		if an == "" {
+			return nil, p.errf("expected attribute name in <%s>", name)
+		}
+		if err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+			return nil, p.errf("expected quoted attribute value for %s", an)
+		}
+		quote := p.src[p.pos]
+		p.pos++
+		content, err := p.parseCtorText(string(quote), false)
+		if err != nil {
+			return nil, err
+		}
+		p.pos++ // closing quote
+		ctor.Attrs = append(ctor.Attrs, AttrCtor{Name: an, Content: content})
+	}
+	// Content until matching end tag.
+	for {
+		content, err := p.parseCtorText("<", true)
+		if err != nil {
+			return nil, err
+		}
+		ctor.Content = append(ctor.Content, content...)
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated element <%s>", name)
+		}
+		// At '<'.
+		if strings.HasPrefix(p.src[p.pos:], "</") {
+			p.pos += 2
+			end := p.takeName()
+			// Be forgiving about a mismatched end tag only when it matches;
+			// the paper's published Q5 text contains a typo (<new-author>
+			// instead of </new-author>) that we do not replicate.
+			if end != name {
+				return nil, p.errf("end tag </%s> does not match <%s>", end, name)
+			}
+			p.skipWS()
+			if err := p.expectSym(">"); err != nil {
+				return nil, err
+			}
+			return ctor, nil
+		}
+		inner, err := p.parseCtor()
+		if err != nil {
+			return nil, err
+		}
+		ctor.Content = append(ctor.Content, Content{E: inner})
+	}
+}
+
+// parseCtorText scans literal text mixed with enclosed expressions until the
+// given stop character ('<' for element content, the quote for attribute
+// values). dropWS drops whitespace-only literal chunks (boundary
+// whitespace).
+func (p *parser) parseCtorText(stop string, dropWS bool) ([]Content, error) {
+	var out []Content
+	var lit strings.Builder
+	flush := func() {
+		s := lit.String()
+		lit.Reset()
+		if s == "" {
+			return
+		}
+		if dropWS && strings.TrimSpace(s) == "" {
+			return
+		}
+		if dropWS {
+			// Collapse boundary whitespace inside mixed content: trim text
+			// adjacent to constructor boundaries.
+			s = strings.TrimSpace(s)
+			if s == "" {
+				return
+			}
+		}
+		out = append(out, Content{Text: s, IsLit: true})
+	}
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if strings.HasPrefix(p.src[p.pos:], stop) {
+			flush()
+			return out, nil
+		}
+		if c == '{' {
+			flush()
+			p.pos++
+			e, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym("}"); err != nil {
+				return nil, err
+			}
+			out = append(out, Content{E: e})
+			continue
+		}
+		lit.WriteByte(c)
+		p.pos++
+	}
+	return nil, p.errf("unterminated constructor content (looking for %q)", stop)
+}

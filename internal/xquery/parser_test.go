@@ -1,0 +1,222 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"nalquery/internal/value"
+)
+
+func parse(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return e
+}
+
+func TestParseSimpleFLWR(t *testing.T) {
+	e := parse(t, `let $d := doc("bib.xml") for $b in $d//book where $b/@year > 1993 return $b/title`)
+	f, ok := e.(FLWR)
+	if !ok {
+		t.Fatalf("not a FLWR: %T", e)
+	}
+	if len(f.Clauses) != 3 {
+		t.Fatalf("clauses: %d", len(f.Clauses))
+	}
+	if _, ok := f.Clauses[0].(LetClause); !ok {
+		t.Fatalf("first clause must be let")
+	}
+	if _, ok := f.Clauses[1].(ForClause); !ok {
+		t.Fatalf("second clause must be for")
+	}
+	w, ok := f.Clauses[2].(WhereClause)
+	if !ok {
+		t.Fatalf("third clause must be where")
+	}
+	cmp, ok := w.Cond.(Cmp)
+	if !ok || cmp.Op != value.CmpGt {
+		t.Fatalf("where must be > comparison: %v", w.Cond)
+	}
+}
+
+func TestParseMultiBinding(t *testing.T) {
+	e := parse(t, `for $a in //x, $b in $a/y return $b`)
+	f := e.(FLWR)
+	fc := f.Clauses[0].(ForClause)
+	if len(fc.Bindings) != 2 || fc.Bindings[0].Var != "a" || fc.Bindings[1].Var != "b" {
+		t.Fatalf("bindings: %v", fc.Bindings)
+	}
+}
+
+func TestParsePathPredicates(t *testing.T) {
+	e := parse(t, `for $b in doc("bib.xml")//book[author = $a1]/title return $b`)
+	f := e.(FLWR)
+	p := f.Clauses[0].(ForClause).Bindings[0].E.(Path)
+	if len(p.Steps) != 2 {
+		t.Fatalf("steps: %d", len(p.Steps))
+	}
+	if p.Steps[0].Pred == nil {
+		t.Fatalf("book step must carry predicate")
+	}
+	inner, ok := p.Steps[0].Pred.(Cmp)
+	if !ok {
+		t.Fatalf("predicate: %T", p.Steps[0].Pred)
+	}
+	// Bare "author" parses as a context-relative path.
+	rel, ok := inner.L.(Path)
+	if !ok {
+		t.Fatalf("relative path: %T", inner.L)
+	}
+	if _, ok := rel.Base.(ContextRef); !ok {
+		t.Fatalf("relative path base: %T", rel.Base)
+	}
+}
+
+func TestParseQuantifiers(t *testing.T) {
+	e := parse(t, `for $t in //title where some $r in //review satisfies $t = $r return $t`)
+	f := e.(FLWR)
+	q, ok := f.Clauses[1].(WhereClause).Cond.(Quant)
+	if !ok || q.Every {
+		t.Fatalf("some quantifier: %#v", f.Clauses[1])
+	}
+	e2 := parse(t, `for $t in //title where every $r in //review satisfies $t = $r return $t`)
+	q2 := e2.(FLWR).Clauses[1].(WhereClause).Cond.(Quant)
+	if !q2.Every {
+		t.Fatalf("every quantifier not parsed")
+	}
+}
+
+func TestParseConstructor(t *testing.T) {
+	e := parse(t, `for $a in //author return <author><name> { $a } </name><n2/></author>`)
+	f := e.(FLWR)
+	c, ok := f.Return.(ElemCtor)
+	if !ok {
+		t.Fatalf("return: %T", f.Return)
+	}
+	if c.Name != "author" || len(c.Content) != 2 {
+		t.Fatalf("ctor: %v", c)
+	}
+	name := c.Content[0].E.(ElemCtor)
+	if len(name.Content) != 1 || name.Content[0].IsLit {
+		t.Fatalf("boundary whitespace must be dropped: %v", name.Content)
+	}
+	if _, ok := name.Content[0].E.(VarRef); !ok {
+		t.Fatalf("enclosed expr: %v", name.Content[0])
+	}
+	empty := c.Content[1].E.(ElemCtor)
+	if empty.Name != "n2" || len(empty.Content) != 0 {
+		t.Fatalf("empty element ctor: %v", empty)
+	}
+}
+
+func TestParseAttributeConstructor(t *testing.T) {
+	e := parse(t, `for $t in //title return <minprice title="{ $t }" fixed="x"><price>1</price></minprice>`)
+	c := e.(FLWR).Return.(ElemCtor)
+	if len(c.Attrs) != 2 {
+		t.Fatalf("attrs: %d", len(c.Attrs))
+	}
+	if c.Attrs[0].Name != "title" || c.Attrs[0].Content[0].IsLit {
+		t.Fatalf("title attr: %v", c.Attrs[0])
+	}
+	if !c.Attrs[1].Content[0].IsLit || c.Attrs[1].Content[0].Text != "x" {
+		t.Fatalf("fixed attr: %v", c.Attrs[1])
+	}
+}
+
+func TestParseCallsAndBooleans(t *testing.T) {
+	e := parse(t, `for $i in distinct-values(//itemno) where count(//bid) >= 3 and contains($i, "x") or empty(//y) return $i`)
+	f := e.(FLWR)
+	cond := f.Clauses[1].(WhereClause).Cond
+	or, ok := cond.(Or)
+	if !ok {
+		t.Fatalf("top must be or: %T", cond)
+	}
+	and, ok := or.L.(And)
+	if !ok {
+		t.Fatalf("left must be and: %T", or.L)
+	}
+	cmp := and.L.(Cmp)
+	if cmp.Op != value.CmpGe {
+		t.Fatalf("count >= 3: %v", cmp)
+	}
+	call := cmp.L.(Call)
+	if call.Fn != "count" {
+		t.Fatalf("call: %v", call)
+	}
+	dv := f.Clauses[0].(ForClause).Bindings[0].E.(Call)
+	if dv.Fn != "distinct-values" {
+		t.Fatalf("distinct-values: %v", dv)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	e := parse(t, `(: a comment (: nested :) :) for $x in //a return $x`)
+	if _, ok := e.(FLWR); !ok {
+		t.Fatalf("comment handling: %T", e)
+	}
+}
+
+func TestParseLtVsConstructor(t *testing.T) {
+	// '<' followed by a name char in operand position starts a constructor;
+	// in operator position it is a comparison.
+	e := parse(t, `for $b in //book where $b/@year < 1993 return <old>{ $b }</old>`)
+	f := e.(FLWR)
+	cmp := f.Clauses[1].(WhereClause).Cond.(Cmp)
+	if cmp.Op != value.CmpLt {
+		t.Fatalf("lt: %v", cmp)
+	}
+	if _, ok := f.Return.(ElemCtor); !ok {
+		t.Fatalf("constructor after return: %T", f.Return)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`for $x in return $x`,
+		`for x in //a return $x`,
+		`for $x in //a`,
+		`let $x = doc("a" return $x`,
+		`for $x in //a return <a>{$x}</b>`,
+		`for $x in //a return $x extra`,
+		`some $x in //a`,
+		`for $x in //a where $x = return $x`,
+	}
+	for _, src := range bad {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// The String form of a parsed query re-parses to the same String.
+	srcs := []string{
+		`let $d := doc("bib.xml") for $b in $d//book where $b/@year > 1993 return $b/title`,
+		`for $t in //title where some $r in //review satisfies $t = $r return <x>{ $t }</x>`,
+	}
+	for _, src := range srcs {
+		s1 := parse(t, src).String()
+		s2 := parse(t, s1).String()
+		if s1 != s2 {
+			t.Errorf("String round trip:\n%s\n%s", s1, s2)
+		}
+	}
+}
+
+func TestParseNumbersAndStrings(t *testing.T) {
+	e := parse(t, `for $x in //a where $x = 3.5 and $x != 'txt' return $x`)
+	cond := e.(FLWR).Clauses[1].(WhereClause).Cond.(And)
+	n := cond.L.(Cmp).R.(NumLit)
+	if n.V != 3.5 {
+		t.Fatalf("number: %v", n)
+	}
+	s := cond.R.(Cmp).R.(StrLit)
+	if s.V != "txt" {
+		t.Fatalf("string: %v", s)
+	}
+	if !strings.Contains(cond.R.(Cmp).Op.String(), "!=") {
+		t.Fatalf("op: %v", cond.R.(Cmp).Op)
+	}
+}

@@ -1,0 +1,75 @@
+package xquery
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics: the parser must reject malformed input with an
+// error, never a panic. Inputs are random mutations of valid queries.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`let $d := doc("bib.xml") for $b in $d//book where $b/@year > 1993 return <x>{ $b/title }</x>`,
+		`for $a in distinct-values(//author) return <a>{ $a }</a>`,
+		`for $t in //title where some $r in //review satisfies $t = $r return $t`,
+		`for $i in //x where count(//y[z = $i]) >= 3 return $i`,
+	}
+	rng := rand.New(rand.NewSource(7))
+	chars := []byte(`<>(){}[]$/"'=,.:;*+-@`)
+	for _, seed := range seeds {
+		for i := 0; i < 500; i++ {
+			b := []byte(seed)
+			// Apply 1-4 random mutations: delete, insert, or replace.
+			for m := 0; m < 1+rng.Intn(4); m++ {
+				if len(b) == 0 {
+					break
+				}
+				pos := rng.Intn(len(b))
+				switch rng.Intn(3) {
+				case 0:
+					b = append(b[:pos], b[pos+1:]...)
+				case 1:
+					b = append(b[:pos], append([]byte{chars[rng.Intn(len(chars))]}, b[pos:]...)...)
+				default:
+					b[pos] = chars[rng.Intn(len(chars))]
+				}
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("parser panicked on %q: %v", string(b), r)
+					}
+				}()
+				_, _ = ParseQuery(string(b))
+			}()
+		}
+	}
+}
+
+// TestParserTruncations: every prefix of a valid query either parses or
+// errors cleanly.
+func TestParserTruncations(t *testing.T) {
+	src := `let $d := doc("bib.xml") for $b in $d//book[author = $a] where some $x in //y satisfies $x = 1 return <e a="{ $b }">t{ $b/title }</e>`
+	for i := 0; i <= len(src); i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on prefix %q: %v", src[:i], r)
+				}
+			}()
+			_, _ = ParseQuery(src[:i])
+		}()
+	}
+}
+
+// TestDeeplyNestedInput guards against stack abuse on pathological nesting.
+func TestDeeplyNestedInput(t *testing.T) {
+	depth := 2000
+	src := strings.Repeat("(", depth) + "$x" + strings.Repeat(")", depth)
+	if _, err := ParseQuery("for $x in //a where $y = " + src + " return $x"); err != nil {
+		// An error is acceptable; a crash is not (reaching here means no
+		// panic occurred).
+		t.Logf("deep nesting rejected: %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+package nalquery
+
+import (
+	"strings"
+	"testing"
+)
+
+// Multi-variable quantifiers: "some $x in e1, $y in e2 satisfies p"
+// desugars into nested single-variable quantifiers.
+
+func quantEngine(t *testing.T) *Engine {
+	t.Helper()
+	eng := NewEngine()
+	if err := eng.LoadXMLString("m.xml", `<m>
+		<pair><a>1</a><a>2</a><b>2</b><b>4</b></pair>
+		<pair><a>5</a><b>1</b></pair>
+		<pair><a>3</a><b>3</b></pair>
+	</m>`); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestSomeMultiVar: pairs with some a equal to some b.
+func TestSomeMultiVar(t *testing.T) {
+	eng := quantEngine(t)
+	out, err := eng.Query(`
+let $d := doc("m.xml")
+for $p in $d//pair
+where some $x in $p/a, $y in $p/b satisfies decimal($x) = decimal($y)
+return <hit>{ string($p/a[1]) }</hit>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<hit>1</hit><hit>3</hit>"
+	if squash(out) != want {
+		t.Errorf("got %q, want %q", squash(out), want)
+	}
+}
+
+// TestEveryMultiVar: pairs where every a is less than every b.
+func TestEveryMultiVar(t *testing.T) {
+	eng := quantEngine(t)
+	out, err := eng.Query(`
+let $d := doc("m.xml")
+for $p in $d//pair
+where every $x in $p/a, $y in $p/b satisfies decimal($x) < decimal($y)
+return <hit>{ string($p/a[1]) }</hit>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pair 1: a={1,2}, b={2,4}: 2<2 fails → no. pair 2: 5<1 fails → no.
+	// pair 3: 3<3 fails → no. Empty result.
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("got %q, want empty", out)
+	}
+}
+
+// TestEveryMultiVarVacuous: empty ranges make every vacuously true.
+func TestEveryMultiVarVacuous(t *testing.T) {
+	eng := NewEngine()
+	if err := eng.LoadXMLString("v.xml", `<m><pair><a>1</a></pair></m>`); err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Query(`
+let $d := doc("v.xml")
+for $p in $d//pair
+where every $x in $p/a, $y in $p/b satisfies decimal($x) = decimal($y)
+return <hit>ok</hit>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if squash(out) != "<hit>ok</hit>" {
+		t.Errorf("got %q, want vacuous truth (no b elements)", out)
+	}
+}
+
+// TestSomeMultiVarDependentRange: the second range may reference the first
+// variable.
+func TestSomeMultiVarDependentRange(t *testing.T) {
+	eng := NewEngine()
+	if err := eng.LoadXMLString("d.xml", `<r>
+		<g><x><y>7</y></x></g>
+		<g><x><y>1</y></x></g>
+	</r>`); err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Query(`
+let $d := doc("d.xml")
+for $g in $d//g
+where some $x in $g/x, $y in $x/y satisfies decimal($y) > 5
+return <hit/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "<hit>") != 1 {
+		t.Errorf("got %q, want exactly one hit", out)
+	}
+}

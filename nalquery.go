@@ -1,0 +1,302 @@
+// Package nalquery is an order-preserving XQuery processing library
+// reproducing May, Helmer and Moerkotte, "Nested Queries and Quantifiers in
+// an Ordered Context" (ICDE 2004).
+//
+// The library parses a subset of XQuery (FLWR expressions, existential and
+// universal quantifiers, aggregates, element constructors), translates it
+// into NAL — an order-preserving nested algebra — and unnests nested
+// algebraic expressions using the paper's equivalences (Fig. 4, Eqvs. 1–9).
+// Every query compiles into a set of plan alternatives (nested, outer join,
+// grouping, group Ξ, semijoin, anti-semijoin, …) that all produce identical,
+// order-correct results but differ — often by orders of magnitude — in cost.
+//
+// # Quick start
+//
+//	eng := nalquery.NewEngine()
+//	eng.LoadXMLString("bib.xml", `<bib>...</bib>`)
+//	q, _ := eng.Compile(`
+//	    let $d1 := doc("bib.xml")
+//	    for $t1 in $d1//book/title
+//	    return <t>{ $t1 }</t>`)
+//	out, stats, _ := q.Execute("")   // "" = most optimized plan
+package nalquery
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"nalquery/internal/algebra"
+	"nalquery/internal/core"
+	"nalquery/internal/cost"
+	"nalquery/internal/dom"
+	"nalquery/internal/normalize"
+	"nalquery/internal/schema"
+	"nalquery/internal/store"
+	"nalquery/internal/translate"
+	"nalquery/internal/xquery"
+)
+
+// Engine holds documents and schema facts and compiles queries.
+type Engine struct {
+	docs map[string]*dom.Document
+	cat  *schema.Catalog
+}
+
+// NewEngine creates an Engine pre-loaded with the DTD facts of the paper's
+// use-case documents (Fig. 5). Additional facts can be registered through
+// Catalog().
+func NewEngine() *Engine {
+	return &Engine{docs: map[string]*dom.Document{}, cat: schema.UseCases()}
+}
+
+// LoadXML parses and registers a document under the given URI.
+func (e *Engine) LoadXML(uri string, r io.Reader) error {
+	d, err := dom.Parse(r, uri)
+	if err != nil {
+		return err
+	}
+	e.docs[uri] = d
+	return nil
+}
+
+// LoadXMLString parses and registers a document from a string.
+func (e *Engine) LoadXMLString(uri, s string) error {
+	return e.LoadXML(uri, strings.NewReader(s))
+}
+
+// LoadDocument registers an already-built document (e.g. from the synthetic
+// generators of internal/xmlgen).
+func (e *Engine) LoadDocument(d *dom.Document) {
+	e.docs[d.URI] = d
+}
+
+// LoadStoreFile loads a document from a binary store file (the .nalb format
+// of internal/store) and registers it under the given URI.
+func (e *Engine) LoadStoreFile(uri, path string) error {
+	d, err := store.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	d.URI = uri
+	e.docs[uri] = d
+	return nil
+}
+
+// Document returns a registered document, or nil.
+func (e *Engine) Document(uri string) *dom.Document { return e.docs[uri] }
+
+// DocumentURIs lists the URIs of the registered documents, sorted.
+func (e *Engine) DocumentURIs() []string {
+	uris := make([]string, 0, len(e.docs))
+	for uri := range e.docs {
+		uris = append(uris, uri)
+	}
+	sort.Strings(uris)
+	return uris
+}
+
+// Catalog exposes the schema-fact catalog used to verify the side conditions
+// of the condition-bearing equivalences (3, 5, 8, 9).
+func (e *Engine) Catalog() *schema.Catalog { return e.cat }
+
+// Stats reports execution counters of one plan run.
+type Stats struct {
+	// DocAccesses counts doc()/document() evaluations — each is a fresh
+	// traversal of a stored document (the paper's "scans").
+	DocAccesses int64
+	// NestedEvals counts evaluations of nested algebraic expressions
+	// (nested-loop iterations).
+	NestedEvals int64
+	// Tuples counts tuples produced by scan operators.
+	Tuples int64
+}
+
+// Plan is one compiled plan alternative.
+type Plan struct {
+	// Name is the paper's row label: "nested", "outer join", "grouping",
+	// "group Ξ", "semijoin", "anti-semijoin", "binary grouping".
+	Name string
+	// Applied lists the unnesting equivalences used to derive the plan.
+	Applied []string
+	// EstimatedCost is the cost model's estimate over the loaded documents'
+	// statistics. Lower is better; nested plans carry the quadratic term.
+	EstimatedCost float64
+
+	op algebra.Op
+}
+
+// Explain renders the plan's operator tree.
+func (p Plan) Explain() string { return algebra.Explain(p.op) }
+
+// ExplainDot renders the plan's operator tree in Graphviz dot syntax;
+// nested algebraic expressions appear as dashed edges.
+func (p Plan) ExplainDot() string { return algebra.ExplainDot(p.op) }
+
+// Query is a compiled query with its plan alternatives.
+type Query struct {
+	// Text is the original query.
+	Text string
+	// Normalized is the normalized source form (Sec. 3).
+	Normalized string
+	// OrderIrrelevant reports that the query was wrapped in XQuery's
+	// unordered() function (Sec. 1): the result may be produced in any
+	// order, and plan alternatives using the unordered operator family are
+	// offered in addition to the order-preserving ones.
+	OrderIrrelevant bool
+
+	engine *Engine
+	plans  []Plan
+}
+
+// Compile parses, normalizes, translates and unnests a query, producing all
+// plan alternatives.
+func (e *Engine) Compile(text string) (*Query, error) {
+	ast, err := xquery.ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	// A top-level unordered(FLWR) wrapper releases the order requirement
+	// (Sec. 1). The wrapper is stripped before normalization; the flag
+	// admits the unordered plan family below.
+	orderIrrelevant := false
+	if c, ok := ast.(xquery.Call); ok && c.Fn == "unordered" && len(c.Args) == 1 {
+		if f, isFLWR := c.Args[0].(xquery.FLWR); isFLWR {
+			ast = f
+			orderIrrelevant = true
+		}
+	}
+	norm := normalize.NormalizeWithCatalog(ast, e.cat)
+	res, err := translate.Translate(norm, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	rw := core.NewRewriter(res, e.cat)
+	alts := rw.Alternatives(res.Plan)
+	model := cost.NewModel(e.docs)
+	q := &Query{Text: text, Normalized: norm.String(), engine: e, OrderIrrelevant: orderIrrelevant}
+	for _, a := range alts {
+		est := model.Plan(a.Op)
+		q.plans = append(q.plans, Plan{
+			Name: a.Name, Applied: a.Applied, EstimatedCost: est.Cost, op: a.Op,
+		})
+	}
+	if orderIrrelevant {
+		// Offer the unordered counterpart of every unnested alternative.
+		for _, a := range alts {
+			if a.Name == "nested" {
+				continue
+			}
+			u, changed := core.ToUnordered(a.Op)
+			if !changed || !core.Validate(u) {
+				continue
+			}
+			est := model.Plan(u)
+			q.plans = append(q.plans, Plan{
+				Name:          "unordered " + a.Name,
+				Applied:       append(append([]string{}, a.Applied...), "unordered-family"),
+				EstimatedCost: est.Cost,
+				op:            u,
+			})
+		}
+	}
+	return q, nil
+}
+
+// Plans returns the plan alternatives, from the nested baseline to the most
+// optimized plan.
+func (q *Query) Plans() []Plan { return q.plans }
+
+// Plan returns the alternative with the given name; the empty name selects
+// the plan with the lowest estimated cost.
+func (q *Query) Plan(name string) (Plan, error) {
+	if name == "" {
+		best := q.plans[0]
+		for _, p := range q.plans[1:] {
+			if p.EstimatedCost < best.EstimatedCost {
+				best = p
+			}
+		}
+		return best, nil
+	}
+	for _, p := range q.plans {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	var names []string
+	for _, p := range q.plans {
+		names = append(names, p.Name)
+	}
+	return Plan{}, fmt.Errorf("nalquery: no plan %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// Execute runs the named plan ("" = most optimized) and returns the
+// constructed result string plus execution statistics.
+func (q *Query) Execute(name string) (string, Stats, error) {
+	p, err := q.Plan(name)
+	if err != nil {
+		return "", Stats{}, err
+	}
+	ctx := algebra.NewCtx(q.engine.docs)
+	p.op.Eval(ctx, nil)
+	return ctx.OutString(), Stats{
+		DocAccesses: ctx.Stats.DocAccesses,
+		NestedEvals: ctx.Stats.NestedEvals,
+		Tuples:      ctx.Stats.Tuples,
+	}, nil
+}
+
+// ExecuteStreaming runs the named plan ("" = lowest estimated cost) through
+// the pull-based iterator engine (open-next-close, the physical execution
+// model of the engine the paper evaluates on). The constructed result is
+// identical to Execute's; pipeline-breaking operators materialize only the
+// state their algorithm requires.
+func (q *Query) ExecuteStreaming(name string) (string, Stats, error) {
+	p, err := q.Plan(name)
+	if err != nil {
+		return "", Stats{}, err
+	}
+	ctx := algebra.NewCtx(q.engine.docs)
+	algebra.DrainIter(p.op, ctx, nil)
+	return ctx.OutString(), Stats{
+		DocAccesses: ctx.Stats.DocAccesses,
+		NestedEvals: ctx.Stats.NestedEvals,
+		Tuples:      ctx.Stats.Tuples,
+	}, nil
+}
+
+// ExecuteTo runs the named plan ("" = most optimized) through the pull-based
+// iterator engine, streaming the constructed result into w instead of
+// building it in memory. Combined with the streaming Ξ operators, memory
+// stays bounded by the plan's pipeline-breaker state, not the output size.
+func (q *Query) ExecuteTo(w io.Writer, name string) (Stats, error) {
+	p, err := q.Plan(name)
+	if err != nil {
+		return Stats{}, err
+	}
+	bw := bufio.NewWriter(w)
+	ctx := algebra.NewCtxWriter(q.engine.docs, bw)
+	algebra.DrainIter(p.op, ctx, nil)
+	if err := bw.Flush(); err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		DocAccesses: ctx.Stats.DocAccesses,
+		NestedEvals: ctx.Stats.NestedEvals,
+		Tuples:      ctx.Stats.Tuples,
+	}, nil
+}
+
+// Query is the one-shot convenience API: compile and execute with the most
+// optimized plan.
+func (e *Engine) Query(text string) (string, error) {
+	q, err := e.Compile(text)
+	if err != nil {
+		return "", err
+	}
+	out, _, err := q.Execute("")
+	return out, err
+}

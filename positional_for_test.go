@@ -1,0 +1,128 @@
+package nalquery
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tests for XQuery's positional for binding "for $x at $i in e" — a
+// construct that only makes sense in the ordered context: $i is the 1-based
+// position of $x within the range sequence, which the engine's
+// order-preserving Υ operator assigns directly.
+
+func posEngine(t *testing.T) *Engine {
+	t.Helper()
+	eng := NewEngine()
+	if err := eng.LoadXMLString("bib.xml", `<bib>
+		<book><title>alpha</title></book>
+		<book><title>beta</title></book>
+		<book><title>gamma</title></book>
+		<book><title>delta</title></book>
+	</bib>`); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func squash(s string) string { return strings.Join(strings.Fields(s), "") }
+
+// TestPositionalForBinding: positions count the range sequence, 1-based,
+// in document order.
+func TestPositionalForBinding(t *testing.T) {
+	eng := posEngine(t)
+	out, err := eng.Query(`
+let $d := doc("bib.xml")
+for $b at $i in $d//book
+return <r>{ $i }:{ string($b/title) }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<r>1:alpha</r><r>2:beta</r><r>3:gamma</r><r>4:delta</r>"
+	if squash(out) != want {
+		t.Errorf("got %q, want %q", squash(out), want)
+	}
+}
+
+// TestPositionalForBeforeWhere: per XQuery, $i is the position in the
+// range, assigned before the where clause filters.
+func TestPositionalForBeforeWhere(t *testing.T) {
+	eng := posEngine(t)
+	out, err := eng.Query(`
+let $d := doc("bib.xml")
+for $b at $i in $d//book
+where $i > 2
+return <r>{ $i }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<r>3</r><r>4</r>"
+	if squash(out) != want {
+		t.Errorf("got %q, want %q", squash(out), want)
+	}
+}
+
+// TestPositionalForInPredicate: the positional variable joins into
+// value predicates, e.g. selecting every other item.
+func TestPositionalForEveryOther(t *testing.T) {
+	eng := posEngine(t)
+	out, err := eng.Query(`
+let $d := doc("bib.xml")
+for $b at $i in $d//book
+where ($i mod 2) = 1
+return <r>{ string($b/title) }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<r>alpha</r><r>gamma</r>"
+	if squash(out) != want {
+		t.Errorf("got %q, want %q", squash(out), want)
+	}
+}
+
+// TestPositionalForBothEngines: the iterator engine assigns the same
+// positions.
+func TestPositionalForBothEngines(t *testing.T) {
+	eng := posEngine(t)
+	q, err := eng.Compile(`
+let $d := doc("bib.xml")
+for $b at $i in $d//book
+return <r>{ $i }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, _, err := q.Execute("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, _, err := q.ExecuteStreaming("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat != str {
+		t.Errorf("materialized %q != streaming %q", mat, str)
+	}
+}
+
+// TestPositionalForResetsPerOuterTuple: in a nested iteration the position
+// restarts for every outer binding.
+func TestPositionalForResetsPerOuterTuple(t *testing.T) {
+	eng := NewEngine()
+	if err := eng.LoadXMLString("g.xml", `<g>
+		<grp><v>a</v><v>b</v></grp>
+		<grp><v>c</v></grp>
+	</g>`); err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Query(`
+let $d := doc("g.xml")
+for $g in $d//grp
+for $v at $i in $g/v
+return <r>{ $i }:{ string($v) }</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<r>1:a</r><r>2:b</r><r>1:c</r>"
+	if squash(out) != want {
+		t.Errorf("got %q, want %q", squash(out), want)
+	}
+}
