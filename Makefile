@@ -1,0 +1,26 @@
+# Build/verify targets. tier1 is the hard gate every PR must keep green;
+# bench-smoke additionally vets the tree and runs every benchmark family
+# once, catching benchmark-harness rot without paying for real measurement.
+
+GO ?= go
+
+.PHONY: tier1 vet test bench-smoke bench-json
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench-smoke: vet
+	$(GO) build ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-json regenerates BENCH_results.json, the machine-readable perf
+# trajectory (ns/op, B/op, allocs/op per experiment/plan/size).
+bench-json:
+	$(GO) run ./cmd/nalbench -json

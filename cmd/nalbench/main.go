@@ -15,21 +15,25 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"testing"
 
 	"nalquery/internal/experiments"
 )
 
 func main() {
 	var (
-		expID  = flag.String("exp", "all", "experiment id (q1, q1dblp, q2..q6, fig6, ablations, all)")
-		sizes  = flag.String("sizes", "", "comma-separated document sizes (default: the paper's 100,1000,10000)")
-		full   = flag.Bool("full", false, "run the quadratic nested plans at every size")
-		repeat = flag.Int("repeat", 1, "average over this many runs")
+		expID    = flag.String("exp", "all", "experiment id (q1, q1dblp, q2..q6, fig6, ablations, all)")
+		sizes    = flag.String("sizes", "", "comma-separated document sizes (default: the paper's 100,1000,10000)")
+		full     = flag.Bool("full", false, "run the quadratic nested plans at every size")
+		repeat   = flag.Int("repeat", 1, "average over this many runs")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable per-benchmark results (ns/op, B/op, allocs/op)")
+		jsonFile = flag.String("jsonfile", "BENCH_results.json", "output path for -json")
 	)
 	flag.Parse()
 
@@ -46,6 +50,14 @@ func main() {
 			}
 			opts.Sizes = append(opts.Sizes, n)
 		}
+	}
+
+	if *jsonOut {
+		if err := runJSON(*jsonFile, *expID, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "nalbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	switch *expID {
@@ -70,6 +82,88 @@ func main() {
 		}
 		runOne(exp, opts)
 	}
+}
+
+// benchRecord is one machine-readable measurement of the -json mode: the
+// perf trajectory file (BENCH_*.json) tracked across PRs.
+type benchRecord struct {
+	Experiment  string `json:"experiment"`
+	Plan        string `json:"plan"`
+	Size        int    `json:"size"`
+	APB         int    `json:"apb,omitempty"`
+	Runs        int    `json:"runs"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"b_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// runJSON measures every plan of the selected experiments with
+// testing.Benchmark and writes the records as JSON.
+func runJSON(path, expID string, opts experiments.Options) error {
+	exps := experiments.All()
+	if expID != "all" {
+		exp, ok := experiments.Find(expID)
+		if !ok {
+			// fig6 and the ablations have no per-plan Execute benchmarks.
+			return fmt.Errorf("-json measures query plans only (q1, q1dblp, q2..q6, all); %q has no plan benchmarks", expID)
+		}
+		exps = []experiments.Experiment{exp}
+	}
+	sizes := opts.Sizes
+	if len(sizes) == 0 {
+		// Unlike the text tables, -json defaults to the two sizes that keep
+		// a full sweep in CI range; say so instead of silently shrinking the
+		// coverage the -sizes help text promises.
+		sizes = []int{100, 1000}
+		fmt.Fprintf(os.Stderr, "nalbench: -json default sizes %v (pass -sizes to override, e.g. -sizes 100,1000,10000)\n", sizes)
+	}
+	// testing.Benchmark self-calibrates its iteration count, and varying
+	// experiments are measured at a single authors-per-book point.
+	if opts.Repeat > 1 {
+		fmt.Fprintln(os.Stderr, "nalbench: -json ignores -repeat (testing.Benchmark picks iteration counts)")
+	}
+	fmt.Fprintln(os.Stderr, "nalbench: -json measures authors-per-book=2 for varying experiments")
+	var recs []benchRecord
+	for _, exp := range exps {
+		for _, size := range sizes {
+			apb := 0
+			if exp.VaryAuthors {
+				apb = 2
+			}
+			eng := experiments.NewEngine(exp, size, apb)
+			q, err := eng.Compile(exp.Query)
+			if err != nil {
+				return fmt.Errorf("%s: %w", exp.ID, err)
+			}
+			for _, p := range q.Plans() {
+				if p.Name == "nested" && opts.MaxNestedSize > 0 && size > opts.MaxNestedSize {
+					continue
+				}
+				plan := p.Name
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, _, err := q.Execute(plan); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				recs = append(recs, benchRecord{
+					Experiment: exp.ID, Plan: plan, Size: size, APB: apb,
+					Runs: r.N, NsPerOp: r.NsPerOp(),
+					BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+				})
+				fmt.Fprintf(os.Stderr, "%s/plan=%s/size=%d: %d ns/op %d B/op %d allocs/op\n",
+					exp.ID, plan, size, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+			}
+		}
+	}
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
 }
 
 func runOne(exp experiments.Experiment, opts experiments.Options) {

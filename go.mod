@@ -1,0 +1,3 @@
+module nalquery
+
+go 1.22

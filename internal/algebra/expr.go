@@ -286,31 +286,7 @@ type ArithExpr struct {
 
 // Eval implements Expr.
 func (a ArithExpr) Eval(ctx *Ctx, env value.Tuple) value.Value {
-	l, lok := numArg(a.L.Eval(ctx, env))
-	r, rok := numArg(a.R.Eval(ctx, env))
-	if !lok || !rok {
-		return value.Null{}
-	}
-	switch a.Op {
-	case '+':
-		return value.Float(l + r)
-	case '-':
-		return value.Float(l - r)
-	case '*':
-		return value.Float(l * r)
-	case '/':
-		if r == 0 {
-			return value.Null{}
-		}
-		return value.Float(l / r)
-	case '%':
-		if r == 0 {
-			return value.Null{}
-		}
-		return value.Float(float64(int64(l) % int64(r)))
-	default:
-		return value.Null{}
-	}
+	return evalArith(a.Op, a.L.Eval(ctx, env), a.R.Eval(ctx, env))
 }
 
 func numArg(v value.Value) (float64, bool) {

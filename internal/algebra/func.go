@@ -288,9 +288,7 @@ func atomsOf(v value.Value) value.Seq {
 	case value.TupleSeq:
 		var out value.Seq
 		for _, t := range w {
-			for _, a := range t.Attrs() {
-				out = append(out, value.Atomize(t[a])...)
-			}
+			t.EachValue(func(x value.Value) { out = append(out, value.Atomize(x)...) })
 		}
 		return out
 	default:

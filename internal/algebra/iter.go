@@ -18,8 +18,39 @@ type Iterator interface {
 }
 
 // OpenIter builds the iterator tree for a plan under the given context and
-// free-variable environment.
+// free-variable environment. Plans whose schema resolves (see
+// ResolveSchema) execute on the slot-based row engine of rowiter.go, with
+// map tuples materialized only at this boundary; unresolvable plans run the
+// legacy map-based iterators.
 func OpenIter(op Op, ctx *Ctx, env value.Tuple) Iterator {
+	// A resolvable but non-native root would only round-trip every tuple
+	// map→row→map through the conversion shim; run it on the legacy engine
+	// directly (its children still dispatch through OpenIter and go
+	// slot-native where they can).
+	if sc, ok := ResolveSchema(op); ok && sc.Native {
+		return &rowTupleAdapter{in: openRowsSchema(op, sc, ctx, env)}
+	}
+	return openLegacy(op, ctx, env)
+}
+
+// rowTupleAdapter converts the row engine's output to map tuples at the
+// iterator API boundary.
+type rowTupleAdapter struct{ in RowIter }
+
+func (a *rowTupleAdapter) Next() (value.Tuple, bool) {
+	r, ok := a.in.Next()
+	if !ok {
+		return nil, false
+	}
+	return r.Tuple(), true
+}
+
+func (a *rowTupleAdapter) Close() { a.in.Close() }
+
+// openLegacy builds the map-based iterator tree — the fallback engine for
+// plans without a resolvable schema, and the executor behind the row
+// engine's conversion shim.
+func openLegacy(op Op, ctx *Ctx, env value.Tuple) Iterator {
 	switch w := op.(type) {
 	case Singleton:
 		return &sliceIter{ts: value.TupleSeq{value.EmptyTuple()}}
@@ -35,14 +66,7 @@ func OpenIter(op Op, ctx *Ctx, env value.Tuple) Iterator {
 		}}
 	case ProjectRename:
 		return &mapTupleIter{in: OpenIter(w.In, ctx, env), f: func(t value.Tuple) value.Tuple {
-			nt := t.Copy()
-			for _, r := range w.Pairs {
-				if v, ok := nt[r.Old]; ok {
-					delete(nt, r.Old)
-					nt[r.New] = v
-				}
-			}
-			return nt
+			return renameTuple(t, w.Pairs)
 		}}
 	case ProjectDistinct:
 		return newDistinctIter(OpenIter(w.In, ctx, env), w.Pairs)
@@ -96,9 +120,19 @@ func RunIter(op Op, ctx *Ctx, env value.Tuple) value.TupleSeq {
 }
 
 // DrainIter pulls a plan to completion discarding tuples — the execution
-// mode of a top-level query, where the Ξ side effects are the result.
+// mode of a top-level query, where the Ξ side effects are the result. On
+// the row engine no map tuple is ever materialized.
 func DrainIter(op Op, ctx *Ctx, env value.Tuple) {
-	it := OpenIter(op, ctx, env)
+	if sc, ok := ResolveSchema(op); ok && sc.Native {
+		rit := openRowsSchema(op, sc, ctx, env)
+		defer rit.Close()
+		for {
+			if _, ok := rit.Next(); !ok {
+				return
+			}
+		}
+	}
+	it := openLegacy(op, ctx, env)
 	defer it.Close()
 	for {
 		if _, ok := it.Next(); !ok {

@@ -96,6 +96,9 @@ func attrSet(op Op) map[string]bool {
 }
 
 func hashKey(t value.Tuple, attrs []string) string {
+	if len(attrs) == 1 {
+		return value.Key(t[attrs[0]])
+	}
 	var sb strings.Builder
 	for _, a := range attrs {
 		sb.WriteString(value.Key(t[a]))

@@ -228,16 +228,33 @@ func (p ProjectRename) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 	in := p.In.Eval(ctx, env)
 	out := make(value.TupleSeq, len(in))
 	for i, t := range in {
-		nt := t.Copy()
-		for _, r := range p.Pairs {
-			if v, ok := nt[r.Old]; ok {
-				delete(nt, r.Old)
-				nt[r.New] = v
-			}
-		}
-		out[i] = nt
+		out[i] = renameTuple(t, p.Pairs)
 	}
 	return out
+}
+
+// renameTuple applies the rename pairs as a simultaneous substitution on the
+// original tuple, so chains and swaps (a→b, b→a) cannot clobber each other
+// the way sequential in-place renaming does.
+func renameTuple(t value.Tuple, pairs []Rename) value.Tuple {
+	renamed := make(map[string]bool, len(pairs))
+	for _, r := range pairs {
+		if _, ok := t[r.Old]; ok {
+			renamed[r.Old] = true
+		}
+	}
+	nt := make(value.Tuple, len(t))
+	for k, v := range t {
+		if !renamed[k] {
+			nt[k] = v
+		}
+	}
+	for _, r := range pairs {
+		if v, ok := t[r.Old]; ok {
+			nt[r.New] = v
+		}
+	}
+	return nt
 }
 
 func (p ProjectRename) String() string {

@@ -1,0 +1,1135 @@
+package algebra
+
+import (
+	"sort"
+
+	"nalquery/internal/value"
+)
+
+// This file is the slot-based pull engine: the open-next-close iterators of
+// iter.go re-implemented over value.Row. The schema-resolution pass
+// (schema.go) fixes every operator's attribute→slot mapping at plan time;
+// the iterators then produce rows with one value-slice allocation (often
+// zero: σ and Ξ pass rows through, ΠA′:A swaps the layout pointer and keeps
+// the slice). Map-based tuples survive only at two boundaries: inside
+// TupleSeq values (group attributes, nested query results), and in the
+// conversion shim that runs structurally untyped operators through the
+// definitional evaluator.
+//
+// Rows are immutable once emitted. Operators may retain received rows
+// (sort, hash build, the group-detecting Ξ's previous row) without copying;
+// producers therefore never reuse an emitted value slice.
+
+// RowIter is the slot-based iterator interface.
+type RowIter interface {
+	Next() (value.Row, bool)
+	Close()
+}
+
+// openRows builds the slot-based iterator tree for a plan. ok=false means
+// the plan's schema does not resolve and only the map-based engine applies.
+//
+// Schema resolution is re-derived per level while opening (a node at depth
+// d is resolved O(d) times), so plan open is quadratic in plan size in the
+// worst case. Plans are tens of nodes and resolution is allocation-light
+// next to execution, so this stays far below measurement noise; memoization
+// would need operator identity, which the value-typed Op trees don't have.
+func openRows(op Op, ctx *Ctx, env value.Tuple) (RowIter, *value.Layout, bool) {
+	sc, ok := ResolveSchema(op)
+	if !ok {
+		return nil, nil, false
+	}
+	return openRowsSchema(op, sc, ctx, env), sc.Lay, true
+}
+
+// openRowsSchema opens an operator whose schema is already resolved.
+func openRowsSchema(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
+	if sc.Native {
+		if it := openNative(op, sc, ctx, env); it != nil {
+			return it
+		}
+	}
+	// Conversion shim: run the operator on the map engine and re-type its
+	// tuples under the resolved layout.
+	return &tupleRowIter{in: openLegacy(op, ctx, env), lay: sc.Lay}
+}
+
+// openNative constructs the slot-native iterator for a structurally resolved
+// operator; nil falls back to the conversion shim.
+func openNative(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
+	switch w := op.(type) {
+	case Singleton:
+		return &rowSliceIter{rows: []value.Row{value.NewRow(sc.Lay)}}
+
+	case Select:
+		in, insc, ok := openRowsChild(w.In, ctx, env)
+		if !ok {
+			return nil
+		}
+		return &rowSelectIter{in: in, pred: compileExpr(w.Pred, insc, env), ctx: ctx}
+
+	case Project:
+		return openSlotMap(w.In, sc, ctx, env, func(in *value.Layout) ([]int, bool) {
+			_, src := in.Project(w.Names)
+			return src, src != nil
+		})
+
+	case ProjectDrop:
+		return openSlotMap(w.In, sc, ctx, env, func(in *value.Layout) ([]int, bool) {
+			_, src := in.Drop(w.Names)
+			return src, true
+		})
+
+	case XiGroup:
+		return openRowXiGroup(w, ctx, env)
+
+	case ProjectRename:
+		in, _, ok := openRowsChild(w.In, ctx, env)
+		if !ok {
+			return nil
+		}
+		return &rowRenameIter{in: in, lay: sc.Lay}
+
+	case ProjectDistinct:
+		in, insc, ok := openRowsChild(w.In, ctx, env)
+		if !ok {
+			return nil
+		}
+		src := make([]int, len(w.Pairs))
+		for i, r := range w.Pairs {
+			if s, ok := insc.Lay.Slot(r.Old); ok {
+				src[i] = s
+			} else {
+				src[i] = -1
+			}
+		}
+		all := make([]int, sc.Lay.Width())
+		for i := range all {
+			all[i] = i
+		}
+		return &rowDistinctIter{in: in, lay: sc.Lay, src: src, allSlots: all,
+			seen: map[value.HashKey]bool{}}
+
+	case Map:
+		in, insc, ok := openRowsChild(w.In, ctx, env)
+		if !ok {
+			return nil
+		}
+		_, slot := insc.Lay.Extend(w.Attr)
+		return &rowMapIter{in: in, lay: sc.Lay, slot: slot,
+			e: compileExpr(w.E, insc, env), ctx: ctx}
+
+	case UnnestMap:
+		in, insc, ok := openRowsChild(w.In, ctx, env)
+		if !ok {
+			return nil
+		}
+		lay, slot := insc.Lay.Extend(w.Attr)
+		posSlot := -1
+		if w.PosAttr != "" {
+			lay, posSlot = lay.Extend(w.PosAttr)
+		}
+		return &rowUnnestMapIter{in: in, lay: lay, slot: slot, posSlot: posSlot,
+			e: compileExpr(w.E, insc, env), ctx: ctx}
+
+	case XiSimple:
+		in, insc, ok := openRowsChild(w.In, ctx, env)
+		if !ok {
+			return nil
+		}
+		return &rowXiIter{in: in, cmds: compileCommands(w.Cmds, insc, env), ctx: ctx}
+
+	case XiGroupStream:
+		insc, ok := ResolveSchema(w.In)
+		if !ok {
+			return nil
+		}
+		by, ok := slotsOf(insc.Lay, w.By)
+		if !ok {
+			return nil
+		}
+		in := openRowsSchema(w.In, insc, ctx, env)
+		return &rowXiGroupStreamIter{in: in, by: by, ctx: ctx,
+			s1: compileCommands(w.S1, insc, env),
+			s2: compileCommands(w.S2, insc, env),
+			s3: compileCommands(w.S3, insc, env)}
+
+	case Sort:
+		insc, ok := ResolveSchema(w.In)
+		if !ok {
+			return nil
+		}
+		by, ok := slotsOf(insc.Lay, w.By)
+		if !ok {
+			return nil
+		}
+		rows := drainRows(openRowsSchema(w.In, insc, ctx, env))
+		sort.SliceStable(rows, func(i, j int) bool {
+			return lessRowsDirs(rows[i], rows[j], by, w.Dirs)
+		})
+		return &rowSliceIter{rows: rows}
+
+	case AttachSeq:
+		in, insc, ok := openRowsChild(w.In, ctx, env)
+		if !ok {
+			return nil
+		}
+		_, slot := insc.Lay.Extend(w.Attr)
+		return &rowAttachSeqIter{in: in, lay: sc.Lay, slot: slot}
+
+	case Cross:
+		left, _, ok := openRowsChild(w.L, ctx, env)
+		if !ok {
+			return nil
+		}
+		right, _, rok := openRowsChild(w.R, ctx, env)
+		if !rok {
+			left.Close()
+			return nil
+		}
+		return &rowCrossIter{left: left, right: drainRows(right), lay: sc.Lay, pos: -1}
+
+	case Join:
+		return openRowJoin(w.L, w.R, w.Pred, sc, ctx, env, joinModeInner, "", nil)
+	case SemiJoin:
+		return openRowJoin(w.L, w.R, w.Pred, sc, ctx, env, joinModeSemi, "", nil)
+	case AntiJoin:
+		return openRowJoin(w.L, w.R, w.Pred, sc, ctx, env, joinModeAnti, "", nil)
+	case OuterJoin:
+		return openRowJoin(w.L, w.R, w.Pred, sc, ctx, env, joinModeOuter, w.G, w.Default)
+
+	case GroupUnary:
+		return openRowGroupUnary(w, sc, ctx, env)
+	case GroupBinary:
+		return openRowGroupBinary(w, sc, ctx, env)
+
+	case Unnest:
+		return openRowUnnest(w.In, w.Attr, w.InnerAttrs, sc, ctx, env, true)
+	case UnnestDistinct:
+		return openRowUnnest(w.In, w.Attr, nil, sc, ctx, env, false)
+
+	default:
+		return nil
+	}
+}
+
+// openRowsChild opens a child subtree, returning its schema alongside.
+func openRowsChild(op Op, ctx *Ctx, env value.Tuple) (RowIter, Schema, bool) {
+	sc, ok := ResolveSchema(op)
+	if !ok {
+		return nil, Schema{}, false
+	}
+	return openRowsSchema(op, sc, ctx, env), sc, true
+}
+
+// drainRows materializes an iterator's remaining rows and closes it.
+func drainRows(it RowIter) []value.Row {
+	var out []value.Row
+	for {
+		r, ok := it.Next()
+		if !ok {
+			it.Close()
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// rowsToTuples converts materialized rows for map-level consumers
+// (SeqFunc.Apply group payloads).
+func rowsToTuples(rows []value.Row) value.TupleSeq {
+	out := make(value.TupleSeq, len(rows))
+	for i, r := range rows {
+		out[i] = r.Tuple()
+	}
+	return out
+}
+
+// groupApplier compiles a SeqFunc against the layout of the group's member
+// rows. Functions that ignore tuple structure (count) or read one attribute
+// (the aggregates) run straight off the slots; everything else materializes
+// the group as map tuples, which downstream consumers (µ, Ξ, AsSeq) expect
+// inside TupleSeq values anyway.
+func groupApplier(f SeqFunc, lay *value.Layout) func(ctx *Ctx, env value.Tuple, rows []value.Row) value.Value {
+	switch w := f.(type) {
+	case SFCount:
+		return func(_ *Ctx, _ value.Tuple, rows []value.Row) value.Value {
+			return value.Int(int64(len(rows)))
+		}
+	case SFAgg:
+		if slot, ok := lay.Slot(w.Attr); ok {
+			return func(_ *Ctx, _ value.Tuple, rows []value.Row) value.Value {
+				var atoms value.Seq
+				for _, r := range rows {
+					atoms = append(atoms, value.Atomize(r.Vals[slot])...)
+				}
+				return aggregate(w.Fn, atoms)
+			}
+		}
+	case SFProject:
+		// Project straight off the slots: one map per member instead of the
+		// full-tuple conversion followed by Tuple.Project.
+		slots := make([]int, len(w.Attrs))
+		for i, a := range w.Attrs {
+			if s, ok := lay.Slot(a); ok {
+				slots[i] = s
+			} else {
+				slots[i] = -1
+			}
+		}
+		return func(_ *Ctx, _ value.Tuple, rows []value.Row) value.Value {
+			out := make(value.TupleSeq, len(rows))
+			for i, r := range rows {
+				t := make(value.Tuple, len(slots))
+				for j, s := range slots {
+					if s >= 0 {
+						if v := r.Vals[s]; v != nil {
+							t[w.Attrs[j]] = v
+						}
+					}
+				}
+				out[i] = t
+			}
+			return out
+		}
+	}
+	return func(ctx *Ctx, env value.Tuple, rows []value.Row) value.Value {
+		return f.Apply(ctx, env, rowsToTuples(rows))
+	}
+}
+
+// ---- elementary iterators ----
+
+type rowSliceIter struct {
+	rows []value.Row
+	pos  int
+}
+
+func (s *rowSliceIter) Next() (value.Row, bool) {
+	if s.pos >= len(s.rows) {
+		return value.Row{}, false
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true
+}
+
+func (s *rowSliceIter) Close() { s.rows = nil }
+
+// tupleRowIter is the conversion shim: it streams a map-based iterator and
+// re-types every tuple under the resolved layout.
+type tupleRowIter struct {
+	in  Iterator
+	lay *value.Layout
+}
+
+func (s *tupleRowIter) Next() (value.Row, bool) {
+	t, ok := s.in.Next()
+	if !ok {
+		return value.Row{}, false
+	}
+	return value.RowFromTuple(s.lay, t), true
+}
+
+func (s *tupleRowIter) Close() { s.in.Close() }
+
+type rowSelectIter struct {
+	in   RowIter
+	pred RowExpr
+	ctx  *Ctx
+}
+
+func (s *rowSelectIter) Next() (value.Row, bool) {
+	for {
+		r, ok := s.in.Next()
+		if !ok {
+			return value.Row{}, false
+		}
+		if value.EffectiveBool(s.pred(s.ctx, r)) {
+			return r, true
+		}
+	}
+}
+
+func (s *rowSelectIter) Close() { s.in.Close() }
+
+// openSlotMap builds the slot-copy iterator shared by Π and Π̄.
+func openSlotMap(child Op, sc Schema, ctx *Ctx, env value.Tuple,
+	mapping func(in *value.Layout) ([]int, bool)) RowIter {
+	insc, ok := ResolveSchema(child)
+	if !ok {
+		return nil
+	}
+	src, ok := mapping(insc.Lay)
+	if !ok {
+		return nil
+	}
+	in, _, ok := openRows(child, ctx, env)
+	if !ok {
+		return nil
+	}
+	return &rowSlotMapIter{in: in, lay: sc.Lay, src: src}
+}
+
+type rowSlotMapIter struct {
+	in  RowIter
+	lay *value.Layout
+	src []int
+}
+
+func (m *rowSlotMapIter) Next() (value.Row, bool) {
+	r, ok := m.in.Next()
+	if !ok {
+		return value.Row{}, false
+	}
+	return value.MapSlots(m.lay, m.src, r), true
+}
+
+func (m *rowSlotMapIter) Close() { m.in.Close() }
+
+// rowRenameIter implements ΠA′:A as a pure layout swap: zero copies, zero
+// allocations per tuple.
+type rowRenameIter struct {
+	in  RowIter
+	lay *value.Layout
+}
+
+func (m *rowRenameIter) Next() (value.Row, bool) {
+	r, ok := m.in.Next()
+	if !ok {
+		return value.Row{}, false
+	}
+	return value.Row{Lay: m.lay, Vals: r.Vals}, true
+}
+
+func (m *rowRenameIter) Close() { m.in.Close() }
+
+type rowDistinctIter struct {
+	in       RowIter
+	lay      *value.Layout
+	src      []int
+	allSlots []int // 0..width-1, the distinct key spans every output slot
+	seen     map[value.HashKey]bool
+}
+
+func (d *rowDistinctIter) Next() (value.Row, bool) {
+	for {
+		r, ok := d.in.Next()
+		if !ok {
+			return value.Row{}, false
+		}
+		out := value.MapSlots(d.lay, d.src, r)
+		key := rowKey(out, d.allSlots)
+		if !d.seen[key] {
+			d.seen[key] = true
+			return out, true
+		}
+	}
+}
+
+func (d *rowDistinctIter) Close() { d.in.Close() }
+
+type rowMapIter struct {
+	in   RowIter
+	lay  *value.Layout
+	slot int
+	e    RowExpr
+	ctx  *Ctx
+}
+
+func (m *rowMapIter) Next() (value.Row, bool) {
+	r, ok := m.in.Next()
+	if !ok {
+		return value.Row{}, false
+	}
+	vals := make([]value.Value, m.lay.Width())
+	copy(vals, r.Vals)
+	vals[m.slot] = m.e(m.ctx, r)
+	return value.Row{Lay: m.lay, Vals: vals}, true
+}
+
+func (m *rowMapIter) Close() { m.in.Close() }
+
+type rowUnnestMapIter struct {
+	in      RowIter
+	lay     *value.Layout
+	slot    int
+	posSlot int
+	e       RowExpr
+	ctx     *Ctx
+
+	cur     value.Row
+	pending value.Seq
+	pos     int
+}
+
+func (u *rowUnnestMapIter) Next() (value.Row, bool) {
+	for {
+		if u.pos < len(u.pending) {
+			vals := make([]value.Value, u.lay.Width())
+			copy(vals, u.cur.Vals)
+			vals[u.slot] = u.pending[u.pos]
+			if u.posSlot >= 0 {
+				vals[u.posSlot] = value.Int(int64(u.pos + 1))
+			}
+			u.pos++
+			u.ctx.Stats.Tuples++
+			return value.Row{Lay: u.lay, Vals: vals}, true
+		}
+		r, ok := u.in.Next()
+		if !ok {
+			return value.Row{}, false
+		}
+		u.cur = r
+		u.pending = value.AsSeq(u.e(u.ctx, r))
+		u.pos = 0
+	}
+}
+
+func (u *rowUnnestMapIter) Close() { u.in.Close() }
+
+type rowXiIter struct {
+	in   RowIter
+	cmds []compiledCmd
+	ctx  *Ctx
+}
+
+func (x *rowXiIter) Next() (value.Row, bool) {
+	r, ok := x.in.Next()
+	if !ok {
+		return value.Row{}, false
+	}
+	execCompiled(x.ctx, r, x.cmds)
+	return r, true
+}
+
+func (x *rowXiIter) Close() { x.in.Close() }
+
+type rowXiGroupStreamIter struct {
+	in         RowIter
+	by         []int
+	s1, s2, s3 []compiledCmd
+	ctx        *Ctx
+
+	prev    value.Row
+	hasPrev bool
+	closed  bool
+}
+
+func (x *rowXiGroupStreamIter) Next() (value.Row, bool) {
+	r, ok := x.in.Next()
+	if !ok {
+		if x.hasPrev && !x.closed {
+			execCompiled(x.ctx, x.prev, x.s3)
+			x.closed = true
+		}
+		return value.Row{}, false
+	}
+	if !x.hasPrev {
+		execCompiled(x.ctx, r, x.s1)
+	} else if !sameGroupRows(x.prev, r, x.by) {
+		execCompiled(x.ctx, x.prev, x.s3)
+		execCompiled(x.ctx, r, x.s1)
+	}
+	execCompiled(x.ctx, r, x.s2)
+	x.prev = r
+	x.hasPrev = true
+	return r, true
+}
+
+func (x *rowXiGroupStreamIter) Close() { x.in.Close() }
+
+// openRowXiGroup implements the hash-bucket Γ-Ξ: it materializes the input,
+// fires S1/S2/S3 per first-occurrence group, and streams the input rows
+// unchanged — the slot twin of XiGroup.Eval.
+func openRowXiGroup(x XiGroup, ctx *Ctx, env value.Tuple) RowIter {
+	insc, ok := ResolveSchema(x.In)
+	if !ok {
+		return nil
+	}
+	by, ok := slotsOf(insc.Lay, x.By)
+	if !ok {
+		return nil
+	}
+	rows := drainRows(openRowsSchema(x.In, insc, ctx, env))
+	var keys []value.HashKey
+	buckets := map[value.HashKey][]value.Row{}
+	for _, r := range rows {
+		k := rowKey(r, by)
+		if _, ok := buckets[k]; !ok {
+			keys = append(keys, k)
+		}
+		buckets[k] = append(buckets[k], r)
+	}
+	s1 := compileCommands(x.S1, insc, env)
+	s2 := compileCommands(x.S2, insc, env)
+	s3 := compileCommands(x.S3, insc, env)
+	for _, k := range keys {
+		grp := buckets[k]
+		execCompiled(ctx, grp[0], s1)
+		for _, r := range grp {
+			execCompiled(ctx, r, s2)
+		}
+		execCompiled(ctx, grp[len(grp)-1], s3)
+	}
+	return &rowSliceIter{rows: rows}
+}
+
+func sameGroupRows(a, b value.Row, by []int) bool {
+	for _, s := range by {
+		if value.KeyOf(a.Vals[s]) != value.KeyOf(b.Vals[s]) {
+			return false
+		}
+	}
+	return true
+}
+
+func lessRowsDirs(a, b value.Row, by []int, dirs []bool) bool {
+	for i, s := range by {
+		desc := i < len(dirs) && dirs[i]
+		av := value.AtomizeSingle(a.Vals[s])
+		bv := value.AtomizeSingle(b.Vals[s])
+		switch {
+		case av == nil && bv == nil:
+			continue
+		case av == nil:
+			return !desc
+		case bv == nil:
+			return desc
+		}
+		lt, gt := value.CmpLt, value.CmpGt
+		if desc {
+			lt, gt = gt, lt
+		}
+		if value.CompareAtomic(av, bv, lt) {
+			return true
+		}
+		if value.CompareAtomic(av, bv, gt) {
+			return false
+		}
+	}
+	return false
+}
+
+type rowAttachSeqIter struct {
+	in   RowIter
+	lay  *value.Layout
+	slot int
+	seq  int64
+}
+
+func (a *rowAttachSeqIter) Next() (value.Row, bool) {
+	r, ok := a.in.Next()
+	if !ok {
+		return value.Row{}, false
+	}
+	vals := make([]value.Value, a.lay.Width())
+	copy(vals, r.Vals)
+	vals[a.slot] = value.Int(a.seq)
+	a.seq++
+	return value.Row{Lay: a.lay, Vals: vals}, true
+}
+
+func (a *rowAttachSeqIter) Close() { a.in.Close() }
+
+type rowCrossIter struct {
+	left  RowIter
+	right []value.Row
+	lay   *value.Layout
+
+	cur  value.Row
+	pos  int
+	done bool
+}
+
+func (c *rowCrossIter) Next() (value.Row, bool) {
+	for {
+		if c.done {
+			return value.Row{}, false
+		}
+		if c.pos >= 0 && c.pos < len(c.right) {
+			r := value.ConcatRows(c.lay, c.cur, c.right[c.pos])
+			c.pos++
+			return r, true
+		}
+		lt, ok := c.left.Next()
+		if !ok {
+			c.done = true
+			return value.Row{}, false
+		}
+		c.cur = lt
+		c.pos = 0
+		if len(c.right) == 0 {
+			c.pos = len(c.right)
+		}
+	}
+}
+
+func (c *rowCrossIter) Close() { c.left.Close() }
+
+// ---- join family ----
+
+// rowJoinPlan is the slot twin of joinPlan: build side materialized as rows,
+// hashed on the key slots.
+type rowJoinPlan struct {
+	lSlots   []int
+	rSlots   []int
+	residual RowExpr // over the concatenated layout
+	catLay   *value.Layout
+	hash     map[value.HashKey][]value.Row
+	right    []value.Row
+	useHash  bool
+}
+
+func (jp *rowJoinPlan) candidates(lt value.Row) []value.Row {
+	if jp.useHash {
+		return jp.hash[rowKey(lt, jp.lSlots)]
+	}
+	return jp.right
+}
+
+func (jp *rowJoinPlan) matches(ctx *Ctx, lt value.Row, dst []value.Row) []value.Row {
+	cand := jp.candidates(lt)
+	if jp.residual == nil {
+		return cand
+	}
+	dst = dst[:0]
+	for _, rt := range cand {
+		if value.EffectiveBool(jp.residual(ctx, value.ConcatRows(jp.catLay, lt, rt))) {
+			dst = append(dst, rt)
+		}
+	}
+	return dst
+}
+
+func (jp *rowJoinPlan) anyMatch(ctx *Ctx, lt value.Row) bool {
+	cand := jp.candidates(lt)
+	if jp.residual == nil {
+		return len(cand) > 0
+	}
+	for _, rt := range cand {
+		if value.EffectiveBool(jp.residual(ctx, value.ConcatRows(jp.catLay, lt, rt))) {
+			return true
+		}
+	}
+	return false
+}
+
+type rowJoinIter struct {
+	left RowIter
+	jp   rowJoinPlan
+	mode joinMode
+	lay  *value.Layout // output layout (concat for inner/outer, left for semi/anti)
+	ctx  *Ctx
+	env  value.Tuple
+
+	gSlot   int
+	def     SeqFunc
+	padFrom int // first right slot in the concatenated layout
+	cur     value.Row
+	pending []value.Row
+	pool    []value.Row
+	pos     int
+}
+
+func openRowJoin(l, r Op, pred Expr, sc Schema, ctx *Ctx, env value.Tuple,
+	mode joinMode, g string, def SeqFunc) RowIter {
+	lsc, lok := ResolveSchema(l)
+	rsc, rok := ResolveSchema(r)
+	if !lok || !rok {
+		return nil
+	}
+	catLay, cok := lsc.Lay.Concat(rsc.Lay)
+	if !cok {
+		return nil
+	}
+	gSlot := -1
+	if mode == joinModeOuter {
+		s, ok := catLay.Slot(g)
+		if !ok {
+			return nil // G outside the right schema: map semantics needed
+		}
+		gSlot = s
+	}
+
+	left := openRowsSchema(l, lsc, ctx, env)
+	jp := rowJoinPlan{catLay: catLay, right: drainRows(openRowsSchema(r, rsc, ctx, env))}
+
+	if pairs, residual, ok := splitEqPred(pred, attrBoolSet(lsc.Lay), attrBoolSet(rsc.Lay)); ok {
+		var lKeys, rKeys []string
+		for _, p := range pairs {
+			lKeys = append(lKeys, p.Left)
+			rKeys = append(rKeys, p.Right)
+		}
+		jp.lSlots, _ = slotsOf(lsc.Lay, lKeys)
+		jp.rSlots, _ = slotsOf(rsc.Lay, rKeys)
+		jp.hash = make(map[value.HashKey][]value.Row, len(jp.right))
+		for _, rt := range jp.right {
+			k := rowKey(rt, jp.rSlots)
+			jp.hash[k] = append(jp.hash[k], rt)
+		}
+		jp.useHash = true
+		if residual != nil {
+			jp.residual = compileExpr(residual, Schema{Lay: catLay}, env)
+		}
+	} else {
+		jp.residual = compileExpr(pred, Schema{Lay: catLay}, env)
+	}
+
+	it := &rowJoinIter{left: left, jp: jp, mode: mode, ctx: ctx, env: env,
+		gSlot: gSlot, def: def, padFrom: lsc.Lay.Width()}
+	switch mode {
+	case joinModeSemi, joinModeAnti:
+		it.lay = lsc.Lay
+	default:
+		it.lay = catLay
+	}
+	return it
+}
+
+func attrBoolSet(lay *value.Layout) map[string]bool {
+	m := make(map[string]bool, lay.Width())
+	for _, n := range lay.Names() {
+		m[n] = true
+	}
+	return m
+}
+
+func (j *rowJoinIter) Next() (value.Row, bool) {
+	for {
+		if j.pos < len(j.pending) {
+			r := value.ConcatRows(j.lay, j.cur, j.pending[j.pos])
+			j.pos++
+			return r, true
+		}
+		lt, ok := j.left.Next()
+		if !ok {
+			return value.Row{}, false
+		}
+		switch j.mode {
+		case joinModeSemi:
+			if j.jp.anyMatch(j.ctx, lt) {
+				return lt, true
+			}
+		case joinModeAnti:
+			if !j.jp.anyMatch(j.ctx, lt) {
+				return lt, true
+			}
+		case joinModeInner:
+			j.cur = lt
+			j.pool = j.jp.matches(j.ctx, lt, j.pool)
+			j.pending = j.pool
+			j.pos = 0
+		case joinModeOuter:
+			ms := j.jp.matches(j.ctx, lt, j.pool)
+			if len(ms) == 0 {
+				vals := make([]value.Value, j.lay.Width())
+				copy(vals, lt.Vals)
+				for i := j.padFrom; i < len(vals); i++ {
+					vals[i] = value.Null{}
+				}
+				vals[j.gSlot] = j.def.Apply(j.ctx, j.env, nil)
+				return value.Row{Lay: j.lay, Vals: vals}, true
+			}
+			j.cur = lt
+			j.pool = ms
+			j.pending = ms
+			j.pos = 0
+		}
+	}
+}
+
+func (j *rowJoinIter) Close() { j.left.Close() }
+
+// ---- grouping ----
+
+func openRowGroupUnary(g GroupUnary, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
+	insc, ok := ResolveSchema(g.In)
+	if !ok {
+		return nil
+	}
+	by, ok := slotsOf(insc.Lay, g.By)
+	if !ok {
+		return nil
+	}
+	gSlot, _ := sc.Lay.Slot(g.G)
+	outBy, _ := slotsOf(sc.Lay, g.By)
+	rows := drainRows(openRowsSchema(g.In, insc, ctx, env))
+	apply := groupApplier(g.F, insc.Lay)
+
+	var out []value.Row
+	emit := func(key value.Row, v value.Value) {
+		vals := make([]value.Value, sc.Lay.Width())
+		for i, s := range by {
+			vals[outBy[i]] = key.Vals[s]
+		}
+		vals[gSlot] = v
+		out = append(out, value.Row{Lay: sc.Lay, Vals: vals})
+	}
+
+	if g.Theta == value.CmpEq {
+		var keys []value.HashKey
+		buckets := map[value.HashKey][]value.Row{}
+		for _, r := range rows {
+			k := rowKey(r, by)
+			if _, ok := buckets[k]; !ok {
+				keys = append(keys, k)
+			}
+			buckets[k] = append(buckets[k], r)
+		}
+		for _, k := range keys {
+			b := buckets[k]
+			emit(b[0], apply(ctx, env, b))
+		}
+		return &rowSliceIter{rows: out}
+	}
+
+	// General θ: compare every distinct key against every input row.
+	var keyRows []value.Row
+	seen := map[value.HashKey]bool{}
+	for _, r := range rows {
+		k := rowKey(r, by)
+		if !seen[k] {
+			seen[k] = true
+			keyRows = append(keyRows, r)
+		}
+	}
+	for _, kr := range keyRows {
+		var grp []value.Row
+		for _, r := range rows {
+			if thetaMatchRows(kr, r, by, by, g.Theta) {
+				grp = append(grp, r)
+			}
+		}
+		emit(kr, apply(ctx, env, grp))
+	}
+	return &rowSliceIter{rows: out}
+}
+
+func thetaMatchRows(a, b value.Row, as, bs []int, op value.CmpOp) bool {
+	for i := range as {
+		av := value.AtomizeSingle(a.Vals[as[i]])
+		bv := value.AtomizeSingle(b.Vals[bs[i]])
+		if av == nil || bv == nil || !value.CompareAtomic(av, bv, op) {
+			return false
+		}
+	}
+	return true
+}
+
+func openRowGroupBinary(g GroupBinary, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
+	lsc, lok := ResolveSchema(g.L)
+	rsc, rok := ResolveSchema(g.R)
+	if !lok || !rok {
+		return nil
+	}
+	lSlots, ok1 := slotsOf(lsc.Lay, g.LAttrs)
+	rSlots, ok2 := slotsOf(rsc.Lay, g.RAttrs)
+	if !ok1 || !ok2 {
+		return nil
+	}
+	gSlot, _ := sc.Lay.Slot(g.G)
+
+	left := openRowsSchema(g.L, lsc, ctx, env)
+
+	it := &rowGroupBinaryIter{left: left, lay: sc.Lay, gSlot: gSlot,
+		apply: groupApplier(g.F, rsc.Lay), ctx: ctx, env: env,
+		lSlots: lSlots, rSlots: rSlots, theta: g.Theta}
+	// The build side materializes lazily on the first left tuple, so an
+	// empty left input never evaluates R — matching GroupBinary.Eval's
+	// short-circuit.
+	it.build = func() {
+		rRows := drainRows(openRowsSchema(g.R, rsc, ctx, env))
+		if g.Theta == value.CmpEq && !g.ForceScan {
+			it.hash = make(map[value.HashKey][]value.Row, len(rRows))
+			for _, r := range rRows {
+				k := rowKey(r, rSlots)
+				it.hash[k] = append(it.hash[k], r)
+			}
+			it.applied = make(map[value.HashKey]value.Value, len(it.hash))
+			return
+		}
+		it.scanRows = rRows
+	}
+	return it
+}
+
+type rowGroupBinaryIter struct {
+	left  RowIter
+	lay   *value.Layout
+	gSlot int
+	apply func(ctx *Ctx, env value.Tuple, rows []value.Row) value.Value
+	ctx   *Ctx
+	env   value.Tuple
+
+	// build materializes the right input on the first left tuple.
+	build func()
+	built bool
+
+	// hash path; applied caches f per distinct key, so shared groups are
+	// materialized once (and, like the map engine's shared bucket slices,
+	// shared as values across output tuples).
+	hash    map[value.HashKey][]value.Row
+	applied map[value.HashKey]value.Value
+	lSlots  []int
+
+	// scan path
+	scanRows []value.Row
+	rSlots   []int
+	theta    value.CmpOp
+}
+
+func (g *rowGroupBinaryIter) Next() (value.Row, bool) {
+	lt, ok := g.left.Next()
+	if !ok {
+		return value.Row{}, false
+	}
+	if !g.built {
+		g.built = true
+		g.build()
+	}
+	var gv value.Value
+	if g.hash != nil {
+		k := rowKey(lt, g.lSlots)
+		var cached bool
+		if gv, cached = g.applied[k]; !cached {
+			gv = g.apply(g.ctx, g.env, g.hash[k])
+			g.applied[k] = gv
+		}
+	} else {
+		var grp []value.Row
+		for _, r := range g.scanRows {
+			if thetaMatchRows(lt, r, g.lSlots, g.rSlots, g.theta) {
+				grp = append(grp, r)
+			}
+		}
+		gv = g.apply(g.ctx, g.env, grp)
+	}
+	vals := make([]value.Value, g.lay.Width())
+	copy(vals, lt.Vals)
+	vals[g.gSlot] = gv
+	return value.Row{Lay: g.lay, Vals: vals}, true
+}
+
+func (g *rowGroupBinaryIter) Close() { g.left.Close() }
+
+// ---- unnest ----
+
+// openRowUnnest builds µ (pad=true) / µD (pad=false): the group attribute's
+// tuples are spliced into slots computed at plan time. Attributes of the
+// inner tuples that collide with kept input attributes overwrite them,
+// matching the map engine's Concat semantics.
+func openRowUnnest(child Op, attr string, innerAttrs []string, sc Schema, ctx *Ctx, env value.Tuple, pad bool) RowIter {
+	insc, ok := ResolveSchema(child)
+	if !ok {
+		return nil
+	}
+	inner := insc.nested(attr)
+	if innerAttrs != nil {
+		inner = value.NewLayout(innerAttrs...)
+	}
+	if inner == nil {
+		return nil
+	}
+	gSlot, ok := insc.Lay.Slot(attr)
+	if !ok {
+		return nil
+	}
+	// Base mapping: kept input slots into the output layout.
+	baseLay, baseSrc := insc.Lay.Drop([]string{attr})
+	baseDst := make([]int, baseLay.Width())
+	for i, n := range baseLay.Names() {
+		d, ok := sc.Lay.Slot(n)
+		if !ok {
+			return nil
+		}
+		baseDst[i] = d
+	}
+	// Inner mapping: group attributes into the output layout (overwriting
+	// colliding base slots — the Concat right-hand side wins).
+	innerNames := inner.Names()
+	innerDst := make([]int, len(innerNames))
+	for i, n := range innerNames {
+		d, ok := sc.Lay.Slot(n)
+		if !ok {
+			return nil
+		}
+		innerDst[i] = d
+	}
+	in := openRowsSchema(child, insc, ctx, env)
+	return &rowUnnestIter{in: in, lay: sc.Lay, gSlot: gSlot,
+		baseSrc: baseSrc, baseDst: baseDst,
+		innerNames: innerNames, innerDst: innerDst, pad: pad}
+}
+
+type rowUnnestIter struct {
+	in         RowIter
+	lay        *value.Layout
+	gSlot      int
+	baseSrc    []int
+	baseDst    []int
+	innerNames []string
+	innerDst   []int
+	pad        bool // µ pads empty groups with ⊥; µD skips them
+
+	cur     value.Row
+	pending value.TupleSeq
+	dedup   map[value.HashKey]bool
+	pos     int
+}
+
+func (u *rowUnnestIter) base() []value.Value {
+	vals := make([]value.Value, u.lay.Width())
+	for i, s := range u.baseSrc {
+		vals[u.baseDst[i]] = u.cur.Vals[s]
+	}
+	return vals
+}
+
+func (u *rowUnnestIter) Next() (value.Row, bool) {
+	for {
+		for u.pos < len(u.pending) {
+			g := u.pending[u.pos]
+			u.pos++
+			if u.dedup != nil {
+				// Key each member on its own attribute set, exactly like
+				// UnnestDistinct.Eval: a member lacking an attribute must not
+				// collide with one binding it to NULL.
+				k := tupleHashKey(g, g.Attrs())
+				if u.dedup[k] {
+					continue
+				}
+				u.dedup[k] = true
+			}
+			vals := u.base()
+			for i, n := range u.innerNames {
+				if v, ok := g[n]; ok {
+					vals[u.innerDst[i]] = v
+				}
+			}
+			return value.Row{Lay: u.lay, Vals: vals}, true
+		}
+		r, ok := u.in.Next()
+		if !ok {
+			return value.Row{}, false
+		}
+		u.cur = r
+		ts, _ := r.Vals[u.gSlot].(value.TupleSeq)
+		u.pending = ts
+		u.pos = 0
+		if !u.pad {
+			u.dedup = map[value.HashKey]bool{}
+			continue
+		}
+		u.dedup = nil
+		if len(ts) == 0 {
+			vals := u.base()
+			for _, d := range u.innerDst {
+				vals[d] = value.Null{}
+			}
+			return value.Row{Lay: u.lay, Vals: vals}, true
+		}
+	}
+}
+
+func (u *rowUnnestIter) Close() { u.in.Close() }

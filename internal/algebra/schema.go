@@ -1,0 +1,373 @@
+package algebra
+
+import (
+	"nalquery/internal/value"
+)
+
+// This file implements the plan-time schema-resolution pass of the slot
+// engine. It walks an operator tree bottom-up and assigns every operator an
+// output Layout — a fixed attribute→slot mapping — so that execution can
+// read and write slices instead of rebuilding Go maps per tuple.
+//
+// Besides the flat layout, the resolver tracks the layouts of
+// tuple-sequence-valued attributes (group attributes created by Γ, the e[a]
+// constructor, nested query blocks): µ and µD need them to assign slots to
+// the attributes that unnesting releases, and ⊥-padding of empty groups
+// needs them before the first non-empty group is seen.
+//
+// Resolution is best-effort: an operator the resolver cannot type
+// structurally still resolves through its static attribute set (Attrs) and
+// executes through the definitional evaluator behind a conversion shim
+// (Schema.Native = false); a subtree whose attribute set is statically
+// unknown does not resolve at all, and the plan falls back to the map-based
+// engine (see OpenIter).
+
+// Schema is the resolved output type of one operator.
+type Schema struct {
+	// Lay assigns the operator's output attributes to slots.
+	Lay *value.Layout
+	// Nested holds the inner layouts of tuple-sequence-valued attributes,
+	// keyed by attribute name, when statically known.
+	Nested map[string]*value.Layout
+	// Native reports that the operator has a slot-native iterator under this
+	// schema; otherwise it executes through the fallback shim.
+	Native bool
+}
+
+func (s Schema) nested(attr string) *value.Layout {
+	if s.Nested == nil {
+		return nil
+	}
+	return s.Nested[attr]
+}
+
+// nestedWith returns a copy of the nested map with one entry replaced (or
+// removed when lay is nil).
+func nestedWith(src map[string]*value.Layout, attr string, lay *value.Layout) map[string]*value.Layout {
+	out := make(map[string]*value.Layout, len(src)+1)
+	for k, v := range src {
+		out[k] = v
+	}
+	if lay == nil {
+		delete(out, attr)
+	} else {
+		out[attr] = lay
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// nestedKept filters a nested map to the attributes of a layout.
+func nestedKept(src map[string]*value.Layout, lay *value.Layout) map[string]*value.Layout {
+	if src == nil {
+		return nil
+	}
+	var out map[string]*value.Layout
+	for k, v := range src {
+		if lay.Has(k) {
+			if out == nil {
+				out = map[string]*value.Layout{}
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func nestedUnion(a, b map[string]*value.Layout) map[string]*value.Layout {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := make(map[string]*value.Layout, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// fnNested returns the layout of the tuple sequence a SeqFunc produces when
+// applied to groups drawn from input tuples with layout in — the inner
+// schema of a group attribute.
+func fnNested(f SeqFunc, in *value.Layout) *value.Layout {
+	switch w := f.(type) {
+	case SFIdent:
+		return in
+	case SFProject:
+		return value.NewLayout(w.Attrs...)
+	case SFFiltered:
+		return fnNested(w.Inner, in)
+	default:
+		// Aggregates (count, min, …) produce items, not tuple sequences.
+		return nil
+	}
+}
+
+// exprNested returns the inner layout of a tuple-sequence value an
+// expression produces, when statically known.
+func exprNested(e Expr, in Schema) *value.Layout {
+	switch w := e.(type) {
+	case Var:
+		return in.nested(w.Name)
+	case BindTuples:
+		return value.NewLayout(w.Attr)
+	case NestedApply:
+		sub, ok := ResolveSchema(w.Plan)
+		if !ok {
+			return nil
+		}
+		return fnNested(w.F, sub.Lay)
+	case CondExpr:
+		t := exprNested(w.Then, in)
+		f := exprNested(w.Else, in)
+		if t != nil && f != nil && sameNames(t, f) {
+			return t
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func sameNames(a, b *value.Layout) bool {
+	if a.Width() != b.Width() {
+		return false
+	}
+	for i, n := range a.Names() {
+		if b.Name(i) != n {
+			return false
+		}
+	}
+	return true
+}
+
+// ResolveSchema computes the output schema of an operator tree. ok=false
+// means the attribute set is statically unknown and the subtree can only run
+// on the map-based engine.
+func ResolveSchema(op Op) (Schema, bool) {
+	switch w := op.(type) {
+	case Singleton:
+		return Schema{Lay: value.NewLayout(), Native: true}, true
+
+	case Select:
+		in, ok := ResolveSchema(w.In)
+		if !ok {
+			return genericSchema(op)
+		}
+		return Schema{Lay: in.Lay, Nested: in.Nested, Native: true}, true
+
+	case Project:
+		if in, ok := ResolveSchema(w.In); ok {
+			lay, src := in.Lay.Project(w.Names)
+			if lay != nil && src != nil {
+				return Schema{Lay: lay, Nested: nestedKept(in.Nested, lay), Native: true}, true
+			}
+		}
+		return genericSchema(op)
+
+	case ProjectDrop:
+		if in, ok := ResolveSchema(w.In); ok {
+			lay, _ := in.Lay.Drop(w.Names)
+			return Schema{Lay: lay, Nested: nestedKept(in.Nested, lay), Native: true}, true
+		}
+		return genericSchema(op)
+
+	case ProjectRename:
+		if in, ok := ResolveSchema(w.In); ok {
+			ren := make(map[string]string, len(w.Pairs))
+			for _, r := range w.Pairs {
+				ren[r.Old] = r.New
+			}
+			if lay := in.Lay.Rename(ren); lay != nil {
+				var nested map[string]*value.Layout
+				for k, v := range in.Nested {
+					if nested == nil {
+						nested = map[string]*value.Layout{}
+					}
+					if nn, ok := ren[k]; ok {
+						nested[nn] = v
+					} else {
+						nested[k] = v
+					}
+				}
+				return Schema{Lay: lay, Nested: nested, Native: true}, true
+			}
+		}
+		return genericSchema(op)
+
+	case ProjectDistinct:
+		if in, ok := ResolveSchema(w.In); ok {
+			names := make([]string, len(w.Pairs))
+			var nested map[string]*value.Layout
+			for i, r := range w.Pairs {
+				names[i] = r.New
+				if inner := in.nested(r.Old); inner != nil {
+					if nested == nil {
+						nested = map[string]*value.Layout{}
+					}
+					nested[r.New] = inner
+				}
+			}
+			if lay := value.NewLayout(names...); lay != nil {
+				return Schema{Lay: lay, Nested: nested, Native: true}, true
+			}
+		}
+		return genericSchema(op)
+
+	case Map:
+		if in, ok := ResolveSchema(w.In); ok {
+			lay, _ := in.Lay.Extend(w.Attr)
+			return Schema{Lay: lay,
+				Nested: nestedWith(in.Nested, w.Attr, exprNested(w.E, in)), Native: true}, true
+		}
+		return genericSchema(op)
+
+	case UnnestMap:
+		if in, ok := ResolveSchema(w.In); ok {
+			lay, _ := in.Lay.Extend(w.Attr)
+			if w.PosAttr != "" {
+				lay, _ = lay.Extend(w.PosAttr)
+			}
+			// Υ binds items, never tuple sequences.
+			return Schema{Lay: lay, Nested: nestedWith(in.Nested, w.Attr, nil), Native: true}, true
+		}
+		return genericSchema(op)
+
+	case XiSimple:
+		if in, ok := ResolveSchema(w.In); ok {
+			return Schema{Lay: in.Lay, Nested: in.Nested, Native: true}, true
+		}
+		return genericSchema(op)
+	case XiGroupStream:
+		if in, ok := ResolveSchema(w.In); ok {
+			return Schema{Lay: in.Lay, Nested: in.Nested, Native: true}, true
+		}
+		return genericSchema(op)
+	case XiGroup:
+		if in, ok := ResolveSchema(w.In); ok {
+			return Schema{Lay: in.Lay, Nested: in.Nested, Native: true}, true
+		}
+		return genericSchema(op)
+
+	case Sort:
+		if in, ok := ResolveSchema(w.In); ok {
+			return Schema{Lay: in.Lay, Nested: in.Nested, Native: true}, true
+		}
+		return genericSchema(op)
+
+	case AttachSeq:
+		if in, ok := ResolveSchema(w.In); ok {
+			lay, _ := in.Lay.Extend(w.Attr)
+			return Schema{Lay: lay, Nested: in.Nested, Native: true}, true
+		}
+		return genericSchema(op)
+
+	case Cross:
+		return concatSchema(op, w.L, w.R)
+	case Join:
+		return concatSchema(op, w.L, w.R)
+	case OuterJoin:
+		return concatSchema(op, w.L, w.R)
+	case SemiJoin:
+		if l, ok := ResolveSchema(w.L); ok {
+			if _, rok := ResolveSchema(w.R); rok {
+				return Schema{Lay: l.Lay, Nested: l.Nested, Native: true}, true
+			}
+		}
+		return genericSchema(op)
+	case AntiJoin:
+		if l, ok := ResolveSchema(w.L); ok {
+			if _, rok := ResolveSchema(w.R); rok {
+				return Schema{Lay: l.Lay, Nested: l.Nested, Native: true}, true
+			}
+		}
+		return genericSchema(op)
+
+	case GroupUnary:
+		if in, ok := ResolveSchema(w.In); ok {
+			if lay := value.NewLayout(append(append([]string(nil), w.By...), w.G)...); lay != nil {
+				nested := nestedWith(nestedKept(in.Nested, lay), w.G, fnNested(w.F, in.Lay))
+				return Schema{Lay: lay, Nested: nested, Native: true}, true
+			}
+		}
+		return genericSchema(op)
+
+	case GroupBinary:
+		l, lok := ResolveSchema(w.L)
+		r, rok := ResolveSchema(w.R)
+		if lok && rok {
+			lay, slot := l.Lay.Extend(w.G)
+			if slot == l.Lay.Width() { // G must be fresh
+				nested := nestedWith(l.Nested, w.G, fnNested(w.F, r.Lay))
+				return Schema{Lay: lay, Nested: nested, Native: true}, true
+			}
+		}
+		return genericSchema(op)
+
+	case Unnest:
+		return unnestSchema(op, w.In, w.Attr, w.InnerAttrs)
+	case UnnestDistinct:
+		return unnestSchema(op, w.In, w.Attr, nil)
+
+	default:
+		// Grace/OPHash joins, the unordered family and unknown extensions
+		// execute through the fallback shim over their static attribute set.
+		return genericSchema(op)
+	}
+}
+
+// concatSchema types the binary operators whose output is l ◦ r.
+func concatSchema(op Op, lop, rop Op) (Schema, bool) {
+	l, lok := ResolveSchema(lop)
+	r, rok := ResolveSchema(rop)
+	if lok && rok {
+		if lay, ok := l.Lay.Concat(r.Lay); ok {
+			return Schema{Lay: lay, Nested: nestedUnion(l.Nested, r.Nested), Native: true}, true
+		}
+	}
+	return genericSchema(op)
+}
+
+// unnestSchema types µ/µD: the input minus the group attribute, extended by
+// the group's inner layout. The inner layout comes from the operator hint
+// (InnerAttrs) or from the resolver's nested-attribute tracking. Inner
+// attributes that collide with kept input attributes share the slot (the
+// group tuple wins, matching Concat's map semantics — e.g. µ over Γ, where
+// the grouping key reappears inside the group members).
+func unnestSchema(op Op, in Op, attr string, innerAttrs []string) (Schema, bool) {
+	if insc, ok := ResolveSchema(in); ok {
+		inner := insc.nested(attr)
+		if innerAttrs != nil {
+			inner = value.NewLayout(innerAttrs...)
+		}
+		if inner != nil {
+			base, _ := insc.Lay.Drop([]string{attr})
+			names := append([]string(nil), base.Names()...)
+			for _, n := range inner.Names() {
+				if !base.Has(n) {
+					names = append(names, n)
+				}
+			}
+			if lay := value.NewLayout(names...); lay != nil {
+				return Schema{Lay: lay,
+					Nested: nestedKept(insc.Nested, base), Native: true}, true
+			}
+		}
+	}
+	return genericSchema(op)
+}
+
+// genericSchema types an operator by its static attribute set alone; the
+// operator will execute through the definitional evaluator behind a
+// conversion shim. Fails when the attribute set is unknown.
+func genericSchema(op Op) (Schema, bool) {
+	attrs, ok := op.Attrs()
+	if !ok {
+		return Schema{}, false
+	}
+	return Schema{Lay: value.SortedLayout(attrs), Native: false}, true
+}

@@ -1,0 +1,150 @@
+package algebra
+
+import (
+	"testing"
+
+	"nalquery/internal/value"
+)
+
+func TestResolveSchemaBasics(t *testing.T) {
+	src := UnnestMap{In: Singleton{}, Attr: "x", E: ConstVal{V: value.Seq{value.Int(1)}}}
+	sc, ok := ResolveSchema(Select{In: src, Pred: ConstVal{V: value.Bool(true)}})
+	if !ok || !sc.Native {
+		t.Fatalf("select schema: %+v %v", sc, ok)
+	}
+	if s, found := sc.Lay.Slot("x"); !found || s != 0 {
+		t.Fatalf("slot of x: %d %v", s, found)
+	}
+}
+
+func TestResolveSchemaRenameSwap(t *testing.T) {
+	src := Map{In: Map{In: Singleton{}, Attr: "a", E: ConstVal{V: value.Int(1)}},
+		Attr: "b", E: ConstVal{V: value.Int(2)}}
+	op := ProjectRename{In: src, Pairs: []Rename{{New: "b", Old: "a"}, {New: "a", Old: "b"}}}
+	sc, ok := ResolveSchema(op)
+	if !ok || !sc.Native {
+		t.Fatalf("swap schema: %+v %v", sc, ok)
+	}
+	sa, _ := sc.Lay.Slot("a")
+	sb, _ := sc.Lay.Slot("b")
+	if sa != 1 || sb != 0 {
+		t.Fatalf("swap slots: a=%d b=%d", sa, sb)
+	}
+}
+
+// TestResolveSchemaNestedTracking: µ over a binary grouping resolves because
+// the resolver knows the group attribute's inner layout (the right input's
+// schema under f = id).
+func TestResolveSchemaNestedTracking(t *testing.T) {
+	grouped := GroupBinary{L: relR1(), R: relR2(), G: "g",
+		LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Theta: value.CmpEq, F: SFIdent{}}
+	sc, ok := ResolveSchema(grouped)
+	if !ok || sc.nested("g") == nil {
+		t.Fatalf("group schema must track the inner layout: %+v %v", sc, ok)
+	}
+	mu := Unnest{In: grouped, Attr: "g"}
+	msc, ok := ResolveSchema(mu)
+	if !ok || !msc.Native {
+		t.Fatalf("µ over tracked group must resolve natively: %+v %v", msc, ok)
+	}
+	for _, a := range []string{"A1", "A2", "B"} {
+		if !msc.Lay.Has(a) {
+			t.Fatalf("µ layout misses %s: %v", a, msc.Lay.Names())
+		}
+	}
+	if msc.Lay.Has("g") {
+		t.Fatalf("µ layout must drop the group attribute")
+	}
+}
+
+// TestResolveSchemaFallbacks: operators without structural typing resolve
+// through their static attribute set; unknown attribute sets fail.
+func TestResolveSchemaFallbacks(t *testing.T) {
+	uj := UnorderedJoin{L: relR1(), R: relR2(), LAttrs: []string{"A1"}, RAttrs: []string{"A2"}}
+	sc, ok := ResolveSchema(uj)
+	if !ok || sc.Native {
+		t.Fatalf("unordered join must resolve generically: %+v %v", sc, ok)
+	}
+	// µD's attribute set is statically unknown without nested tracking.
+	ud := UnnestDistinct{In: constOp{attrs: []string{"a", "g"}}, Attr: "g"}
+	if _, ok := ResolveSchema(ud); ok {
+		t.Fatalf("µD without inner layout must not resolve")
+	}
+}
+
+// TestProjectRenameSwap pins the satellite fix: a→b, b→a is a simultaneous
+// substitution on both engines, not a sequential clobber.
+func TestProjectRenameSwap(t *testing.T) {
+	in := constOp{ts: value.TupleSeq{{"a": value.Int(1), "b": value.Int(2), "c": value.Int(3)}},
+		attrs: []string{"a", "b", "c"}}
+	op := ProjectRename{In: in, Pairs: []Rename{{New: "b", Old: "a"}, {New: "a", Old: "b"}}}
+	want := value.Tuple{"a": value.Int(2), "b": value.Int(1), "c": value.Int(3)}
+
+	got := op.Eval(NewCtx(nil), nil)
+	if len(got) != 1 || !value.TupleEqual(got[0], want) {
+		t.Fatalf("Eval swap: %s, want %s", got, want)
+	}
+	it := RunIter(op, NewCtx(nil), nil)
+	if len(it) != 1 || !value.TupleEqual(it[0], want) {
+		t.Fatalf("iterator swap: %s, want %s", it, want)
+	}
+
+	// Rename chains behave as simultaneous substitution too.
+	chain := ProjectRename{In: in, Pairs: []Rename{{New: "b", Old: "a"}, {New: "d", Old: "b"}}}
+	wantChain := value.Tuple{"b": value.Int(1), "d": value.Int(2), "c": value.Int(3)}
+	gotChain := chain.Eval(NewCtx(nil), nil)
+	if len(gotChain) != 1 || !value.TupleEqual(gotChain[0], wantChain) {
+		t.Fatalf("Eval chain: %s, want %s", gotChain, wantChain)
+	}
+	itChain := RunIter(chain, NewCtx(nil), nil)
+	if len(itChain) != 1 || !value.TupleEqual(itChain[0], wantChain) {
+		t.Fatalf("iterator chain: %s, want %s", itChain, wantChain)
+	}
+}
+
+// TestStreamingAllocsPerTuple is the allocation regression gate of the slot
+// engine: streaming σ adds no per-tuple allocation and Π adds at most one
+// (the projected value slice).
+func TestStreamingAllocsPerTuple(t *testing.T) {
+	const n = 2000
+	seq := make(value.Seq, n)
+	for i := range seq {
+		seq[i] = value.Int(int64(i))
+	}
+	src := UnnestMap{In: Singleton{}, Attr: "x", E: ConstVal{V: seq}}
+	sel := Select{In: src, Pred: CmpExpr{L: Var{Name: "x"}, R: ConstVal{V: value.Int(-1)}, Op: value.CmpGt}}
+	proj := Project{In: sel, Names: []string{"x"}}
+
+	perTuple := func(op Op) float64 {
+		return testing.AllocsPerRun(5, func() {
+			DrainIter(op, NewCtx(nil), nil)
+		}) / n
+	}
+	base := perTuple(src)
+	withSel := perTuple(sel)
+	withProj := perTuple(proj)
+
+	if d := withSel - base; d > 0.1 {
+		t.Errorf("streaming σ adds %.2f allocs/tuple, want 0", d)
+	}
+	if d := withProj - withSel; d > 1.1 {
+		t.Errorf("streaming Π adds %.2f allocs/tuple, want ≤1", d)
+	}
+	// Absolute guard: the σ+Π pipeline stays ≤1 alloc per tuple on top of
+	// the source's own row.
+	if withProj-base > 1.2 {
+		t.Errorf("σ+Π pipeline adds %.2f allocs/tuple over the source", withProj-base)
+	}
+}
+
+// TestArithModFractionalDivisor: a divisor in (-1, 1) truncates to 0 for
+// the integer modulus; both engines must yield NULL instead of panicking.
+func TestArithModFractionalDivisor(t *testing.T) {
+	e := ArithExpr{L: ConstVal{V: value.Int(7)}, R: ConstVal{V: value.Float(0.5)}, Op: '%'}
+	if v := e.Eval(NewCtx(nil), nil); v.Kind() != value.KNull {
+		t.Fatalf("mod by 0.5 (eval): %v", v)
+	}
+	if v := evalArith('%', value.Int(7), value.Float(0.5)); v.Kind() != value.KNull {
+		t.Fatalf("mod by 0.5 (compiled): %v", v)
+	}
+}

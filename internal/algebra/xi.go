@@ -74,9 +74,7 @@ func PrintValue(v value.Value) string {
 	case value.TupleSeq:
 		var sb strings.Builder
 		for _, t := range w {
-			for _, a := range t.Attrs() {
-				sb.WriteString(PrintValue(t[a]))
-			}
+			t.EachValue(func(v value.Value) { sb.WriteString(PrintValue(v)) })
 		}
 		return sb.String()
 	case value.Str:

@@ -32,7 +32,28 @@ const (
 	selGroupKeys  = 0.3 // distinct grouping keys fraction
 	nestedPenalty = 1.0 // weight of a nested evaluation per outer tuple
 	tupleCost     = 1.0 // cost of producing one tuple
+	// Slot-engine per-tuple constants: producing a fresh output row costs
+	// slotCost per attribute slot copied (the O(slots) copy that replaced
+	// the per-tuple map rebuild), and defaultWidth stands in when an
+	// operator's attribute set is unknown. The terms are small relative to
+	// tupleCost, so they refine — not reorder — the plan ranking.
+	slotCost     = 0.05
+	defaultWidth = 4.0
 )
+
+// width estimates the slot count of an operator's output rows.
+func width(op algebra.Op) float64 {
+	if attrs, ok := op.Attrs(); ok {
+		return float64(len(attrs))
+	}
+	return defaultWidth
+}
+
+// perTuple is the cost of producing one output row: base cost plus the slot
+// copy.
+func perTuple(op algebra.Op) float64 {
+	return tupleCost + slotCost*width(op)
+}
 
 // NewModel gathers element statistics from the loaded documents.
 func NewModel(docs map[string]*dom.Document) *Model {
@@ -81,19 +102,19 @@ func (m *Model) Plan(op algebra.Op) Estimate {
 		return Estimate{Card: in.Card * selDistinct, Cost: in.Cost + in.Card*tupleCost}
 	case algebra.Map:
 		in := m.Plan(w.In)
-		return Estimate{Card: in.Card, Cost: in.Cost + in.Card*(tupleCost+m.expr(w.E))}
+		return Estimate{Card: in.Card, Cost: in.Cost + in.Card*(perTuple(op)+m.expr(w.E))}
 	case algebra.UnnestMap:
 		in := m.Plan(w.In)
 		card := m.pathCard(w.E, in.Card)
-		return Estimate{Card: card, Cost: in.Cost + in.Card*m.expr(w.E) + card*tupleCost}
+		return Estimate{Card: card, Cost: in.Cost + in.Card*m.expr(w.E) + card*perTuple(op)}
 	case algebra.Cross:
 		l, r := m.Plan(w.L), m.Plan(w.R)
 		card := l.Card * r.Card
-		return Estimate{Card: card, Cost: l.Cost + r.Cost + card*tupleCost}
+		return Estimate{Card: card, Cost: l.Cost + r.Cost + card*perTuple(op)}
 	case algebra.Join:
 		l, r := m.Plan(w.L), m.Plan(w.R)
 		card := maxF(l.Card, r.Card)
-		return Estimate{Card: card, Cost: l.Cost + r.Cost + (l.Card+r.Card+card)*tupleCost}
+		return Estimate{Card: card, Cost: l.Cost + r.Cost + (l.Card+r.Card)*tupleCost + card*perTuple(op)}
 	case algebra.SemiJoin:
 		l, r := m.Plan(w.L), m.Plan(w.R)
 		return Estimate{Card: l.Card * selSelect, Cost: l.Cost + r.Cost + (l.Card + r.Card)}
@@ -119,11 +140,11 @@ func (m *Model) Plan(op algebra.Op) Estimate {
 	case algebra.Unnest:
 		in := m.Plan(w.In)
 		card := in.Card * 3
-		return Estimate{Card: card, Cost: in.Cost + card*tupleCost}
+		return Estimate{Card: card, Cost: in.Cost + card*perTuple(op)}
 	case algebra.UnnestDistinct:
 		in := m.Plan(w.In)
 		card := in.Card * 3
-		return Estimate{Card: card, Cost: in.Cost + card*tupleCost}
+		return Estimate{Card: card, Cost: in.Cost + card*perTuple(op)}
 	case algebra.XiSimple:
 		in := m.Plan(w.In)
 		return Estimate{Card: in.Card, Cost: in.Cost + in.Card*tupleCost}

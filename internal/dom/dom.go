@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind identifies the node kind.
@@ -59,6 +60,13 @@ type Node struct {
 	Order int
 
 	doc *Document
+
+	// strVal caches StringValue for element nodes: documents are immutable
+	// once loaded, and atomization hits the same nodes once per comparison,
+	// sort key and hash key of every plan operator. Atomic so that
+	// concurrent query executions over a shared engine stay race-free (the
+	// computed value is identical either way).
+	strVal atomic.Pointer[string]
 }
 
 // Document is a parsed or generated XML document.
@@ -97,9 +105,14 @@ func (n *Node) StringValue() string {
 	case KindAttribute, KindText:
 		return n.Data
 	default:
+		if p := n.strVal.Load(); p != nil {
+			return *p
+		}
 		var sb strings.Builder
 		n.appendText(&sb)
-		return sb.String()
+		s := sb.String()
+		n.strVal.Store(&s)
+		return s
 	}
 }
 

@@ -79,9 +79,7 @@ func Atomize(v Value) Seq {
 		// atomized values of its tuples' attributes, in order.
 		var out Seq
 		for _, t := range w {
-			for _, a := range t.Attrs() {
-				out = append(out, Atomize(t[a])...)
-			}
+			t.EachValue(func(v Value) { out = append(out, Atomize(v)...) })
 		}
 		return out
 	default:
@@ -91,19 +89,52 @@ func Atomize(v Value) Seq {
 
 // AtomizeSingle atomizes and returns the single atomic item, or nil when the
 // value atomizes to the empty sequence. Multi-item sequences return their
-// first item (the use-case queries only apply this to singletons).
+// first item (the use-case queries only apply this to singletons). Unlike
+// Atomize it never materializes the sequence — it is on the per-tuple path
+// of every comparison, sort and hash key.
 func AtomizeSingle(v Value) Value {
-	s := Atomize(v)
-	if len(s) == 0 {
+	switch w := v.(type) {
+	case nil, Null:
 		return nil
+	case NodeVal:
+		return Str(w.Node.StringValue())
+	case Seq:
+		for _, item := range w {
+			if a := AtomizeSingle(item); a != nil {
+				return a
+			}
+		}
+		return nil
+	case TupleSeq:
+		for _, t := range w {
+			for _, a := range t.Attrs() {
+				if x := AtomizeSingle(t[a]); x != nil {
+					return x
+				}
+			}
+		}
+		return nil
+	default:
+		return w
 	}
-	return s[0]
 }
 
 type atom struct {
 	isNum bool
 	num   float64
 	str   string
+	// src defers string rendering of numeric atoms to the rare mixed
+	// numeric-vs-string comparison, keeping the all-numeric path free of
+	// the FormatInt/FormatFloat allocation.
+	src Value
+}
+
+// text renders the atom for string comparison.
+func (a atom) text() string {
+	if a.isNum && a.str == "" && a.src != nil {
+		return a.src.String()
+	}
+	return a.str
 }
 
 func toAtom(v Value) (atom, bool) {
@@ -116,19 +147,40 @@ func toAtom(v Value) (atom, bool) {
 		}
 		return atom{isNum: true, num: 0, str: "false"}, true
 	case Int:
-		return atom{isNum: true, num: float64(w), str: w.String()}, true
+		return atom{isNum: true, num: float64(w), src: v}, true
 	case Float:
-		return atom{isNum: true, num: float64(w), str: w.String()}, true
+		return atom{isNum: true, num: float64(w), src: v}, true
 	case Str:
 		s := string(w)
-		if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil && strings.TrimSpace(s) != "" {
-			return atom{isNum: true, num: f, str: s}, true
+		if t := strings.TrimSpace(s); looksNumeric(t) {
+			if f, err := strconv.ParseFloat(t, 64); err == nil {
+				return atom{isNum: true, num: f, str: s}, true
+			}
 		}
 		return atom{str: s}, true
 	case NodeVal:
 		return toAtom(Str(w.Node.StringValue()))
 	default:
 		return atom{}, false
+	}
+}
+
+// looksNumeric cheaply rejects strings that cannot parse as numbers, so the
+// untyped-comparison path does not pay strconv's allocated error for every
+// non-numeric string. It admits everything strconv.ParseFloat accepts,
+// including the Inf/NaN spellings.
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	switch c := s[0]; {
+	case c == '-' || c == '+' || c == '.' || ('0' <= c && c <= '9'):
+		return true
+	case c == 'i' || c == 'I' || c == 'n' || c == 'N':
+		return strings.EqualFold(s, "inf") || strings.EqualFold(s, "infinity") ||
+			strings.EqualFold(s, "nan")
+	default:
+		return false
 	}
 }
 
@@ -150,7 +202,7 @@ func CompareAtomic(a, b Value, op CmpOp) bool {
 			c = 1
 		}
 	} else {
-		c = strings.Compare(x.str, y.str)
+		c = strings.Compare(x.text(), y.text())
 	}
 	switch op {
 	case CmpEq:
@@ -171,8 +223,13 @@ func CompareAtomic(a, b Value, op CmpOp) bool {
 
 // GeneralCompare implements XQuery general comparison semantics: it holds if
 // some pair of atomized items from the two operands satisfies θ. This is the
-// "simple '=' has existential semantics" rule of Sec. 5.1.
+// "simple '=' has existential semantics" rule of Sec. 5.1. Item-vs-item
+// comparisons (the common case on the compiled predicate path) bypass
+// sequence materialization entirely.
 func GeneralCompare(a, b Value, op CmpOp) bool {
+	if isItem(a) && isItem(b) {
+		return CompareAtomic(a, b, op)
+	}
 	xs := Atomize(a)
 	ys := Atomize(b)
 	for _, x := range xs {
@@ -183,6 +240,18 @@ func GeneralCompare(a, b Value, op CmpOp) bool {
 		}
 	}
 	return false
+}
+
+// isItem reports whether a value atomizes to exactly the sequence the
+// single-item comparison path assumes: everything except the sequence kinds
+// (Seq flattens, TupleSeq contributes per attribute).
+func isItem(v Value) bool {
+	switch v.(type) {
+	case Seq, TupleSeq:
+		return false
+	default:
+		return true
+	}
 }
 
 // Member reports whether item a1 is a member of the atomized sequence bound
@@ -204,9 +273,75 @@ func Key(v Value) string {
 		return "\x00null"
 	}
 	if at.isNum {
-		return "n:" + strconv.FormatFloat(at.num, 'g', -1, 64)
+		n := at.num
+		if n == 0 {
+			n = 0 // fold -0 into +0, as CompareAtomic and KeyOf do
+		}
+		return "n:" + strconv.FormatFloat(n, 'g', -1, 64)
 	}
 	return "s:" + at.str
+}
+
+// HashKey is the allocation-free form of Key: a comparable struct usable as
+// a Go map key. KeyOf(a) == KeyOf(b) exactly when Key(a) == Key(b).
+type HashKey struct {
+	kind byte // 0 null, 'n' numeric, 'N' NaN, 's' string, 'm' multi-column fold
+	num  float64
+	str  string
+}
+
+// numKey folds every NaN into one key: NaN != NaN would otherwise make a
+// struct key that never matches itself, while Key() renders all NaNs as the
+// same "n:NaN" string.
+func numKey(f float64) HashKey {
+	if f != f {
+		return HashKey{kind: 'N'}
+	}
+	if f == 0 {
+		f = 0 // fold -0 into +0, matching CompareAtomic's f == 0 semantics
+	}
+	return HashKey{kind: 'n', num: f}
+}
+
+// FoldKey wraps a pre-folded multi-column key string.
+func FoldKey(s string) HashKey { return HashKey{kind: 'm', str: s} }
+
+// KeyOf computes the canonical grouping/join key of a value without
+// allocating: the hot path of every hash join, grouping and distinct
+// operator in the slot engine.
+func KeyOf(v Value) HashKey {
+	switch w := v.(type) {
+	case nil, Null:
+		return HashKey{}
+	case Bool:
+		if bool(w) {
+			return HashKey{kind: 'n', num: 1}
+		}
+		return HashKey{kind: 'n', num: 0}
+	case Int:
+		return numKey(float64(w))
+	case Float:
+		return numKey(float64(w))
+	case Str:
+		return keyOfString(string(w))
+	case NodeVal:
+		return keyOfString(w.Node.StringValue())
+	default:
+		a := AtomizeSingle(v)
+		if a == nil {
+			return HashKey{}
+		}
+		return KeyOf(a)
+	}
+}
+
+func keyOfString(s string) HashKey {
+	if t := strings.TrimSpace(s); looksNumeric(t) {
+		if f, err := strconv.ParseFloat(t, 64); err == nil {
+			return numKey(f)
+		}
+	}
+	return HashKey{kind: 's', str: s}
 }
 
 // EffectiveBool computes an effective boolean value: false for NULL, empty

@@ -168,6 +168,22 @@ func renderValue(v Value) string {
 // produced by the □ operator.
 func EmptyTuple() Tuple { return Tuple{} }
 
+// EachValue calls fn with the tuple's attribute values in canonical
+// (sorted-name) order — the order Ξ printing, atomization and AsSeq use for
+// nested tuples. Single-attribute tuples (nested query results, e[a]
+// bindings — the common case) skip the sort entirely.
+func (t Tuple) EachValue(fn func(Value)) {
+	if len(t) == 1 {
+		for _, v := range t {
+			fn(v)
+		}
+		return
+	}
+	for _, a := range t.Attrs() {
+		fn(t[a])
+	}
+}
+
 // Attrs returns the sorted attribute names of the tuple, i.e. A(t).
 func (t Tuple) Attrs() []string {
 	names := make([]string, 0, len(t))
@@ -267,9 +283,7 @@ func AsSeq(v Value) Seq {
 	case TupleSeq:
 		var out Seq
 		for _, t := range w {
-			for _, a := range t.Attrs() {
-				out = append(out, AsSeq(t[a])...)
-			}
+			t.EachValue(func(v Value) { out = append(out, AsSeq(v)...) })
 		}
 		return out
 	default:

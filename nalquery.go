@@ -234,8 +234,19 @@ func (q *Query) Plan(name string) (Plan, error) {
 }
 
 // Execute runs the named plan ("" = most optimized) and returns the
-// constructed result string plus execution statistics.
+// constructed result string plus execution statistics. Execution goes
+// through the slot-based iterator engine: the schema-resolution pass
+// compiles attribute names to slots at plan time, so no per-tuple map is
+// built (see docs/EXECUTION.md). Plans whose schema does not resolve fall
+// back to the map-based engine transparently.
 func (q *Query) Execute(name string) (string, Stats, error) {
+	return q.ExecuteStreaming(name)
+}
+
+// ExecuteReference runs the named plan ("" = most optimized) on the
+// definitional materializing evaluator over map-based tuples — the
+// executable semantics the slot engine is differential-tested against.
+func (q *Query) ExecuteReference(name string) (string, Stats, error) {
 	p, err := q.Plan(name)
 	if err != nil {
 		return "", Stats{}, err

@@ -1,0 +1,92 @@
+package nalquery
+
+import (
+	"strings"
+	"testing"
+
+	"nalquery/internal/algebra"
+	"nalquery/internal/value"
+)
+
+// bagKeys renders a tuple sequence as a DeepKey multiset for bag-equality
+// diagnostics.
+func bagKeys(ts value.TupleSeq) map[string]int {
+	out := make(map[string]int, len(ts))
+	for _, t := range ts {
+		out[value.DeepKey(value.TupleSeq{t})]++
+	}
+	return out
+}
+
+// TestSlotEngineMatchesMapEngine is the schema-resolver property test: for
+// every plan of every paper query, slot-based execution (RunIter over the
+// row engine) and map-based execution (the definitional evaluator) produce
+// sequence-equal results — and in particular bag-equal ones (value.DeepKey
+// multisets) — with identical Ξ output.
+func TestSlotEngineMatchesMapEngine(t *testing.T) {
+	e := tinyEngine(t)
+	e.LoadDBLPDocument(40)
+	for id, text := range PaperQueries {
+		for _, wrap := range []string{"", "unordered"} {
+			q := text
+			name := id
+			if wrap != "" {
+				if !strings.HasPrefix(strings.TrimSpace(text), "let") {
+					continue
+				}
+				q = "unordered(" + text + ")"
+				name = id + "+unordered"
+			}
+			cq, err := e.Compile(q)
+			if err != nil {
+				if wrap != "" {
+					continue // not every paper query parses under the wrapper
+				}
+				t.Fatalf("%s: %v", name, err)
+			}
+			for _, p := range cq.Plans() {
+				ctxM := algebra.NewCtx(e.docs)
+				want := p.op.Eval(ctxM, nil)
+				ctxR := algebra.NewCtx(e.docs)
+				got := algebra.RunIter(p.op, ctxR, nil)
+
+				if !value.TupleSeqEqual(want, got) {
+					t.Errorf("%s/%s: slot result differs from map result\nmap:  %.200s\nslot: %.200s",
+						name, p.Name, want, got)
+				}
+				if !value.TupleSeqEqualBag(want, got) {
+					t.Errorf("%s/%s: slot result not bag-equal to map result\nmap bag:  %v\nslot bag: %v",
+						name, p.Name, bagKeys(want), bagKeys(got))
+				}
+				if ctxM.OutString() != ctxR.OutString() {
+					t.Errorf("%s/%s: Ξ output differs\nmap:  %.200q\nslot: %.200q",
+						name, p.Name, ctxM.OutString(), ctxR.OutString())
+				}
+			}
+		}
+	}
+}
+
+// TestPaperPlansResolveNatively guards the perf story: every plan of every
+// paper query must pass the schema-resolution pass, so execution never
+// silently degrades to the map engine.
+func TestPaperPlansResolveNatively(t *testing.T) {
+	e := tinyEngine(t)
+	e.LoadDBLPDocument(40)
+	for id, text := range PaperQueries {
+		q, err := e.Compile(text)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, p := range q.Plans() {
+			sc, ok := algebra.ResolveSchema(p.op)
+			if !ok {
+				t.Errorf("%s/%s: schema does not resolve", id, p.Name)
+				continue
+			}
+			if !sc.Native {
+				t.Errorf("%s/%s: top operator is not slot-native (%s)", id, p.Name, p.op.String())
+			}
+		}
+	}
+}

@@ -6,7 +6,8 @@ import (
 )
 
 // TestStreamingMatchesMaterialized runs every plan of every paper query
-// through both execution engines and requires byte-identical output.
+// through the slot-based iterator engine and the definitional materializing
+// evaluator and requires byte-identical output.
 func TestStreamingMatchesMaterialized(t *testing.T) {
 	e := tinyEngine(t)
 	e.LoadDBLPDocument(40)
@@ -16,7 +17,7 @@ func TestStreamingMatchesMaterialized(t *testing.T) {
 			t.Fatalf("%s: %v", id, err)
 		}
 		for _, p := range q.Plans() {
-			mat, _, err := q.Execute(p.Name)
+			mat, _, err := q.ExecuteReference(p.Name)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", id, p.Name, err)
 			}
