@@ -1,10 +1,12 @@
 # Build/verify targets. tier1 is the hard gate every PR must keep green;
 # bench-smoke additionally vets the tree and runs every benchmark family
 # once, catching benchmark-harness rot without paying for real measurement.
+# ci is the full gate: tier-1, go vet plus race-built tests, and the
+# benchmark-trajectory diff against the committed BENCH_results.json.
 
 GO ?= go
 
-.PHONY: tier1 vet test bench-smoke bench-json
+.PHONY: tier1 vet test race-test bench-smoke bench-json bench-diff ci
 
 tier1:
 	$(GO) build ./...
@@ -16,6 +18,12 @@ vet:
 test:
 	$(GO) test ./...
 
+# race-test vets the tree and runs the test suite built with the race
+# detector — the data-race gate of the CI story.
+race-test:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
 bench-smoke: vet
 	$(GO) build ./...
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -24,3 +32,20 @@ bench-smoke: vet
 # trajectory (ns/op, B/op, allocs/op per experiment/plan/size).
 bench-json:
 	$(GO) run ./cmd/nalbench -json
+
+# bench-diff compares the working-tree BENCH_results.json against the
+# committed trajectory (BENCH_BASE, default HEAD) and fails when allocs/op
+# regresses more than BENCH_DIFF_PCT percent on any measured plan, or when
+# a measured plan vanished from the file (ns/op is reported but not gated —
+# wall-clock noise, unlike the allocation profile, is machine-dependent).
+# It gates the trajectory transition you are about to commit: regenerate
+# with `make bench-json` first, or set BENCH_BASE=HEAD~1 to validate the
+# last committed transition.
+BENCH_BASE ?= HEAD
+BENCH_DIFF_PCT ?= 10
+bench-diff:
+	@git show $(BENCH_BASE):BENCH_results.json > .bench-base.json
+	@$(GO) run ./cmd/nalbench -diff .bench-base.json -threshold $(BENCH_DIFF_PCT); \
+		rc=$$?; rm -f .bench-base.json; exit $$rc
+
+ci: tier1 race-test bench-diff

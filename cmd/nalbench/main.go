@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -28,14 +29,24 @@ import (
 
 func main() {
 	var (
-		expID    = flag.String("exp", "all", "experiment id (q1, q1dblp, q2..q6, fig6, ablations, all)")
-		sizes    = flag.String("sizes", "", "comma-separated document sizes (default: the paper's 100,1000,10000)")
-		full     = flag.Bool("full", false, "run the quadratic nested plans at every size")
-		repeat   = flag.Int("repeat", 1, "average over this many runs")
-		jsonOut  = flag.Bool("json", false, "emit machine-readable per-benchmark results (ns/op, B/op, allocs/op)")
-		jsonFile = flag.String("jsonfile", "BENCH_results.json", "output path for -json")
+		expID     = flag.String("exp", "all", "experiment id (q1, q1dblp, q2..q6, joins, unorderedq1, fig6, ablations, all)")
+		sizes     = flag.String("sizes", "", "comma-separated document sizes (default: the paper's 100,1000,10000)")
+		full      = flag.Bool("full", false, "run the quadratic nested plans at every size")
+		repeat    = flag.Int("repeat", 1, "average over this many runs")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable per-benchmark results (ns/op, B/op, allocs/op)")
+		jsonFile  = flag.String("jsonfile", "BENCH_results.json", "output path for -json")
+		diffBase  = flag.String("diff", "", "compare -jsonfile against this baseline BENCH json (e.g. saved from git show HEAD:BENCH_results.json) instead of measuring")
+		threshold = flag.Float64("threshold", 10, "allowed allocs/op regression percentage for -diff")
 	)
 	flag.Parse()
+
+	if *diffBase != "" {
+		if err := runDiff(*diffBase, *jsonFile, *threshold); err != nil {
+			fmt.Fprintf(os.Stderr, "nalbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := experiments.Options{Repeat: *repeat}
 	if !*full {
@@ -101,11 +112,15 @@ type benchRecord struct {
 // testing.Benchmark and writes the records as JSON.
 func runJSON(path, expID string, opts experiments.Options) error {
 	exps := experiments.All()
-	if expID != "all" {
+	switch expID {
+	case "all":
+	case "joins", "unorderedq1":
+		exps = nil // join/unordered family only
+	default:
 		exp, ok := experiments.Find(expID)
 		if !ok {
 			// fig6 and the ablations have no per-plan Execute benchmarks.
-			return fmt.Errorf("-json measures query plans only (q1, q1dblp, q2..q6, all); %q has no plan benchmarks", expID)
+			return fmt.Errorf("-json measures query plans only (q1, q1dblp, q2..q6, joins, unorderedq1, all); %q has no plan benchmarks", expID)
 		}
 		exps = []experiments.Experiment{exp}
 	}
@@ -158,12 +173,119 @@ func runJSON(path, expID string, opts experiments.Options) error {
 			}
 		}
 	}
+	// The join/unordered family: the partitioned physical operators the
+	// paper's measurements run on (Grace+sort, Claussen OPHJ) plus the
+	// unordered plan alternatives of Q1.
+	var targets []experiments.BenchTarget
+	if expID == "all" || expID == "joins" {
+		targets = append(targets, experiments.JoinBenchTargets(sizes)...)
+	}
+	if expID == "all" || expID == "unorderedq1" {
+		ts, err := experiments.UnorderedBenchTargets(sizes)
+		if err != nil {
+			return fmt.Errorf("unorderedq1: %w", err)
+		}
+		targets = append(targets, ts...)
+	}
+	for _, tg := range targets {
+		run := tg.Run
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		recs = append(recs, benchRecord{
+			Experiment: tg.Experiment, Plan: tg.Plan, Size: tg.Size,
+			Runs: r.N, NsPerOp: r.NsPerOp(),
+			BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%s/plan=%s/size=%d: %d ns/op %d B/op %d allocs/op\n",
+			tg.Experiment, tg.Plan, tg.Size, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
 	data, err := json.MarshalIndent(recs, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
 	return os.WriteFile(path, data, 0o644)
+}
+
+// runDiff compares a baseline BENCH json (typically the committed
+// trajectory, saved from git show) against the current one and fails when
+// allocs/op regresses beyond the threshold percentage on any measured
+// plan. ns/op changes are reported but not gated: wall-clock is too noisy
+// across machines, the allocation profile is not.
+func runDiff(basePath, newPath string, threshold float64) error {
+	load := func(path string) ([]benchRecord, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var recs []benchRecord
+		if err := json.Unmarshal(data, &recs); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return recs, nil
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	key := func(r benchRecord) string {
+		return fmt.Sprintf("%s/%s/size=%d/apb=%d", r.Experiment, r.Plan, r.Size, r.APB)
+	}
+	baseBy := make(map[string]benchRecord, len(base))
+	for _, r := range base {
+		baseBy[key(r)] = r
+	}
+	// pct reports the percentage change; a regression from an
+	// allocation-free baseline has no finite percentage and is always
+	// beyond threshold.
+	pct := func(old, new int64) float64 {
+		if old == 0 {
+			if new > 0 {
+				return math.Inf(1)
+			}
+			return 0
+		}
+		return 100 * float64(new-old) / float64(old)
+	}
+	var failures []string
+	fmt.Printf("%-52s %12s %12s\n", "benchmark", "Δallocs/op", "Δns/op")
+	for _, r := range cur {
+		b, ok := baseBy[key(r)]
+		if !ok {
+			fmt.Printf("%-52s %12s %12s\n", key(r), "new", "new")
+			continue
+		}
+		delete(baseBy, key(r))
+		da, dn := pct(b.AllocsPerOp, r.AllocsPerOp), pct(b.NsPerOp, r.NsPerOp)
+		fmt.Printf("%-52s %+11.1f%% %+11.1f%%\n", key(r), da, dn)
+		if da > threshold {
+			failures = append(failures,
+				fmt.Sprintf("%s: allocs/op %d → %d (%+.1f%% > %.1f%%)",
+					key(r), b.AllocsPerOp, r.AllocsPerOp, da, threshold))
+		}
+	}
+	// A benchmark that vanished from the trajectory is a failure too: a
+	// truncated results file (e.g. a partial -exp regeneration) must not
+	// pass for a full one.
+	for k := range baseBy {
+		fmt.Printf("%-52s %12s %12s\n", k, "gone", "gone")
+		failures = append(failures, fmt.Sprintf("%s: missing from %s", k, newPath))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark trajectory regressions (threshold %.1f%%):\n  %s",
+			threshold, strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 func runOne(exp experiments.Experiment, opts experiments.Options) {

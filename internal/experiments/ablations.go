@@ -181,52 +181,12 @@ func AblationPushdown(sizes []int) ([]AblationResult, error) {
 func AblationGraceJoin(sizes []int) []AblationResult {
 	var out []AblationResult
 	for _, size := range sizes {
-		cfg := xmlgen.DefaultConfig(size)
-		docs := map[string]*dom.Document{
-			"bids.xml":  xmlgen.Bids(cfg),
-			"items.xml": xmlgen.Items(cfg),
-		}
-		bids := algebra.Map{
-			In: algebra.UnnestMap{
-				In:   algebra.Map{In: algebra.Singleton{}, Attr: "d1", E: algebra.Doc{URI: "bids.xml"}},
-				Attr: "b",
-				E:    algebra.PathOf{Input: algebra.Var{Name: "d1"}, Path: xpath.MustParse("//bidtuple")},
-			},
-			Attr: "i1",
-			E:    algebra.PathOf{Input: algebra.Var{Name: "b"}, Path: xpath.MustParse("itemno")},
-		}
-		items := algebra.Map{
-			In: algebra.UnnestMap{
-				In:   algebra.Map{In: algebra.Singleton{}, Attr: "d2", E: algebra.Doc{URI: "items.xml"}},
-				Attr: "it",
-				E:    algebra.PathOf{Input: algebra.Var{Name: "d2"}, Path: xpath.MustParse("//itemtuple")},
-			},
-			Attr: "i2",
-			E:    algebra.PathOf{Input: algebra.Var{Name: "it"}, Path: xpath.MustParse("itemno")},
-		}
-		direct := algebra.Join{L: bids, R: items,
-			Pred: algebra.CmpExpr{L: algebra.Var{Name: "i1"}, R: algebra.Var{Name: "i2"}, Op: value.CmpEq}}
-		grace := algebra.ProjectDrop{
-			In: algebra.Sort{
-				In: algebra.GraceJoin{
-					L:      algebra.AttachSeq{In: bids, Attr: "#l"},
-					R:      algebra.AttachSeq{In: items, Attr: "#r"},
-					LAttrs: []string{"i1"}, RAttrs: []string{"i2"},
-				},
-				By: []string{"#l", "#r"},
-			},
-			Names: []string{"#l", "#r"},
-		}
-		claussen := algebra.OPHashJoin{L: bids, R: items,
-			LAttrs: []string{"i1"}, RAttrs: []string{"i2"}, Partitions: 16}
-		for _, v := range []struct {
-			name string
-			plan algebra.Op
-		}{{"probe-order-hash", direct}, {"grace+sort", grace}, {"claussen-ophj", claussen}} {
-			v.plan.Eval(algebra.NewCtx(docs), nil) // warm-up
+		docs := JoinFamilyDocs(size)
+		for _, v := range JoinFamilyPlans() {
+			v.Op.Eval(algebra.NewCtx(docs), nil) // warm-up
 			t0 := time.Now()
-			v.plan.Eval(algebra.NewCtx(docs), nil)
-			out = append(out, AblationResult{Name: "order-preserving-join", Variant: v.name,
+			v.Op.Eval(algebra.NewCtx(docs), nil)
+			out = append(out, AblationResult{Name: "order-preserving-join", Variant: v.Name,
 				Size: size, Elapsed: time.Since(t0)})
 		}
 	}
