@@ -1,8 +1,6 @@
 package algebra
 
 import (
-	"strings"
-
 	"nalquery/internal/value"
 )
 
@@ -240,7 +238,7 @@ func execCompiled(ctx *Ctx, r value.Row, cs []compiledCmd) {
 			ctx.Out.WriteString(c.lit)
 			continue
 		}
-		ctx.Out.WriteString(PrintValue(c.e(ctx, r)))
+		WriteValue(ctx.Out, c.e(ctx, r))
 	}
 }
 
@@ -259,25 +257,16 @@ func slotsOf(lay *value.Layout, names []string) ([]int, bool) {
 }
 
 // rowKey computes the canonical grouping/join key of a row over slots —
-// hashKey's slot twin. Single-column keys (the common case) are
-// allocation-free.
+// hashKey's slot twin. One- and two-column keys (the common cases) are
+// allocation-free composites; wider keys fold into one string.
 func rowKey(r value.Row, slots []int) value.HashKey {
-	if len(slots) == 1 {
-		return value.KeyOf(r.Vals[slots[0]])
-	}
-	var sb strings.Builder
-	for _, s := range slots {
-		sb.WriteString(value.Key(r.Vals[s]))
-		sb.WriteByte('|')
-	}
-	return value.FoldKey(sb.String())
+	return value.KeyOfSlots(r.Vals, slots)
 }
 
 // tupleHashKey is rowKey for map tuples (group members inside TupleSeq
-// values).
+// values, and the partitioned operators' definitional evaluators — which
+// must key identically to the slot engine so both agree on partition
+// order).
 func tupleHashKey(t value.Tuple, attrs []string) value.HashKey {
-	if len(attrs) == 1 {
-		return value.KeyOf(t[attrs[0]])
-	}
-	return value.FoldKey(hashKey(t, attrs))
+	return value.KeyOfAttrs(t, attrs)
 }

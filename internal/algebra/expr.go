@@ -47,6 +47,11 @@ type Stats struct {
 	NestedEvals int64
 	// Tuples counts tuples produced by operators.
 	Tuples int64
+	// ShimOps counts operators that executed behind the map→row conversion
+	// shim (resolvable schema but no slot-native iterator). A fully native
+	// plan runs with ShimOps == 0 — the property the
+	// partitioned-plans-resolve-natively tests pin.
+	ShimOps int64
 }
 
 // NewCtx creates an evaluation context over the given documents, collecting

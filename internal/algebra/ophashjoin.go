@@ -3,7 +3,6 @@ package algebra
 import (
 	"container/heap"
 	"fmt"
-	"hash/fnv"
 	"strings"
 
 	"nalquery/internal/value"
@@ -38,16 +37,25 @@ type OPHashJoin struct {
 	RAttrs []string
 	// Residual is evaluated on each joined tuple after the key match.
 	Residual Expr
-	// Partitions is the partition count P; values < 2 default to 16.
+	// Partitions is an explicit partition count P; values < 2 let the
+	// operator size P from the build-side cardinality at evaluation time.
 	Partitions int
 }
 
-// partitionCount returns the effective partition count.
-func (j OPHashJoin) partitionCount() int {
-	if j.Partitions < 2 {
-		return 16
+// partitionCount returns the effective partition count for a build side of
+// buildCard tuples: an explicit Partitions setting wins; otherwise P grows
+// with the build cardinality (one partition per 128 build tuples) and caps
+// at 16, so tiny inputs stop paying a 16-way partition plus a 16-way
+// merge.
+func (j OPHashJoin) partitionCount(buildCard int) int {
+	if j.Partitions >= 2 {
+		return j.Partitions
 	}
-	return j.Partitions
+	p := 1 + buildCard/128
+	if p > 16 {
+		p = 16
+	}
+	return p
 }
 
 // opTagged is one joined output tuple tagged with the probe ordinal it
@@ -82,12 +90,6 @@ func (h *opMergeHeap) Pop() any {
 	return s
 }
 
-func hashPartition(key string, p int) int {
-	f := fnv.New32a()
-	f.Write([]byte(key))
-	return int(f.Sum32()) % p
-}
-
 // Eval implements Op.
 func (j OPHashJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 	l := j.L.Eval(ctx, env)
@@ -95,21 +97,22 @@ func (j OPHashJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := j.R.Eval(ctx, env)
-	p := j.partitionCount()
+	p := j.partitionCount(len(r))
 
-	// Phase 1+2: tag the probe side with ordinals and partition both inputs.
+	// Phase 1+2: tag the probe side with ordinals and partition both inputs
+	// by the composite HashKey's hash.
 	type tagged struct {
 		seq int
 		t   value.Tuple
 	}
 	lParts := make([][]tagged, p)
 	for i, t := range l {
-		pi := hashPartition(hashKey(t, j.LAttrs), p)
+		pi := int(tupleHashKey(t, j.LAttrs).Hash() % uint64(p))
 		lParts[pi] = append(lParts[pi], tagged{seq: i, t: t})
 	}
 	rParts := make([][]value.Tuple, p)
 	for _, t := range r {
-		pi := hashPartition(hashKey(t, j.RAttrs), p)
+		pi := int(tupleHashKey(t, j.RAttrs).Hash() % uint64(p))
 		rParts[pi] = append(rParts[pi], t)
 	}
 
@@ -119,15 +122,15 @@ func (j OPHashJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		if len(lParts[pi]) == 0 || len(rParts[pi]) == 0 {
 			continue
 		}
-		buckets := make(map[string]value.TupleSeq, len(rParts[pi]))
+		buckets := make(map[value.HashKey]value.TupleSeq, len(rParts[pi]))
 		for _, rt := range rParts[pi] {
-			k := hashKey(rt, j.RAttrs)
+			k := tupleHashKey(rt, j.RAttrs)
 			buckets[k] = append(buckets[k], rt)
 		}
 		var out []opTagged
 		for _, lt := range lParts[pi] {
 			minor := 0
-			for _, rt := range buckets[hashKey(lt.t, j.LAttrs)] {
+			for _, rt := range buckets[tupleHashKey(lt.t, j.LAttrs)] {
 				if j.Residual != nil &&
 					!value.EffectiveBool(j.Residual.Eval(ctx, env.Concat(lt.t).Concat(rt))) {
 					continue

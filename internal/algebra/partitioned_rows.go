@@ -1,0 +1,549 @@
+package algebra
+
+import (
+	"container/heap"
+	"sort"
+
+	"nalquery/internal/value"
+)
+
+// Native slot-row execution of the partitioned operator family: the Grace
+// hash join, the order-preserving hash join of Claussen et al. [6], and
+// the six unordered operators (⋈ᵁ, ⋉ᵁ, ▷ᵁ, ⟕ᵁ, unary/binary Γᵁ). These
+// are partition-everything pipeline breakers: both inputs materialize as
+// rows, partition tables are keyed by allocation-free composite
+// value.HashKeys (rowKey), and output streams from the partition structure
+// — one ConcatRows slice per emitted tuple instead of the map rebuilds the
+// conversion shim used to pay.
+//
+// Every iterator here defers its build to the first Next() call and drains
+// the probe (left) side first, so an empty left input never evaluates the
+// right subtree — the short-circuit of the definitional Eval.
+//
+// The unordered family and the Grace join emit output in the canonical
+// value.LessKey partition order; their Evals partition with the same key
+// function (tupleHashKey/rowKey agree on logical tuples) and the same
+// order, so both engines produce identical sequences — the property
+// partitioned_rows_test.go differential-tests.
+
+// partitionRowsSorted buckets rows on the key slots and returns the keys
+// in canonical LessKey order.
+func partitionRowsSorted(rows []value.Row, slots []int) ([]value.HashKey, map[value.HashKey][]value.Row) {
+	buckets := make(map[value.HashKey][]value.Row, len(rows))
+	var keys []value.HashKey
+	for _, r := range rows {
+		k := rowKey(r, slots)
+		if _, ok := buckets[k]; !ok {
+			keys = append(keys, k)
+		}
+		buckets[k] = append(buckets[k], r)
+	}
+	sort.Slice(keys, func(i, j int) bool { return value.LessKey(keys[i], keys[j]) })
+	return keys, buckets
+}
+
+// hashRowBuckets is the build side: HashKey buckets preserving input
+// order, no key list.
+func hashRowBuckets(rows []value.Row, slots []int) map[value.HashKey][]value.Row {
+	m := make(map[value.HashKey][]value.Row, len(rows))
+	for _, r := range rows {
+		k := rowKey(r, slots)
+		m[k] = append(m[k], r)
+	}
+	return m
+}
+
+// openRowPartitionedJoin builds the native iterator shared by GraceJoin
+// (inner mode) and the unordered join family: both inputs partitioned on
+// the key columns, partitions joined in LessKey order. nil falls back to
+// the conversion shim.
+func openRowPartitionedJoin(l, r Op, lAttrs, rAttrs []string, residual Expr,
+	sc Schema, ctx *Ctx, env value.Tuple, mode joinMode, g string, def SeqFunc) RowIter {
+	lsc, lok := ResolveSchema(l)
+	rsc, rok := ResolveSchema(r)
+	if !lok || !rok {
+		return nil
+	}
+	// The concatenated layout is needed for the output of ⋈/⟕ modes and to
+	// compile a residual; ⋉/▷ without residual emit left rows only and
+	// tolerate colliding attribute names across the inputs.
+	var catLay *value.Layout
+	if mode == joinModeInner || mode == joinModeOuter || residual != nil {
+		var cok bool
+		catLay, cok = lsc.Lay.Concat(rsc.Lay)
+		if !cok {
+			return nil
+		}
+	}
+	lSlots, ok1 := slotsOf(lsc.Lay, lAttrs)
+	rSlots, ok2 := slotsOf(rsc.Lay, rAttrs)
+	if !ok1 || !ok2 {
+		return nil
+	}
+	gSlot := -1
+	if mode == joinModeOuter {
+		s, ok := catLay.Slot(g)
+		if !ok {
+			return nil // G outside the schema: map semantics needed
+		}
+		gSlot = s
+	}
+	it := &rowPartJoinIter{ctx: ctx, env: env, mode: mode, catLay: catLay,
+		gSlot: gSlot, def: def, padFrom: lsc.Lay.Width()}
+	switch mode {
+	case joinModeSemi, joinModeAnti:
+		it.lay = lsc.Lay
+	default:
+		it.lay = catLay
+	}
+	if residual != nil {
+		it.residual = compileExpr(residual, Schema{Lay: catLay}, env)
+	}
+	it.build = func() bool {
+		left := drainRows(openRowsSchema(l, lsc, ctx, env))
+		if len(left) == 0 {
+			return false
+		}
+		it.keys, it.lParts = partitionRowsSorted(left, lSlots)
+		right := drainRows(openRowsSchema(r, rsc, ctx, env))
+		it.rParts = hashRowBuckets(right, rSlots)
+		return true
+	}
+	return it
+}
+
+// rowPartJoinIter streams one partitioned join: partitions advance in key
+// order, left tuples in input order within a partition, right partners in
+// input order within a left tuple.
+type rowPartJoinIter struct {
+	ctx      *Ctx
+	env      value.Tuple
+	mode     joinMode
+	lay      *value.Layout // output layout (concat, or left for semi/anti)
+	catLay   *value.Layout // concat layout the residual compiles against
+	residual RowExpr
+	gSlot    int // ⟕ᵁ: slot receiving the default on padding
+	padFrom  int // ⟕ᵁ: first right slot in the concatenated layout
+	def      SeqFunc
+
+	build         func() bool
+	started, done bool
+	keys          []value.HashKey
+	lParts        map[value.HashKey][]value.Row
+	rParts        map[value.HashKey][]value.Row
+	ki, li, ri    int
+}
+
+func (p *rowPartJoinIter) Next() (value.Row, bool) {
+	if !p.started {
+		p.started = true
+		if !p.build() {
+			p.done = true
+		}
+	}
+	for !p.done {
+		if p.ki >= len(p.keys) {
+			p.done = true
+			break
+		}
+		lp := p.lParts[p.keys[p.ki]]
+		rp := p.rParts[p.keys[p.ki]]
+		if p.li >= len(lp) {
+			p.ki++
+			p.li, p.ri = 0, 0
+			continue
+		}
+		switch p.mode {
+		case joinModeInner:
+			if len(rp) == 0 {
+				p.ki++
+				p.li, p.ri = 0, 0
+				continue
+			}
+			if p.ri >= len(rp) {
+				p.li++
+				p.ri = 0
+				continue
+			}
+			out := value.ConcatRows(p.lay, lp[p.li], rp[p.ri])
+			p.ri++
+			if p.residual != nil && !value.EffectiveBool(p.residual(p.ctx, out)) {
+				continue
+			}
+			return out, true
+
+		case joinModeSemi:
+			if len(rp) == 0 {
+				p.ki++
+				p.li = 0
+				continue
+			}
+			lt := lp[p.li]
+			p.li++
+			if p.residual == nil || p.anyResidual(lt, rp) {
+				return lt, true
+			}
+
+		case joinModeAnti:
+			lt := lp[p.li]
+			p.li++
+			matched := len(rp) > 0
+			if p.residual != nil {
+				matched = p.anyResidual(lt, rp)
+			}
+			if !matched {
+				return lt, true
+			}
+
+		case joinModeOuter:
+			if len(rp) == 0 {
+				lt := lp[p.li]
+				p.li++
+				vals := make([]value.Value, p.lay.Width())
+				copy(vals, lt.Vals)
+				for i := p.padFrom; i < len(vals); i++ {
+					vals[i] = value.Null{}
+				}
+				vals[p.gSlot] = p.def.Apply(p.ctx, p.env, nil)
+				return value.Row{Lay: p.lay, Vals: vals}, true
+			}
+			if p.ri >= len(rp) {
+				p.li++
+				p.ri = 0
+				continue
+			}
+			out := value.ConcatRows(p.lay, lp[p.li], rp[p.ri])
+			p.ri++
+			return out, true
+		}
+	}
+	return value.Row{}, false
+}
+
+func (p *rowPartJoinIter) anyResidual(lt value.Row, rp []value.Row) bool {
+	for _, rt := range rp {
+		if value.EffectiveBool(p.residual(p.ctx, value.ConcatRows(p.catLay, lt, rt))) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *rowPartJoinIter) Close() { p.done = true }
+
+// ---- order-preserving hash join (Claussen et al.) ----
+
+// rowOPTagged is one joined output row tagged with the probe ordinal it
+// belongs to, plus the running emission index keeping partners of one
+// probe row ordered through the merge.
+type rowOPTagged struct {
+	seq, minor int
+	r          value.Row
+}
+
+// rowOPMergeHeap is the P-way merge heap over the per-partition output
+// streams, compared by the head element's (seq, minor).
+type rowOPMergeHeap struct {
+	streams [][]rowOPTagged
+}
+
+func (h *rowOPMergeHeap) Len() int { return len(h.streams) }
+func (h *rowOPMergeHeap) Less(i, k int) bool {
+	a, b := h.streams[i][0], h.streams[k][0]
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.minor < b.minor
+}
+func (h *rowOPMergeHeap) Swap(i, k int) { h.streams[i], h.streams[k] = h.streams[k], h.streams[i] }
+func (h *rowOPMergeHeap) Push(x any)    { h.streams = append(h.streams, x.([]rowOPTagged)) }
+func (h *rowOPMergeHeap) Pop() any {
+	n := len(h.streams)
+	s := h.streams[n-1]
+	h.streams = h.streams[:n-1]
+	return s
+}
+
+// openRowOPHashJoin builds the native Claussen order-preserving hash join:
+// probe side tagged with ordinals, both sides partitioned by the key's
+// hash, partition pairs joined in probe order, and the global probe order
+// restored by a lazy P-way ordinal merge — O(N log P) instead of the full
+// sort of the Grace+Sort strategy.
+func openRowOPHashJoin(j OPHashJoin, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
+	lsc, lok := ResolveSchema(j.L)
+	rsc, rok := ResolveSchema(j.R)
+	if !lok || !rok {
+		return nil
+	}
+	catLay, cok := lsc.Lay.Concat(rsc.Lay)
+	if !cok {
+		return nil
+	}
+	lSlots, ok1 := slotsOf(lsc.Lay, j.LAttrs)
+	rSlots, ok2 := slotsOf(rsc.Lay, j.RAttrs)
+	if !ok1 || !ok2 {
+		return nil
+	}
+	var residual RowExpr
+	if j.Residual != nil {
+		residual = compileExpr(j.Residual, Schema{Lay: catLay}, env)
+	}
+	it := &rowOPHashJoinIter{}
+	it.build = func() {
+		left := drainRows(openRowsSchema(j.L, lsc, ctx, env))
+		if len(left) == 0 {
+			return
+		}
+		right := drainRows(openRowsSchema(j.R, rsc, ctx, env))
+		p := j.partitionCount(len(right))
+
+		type tagged struct {
+			seq int
+			r   value.Row
+		}
+		lParts := make([][]tagged, p)
+		for i, lt := range left {
+			pi := int(rowKey(lt, lSlots).Hash() % uint64(p))
+			lParts[pi] = append(lParts[pi], tagged{seq: i, r: lt})
+		}
+		rParts := make([][]value.Row, p)
+		for _, rt := range right {
+			pi := int(rowKey(rt, rSlots).Hash() % uint64(p))
+			rParts[pi] = append(rParts[pi], rt)
+		}
+
+		var streams [][]rowOPTagged
+		for pi := 0; pi < p; pi++ {
+			if len(lParts[pi]) == 0 || len(rParts[pi]) == 0 {
+				continue
+			}
+			buckets := hashRowBuckets(rParts[pi], rSlots)
+			var out []rowOPTagged
+			for _, lt := range lParts[pi] {
+				minor := 0
+				for _, rt := range buckets[rowKey(lt.r, lSlots)] {
+					cat := value.ConcatRows(catLay, lt.r, rt)
+					if residual != nil && !value.EffectiveBool(residual(ctx, cat)) {
+						continue
+					}
+					out = append(out, rowOPTagged{seq: lt.seq, minor: minor, r: cat})
+					minor++
+				}
+			}
+			if len(out) > 0 {
+				streams = append(streams, out)
+			}
+		}
+		if len(streams) > 0 {
+			it.h = &rowOPMergeHeap{streams: streams}
+			heap.Init(it.h)
+		}
+	}
+	return it
+}
+
+type rowOPHashJoinIter struct {
+	build   func()
+	started bool
+	h       *rowOPMergeHeap
+}
+
+func (j *rowOPHashJoinIter) Next() (value.Row, bool) {
+	if !j.started {
+		j.started = true
+		j.build()
+	}
+	if j.h == nil || j.h.Len() == 0 {
+		return value.Row{}, false
+	}
+	s := j.h.streams[0]
+	r := s[0].r
+	if len(s) > 1 {
+		j.h.streams[0] = s[1:]
+		heap.Fix(j.h, 0)
+	} else {
+		heap.Pop(j.h)
+	}
+	return r, true
+}
+
+func (j *rowOPHashJoinIter) Close() { j.h = nil; j.started = true }
+
+// ---- unordered grouping ----
+
+// openRowUnorderedGroupUnary builds the native Γᵁ: one output row per
+// distinct key, keys in LessKey order, group values computed by the
+// slot-compiled applier.
+func openRowUnorderedGroupUnary(g UnorderedGroupUnary, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
+	insc, ok := ResolveSchema(g.In)
+	if !ok {
+		return nil
+	}
+	by, ok := slotsOf(insc.Lay, g.By)
+	if !ok {
+		return nil
+	}
+	gSlot, _ := sc.Lay.Slot(g.G)
+	outBy, _ := slotsOf(sc.Lay, g.By)
+	it := &rowUnorderedGroupUnaryIter{lay: sc.Lay, gSlot: gSlot, by: by, outBy: outBy,
+		theta: g.Theta, apply: groupApplier(g.F, insc.Lay), ctx: ctx, env: env}
+	it.build = func() {
+		it.rows = drainRows(openRowsSchema(g.In, insc, ctx, env))
+		it.keys, it.buckets = partitionRowsSorted(it.rows, by)
+	}
+	return it
+}
+
+type rowUnorderedGroupUnaryIter struct {
+	lay       *value.Layout
+	gSlot     int
+	by, outBy []int
+	theta     value.CmpOp
+	apply     func(ctx *Ctx, env value.Tuple, rows []value.Row) value.Value
+	ctx       *Ctx
+	env       value.Tuple
+
+	build   func()
+	started bool
+	rows    []value.Row
+	keys    []value.HashKey
+	buckets map[value.HashKey][]value.Row
+	pos     int
+}
+
+func (g *rowUnorderedGroupUnaryIter) Next() (value.Row, bool) {
+	if !g.started {
+		g.started = true
+		g.build()
+	}
+	if g.pos >= len(g.keys) {
+		return value.Row{}, false
+	}
+	b := g.buckets[g.keys[g.pos]]
+	g.pos++
+	rep := b[0]
+	grp := b
+	if g.theta != value.CmpEq {
+		// General θ: the group is every input row whose by-attributes stand
+		// in relation θ to the key — same scan as the definitional Eval.
+		grp = nil
+		for _, r := range g.rows {
+			if thetaMatchRows(rep, r, g.by, g.by, g.theta) {
+				grp = append(grp, r)
+			}
+		}
+	}
+	vals := make([]value.Value, g.lay.Width())
+	for i, s := range g.by {
+		vals[g.outBy[i]] = rep.Vals[s]
+	}
+	vals[g.gSlot] = g.apply(g.ctx, g.env, grp)
+	return value.Row{Lay: g.lay, Vals: vals}, true
+}
+
+func (g *rowUnorderedGroupUnaryIter) Close() { g.pos = len(g.keys); g.started = true }
+
+// openRowUnorderedGroupBinary builds the native unordered nest-join: left
+// tuples in LessKey partition order, each extended by f over its right
+// group (cached per distinct key on the hash path, like the ordered
+// operator).
+func openRowUnorderedGroupBinary(g UnorderedGroupBinary, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
+	lsc, lok := ResolveSchema(g.L)
+	rsc, rok := ResolveSchema(g.R)
+	if !lok || !rok {
+		return nil
+	}
+	lSlots, ok1 := slotsOf(lsc.Lay, g.LAttrs)
+	rSlots, ok2 := slotsOf(rsc.Lay, g.RAttrs)
+	if !ok1 || !ok2 {
+		return nil
+	}
+	gSlot, _ := sc.Lay.Slot(g.G)
+	it := &rowUnorderedGroupBinaryIter{lay: sc.Lay, gSlot: gSlot,
+		lSlots: lSlots, rSlots: rSlots, theta: g.Theta,
+		apply: groupApplier(g.F, rsc.Lay), ctx: ctx, env: env}
+	it.build = func() bool {
+		left := drainRows(openRowsSchema(g.L, lsc, ctx, env))
+		if len(left) == 0 {
+			return false
+		}
+		it.keys, it.lParts = partitionRowsSorted(left, lSlots)
+		right := drainRows(openRowsSchema(g.R, rsc, ctx, env))
+		if g.Theta == value.CmpEq {
+			it.rHash = hashRowBuckets(right, rSlots)
+			it.applied = make(map[value.HashKey]value.Value, len(it.rHash))
+		} else {
+			it.scanRows = right
+		}
+		return true
+	}
+	return it
+}
+
+type rowUnorderedGroupBinaryIter struct {
+	lay            *value.Layout
+	gSlot          int
+	lSlots, rSlots []int
+	theta          value.CmpOp
+	apply          func(ctx *Ctx, env value.Tuple, rows []value.Row) value.Value
+	ctx            *Ctx
+	env            value.Tuple
+
+	build         func() bool
+	started, done bool
+	keys          []value.HashKey
+	lParts        map[value.HashKey][]value.Row
+	rHash         map[value.HashKey][]value.Row
+	applied       map[value.HashKey]value.Value
+	scanRows      []value.Row
+	ki, li        int
+}
+
+func (g *rowUnorderedGroupBinaryIter) Next() (value.Row, bool) {
+	if !g.started {
+		g.started = true
+		if !g.build() {
+			g.done = true
+		}
+	}
+	for !g.done {
+		if g.ki >= len(g.keys) {
+			g.done = true
+			break
+		}
+		key := g.keys[g.ki]
+		lp := g.lParts[key]
+		if g.li >= len(lp) {
+			g.ki++
+			g.li = 0
+			continue
+		}
+		lt := lp[g.li]
+		g.li++
+		var gv value.Value
+		if g.rHash != nil {
+			// Every left tuple of this partition shares the key, so the
+			// partition key doubles as the right-bucket lookup.
+			var cached bool
+			if gv, cached = g.applied[key]; !cached {
+				gv = g.apply(g.ctx, g.env, g.rHash[key])
+				g.applied[key] = gv
+			}
+		} else {
+			var grp []value.Row
+			for _, r := range g.scanRows {
+				if thetaMatchRows(lt, r, g.lSlots, g.rSlots, g.theta) {
+					grp = append(grp, r)
+				}
+			}
+			gv = g.apply(g.ctx, g.env, grp)
+		}
+		vals := make([]value.Value, g.lay.Width())
+		copy(vals, lt.Vals)
+		vals[g.gSlot] = gv
+		return value.Row{Lay: g.lay, Vals: vals}, true
+	}
+	return value.Row{}, false
+}
+
+func (g *rowUnorderedGroupBinaryIter) Close() { g.done = true }

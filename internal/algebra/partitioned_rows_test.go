@@ -1,0 +1,309 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"nalquery/internal/value"
+)
+
+// Differential property tests of the native partitioned operators against
+// the definitional Op.Eval, mirroring the engine-level slot/map tests
+// (internal/experiments/slotdiff_test.go): sequence equality, bag equality
+// and Ξ-output equality, over random inputs plus the edge cases that bit
+// hash implementations before (empty inputs, all-duplicate keys,
+// ⊥-padding of empty groups).
+
+// leafShims counts the leaf operators that legitimately open behind the
+// conversion shim: the constOp test fixtures resolve generically (they are
+// stand-ins for base scans, which are native in real plans). Any shim
+// beyond these means an inner operator fell back.
+func leafShims(op Op) int64 {
+	var n int64
+	var walk func(Op)
+	walk = func(o Op) {
+		cs := o.Children()
+		if len(cs) == 0 {
+			if sc, ok := ResolveSchema(o); ok && !sc.Native {
+				n++
+			}
+			return
+		}
+		for _, c := range cs {
+			walk(c)
+		}
+	}
+	walk(op)
+	return n
+}
+
+// runNativeRows executes op on the slot engine and reports the result plus
+// whether execution was slot-native: the schema resolves natively, the
+// root iterator is not the conversion shim, and no shim fired anywhere
+// beyond the constOp leaves.
+func runNativeRows(op Op) (value.TupleSeq, string, bool) {
+	sc, ok := ResolveSchema(op)
+	if !ok || !sc.Native {
+		return nil, "", false
+	}
+	ctx := NewCtx(nil)
+	it := openRowsSchema(op, sc, ctx, nil)
+	if _, isShim := it.(*tupleRowIter); isShim {
+		return nil, "", false
+	}
+	rows := drainRows(it)
+	return rowsToTuples(rows), ctx.OutString(), ctx.Stats.ShimOps <= leafShims(op)
+}
+
+// diffOp compares Eval and native row execution of one operator.
+func diffOp(t *testing.T, name string, op Op) bool {
+	t.Helper()
+	want := op.Eval(NewCtx(nil), nil)
+	got, _, native := runNativeRows(op)
+	if !native {
+		t.Errorf("%s: not fully slot-native", name)
+		return false
+	}
+	if !value.TupleSeqEqual(want, got) {
+		t.Errorf("%s: native rows differ from Eval\neval:   %.300s\nnative: %.300s", name, want, got)
+		return false
+	}
+	if !value.TupleSeqEqualBag(want, got) {
+		t.Errorf("%s: native rows not bag-equal to Eval", name)
+		return false
+	}
+	return true
+}
+
+// partitionedFamily builds every partitioned operator over the given
+// inputs (e1 with A1/C, e2 with A2/B columns).
+func partitionedFamily(e1, e2 Op, residual Expr) map[string]Op {
+	return map[string]Op{
+		"Grace": GraceJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"},
+			Residual: residual},
+		"OPHJ": OPHashJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"},
+			Residual: residual},
+		"⋈ᵁ": UnorderedJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"},
+			Residual: residual},
+		"⋉ᵁ": UnorderedSemiJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"},
+			Residual: residual},
+		"▷ᵁ": UnorderedAntiJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"},
+			Residual: residual},
+		"⟕ᵁ": UnorderedOuterJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"},
+			G: "B", Default: SFCount{}},
+		"Γᵁ-binary": UnorderedGroupBinary{L: e1, R: e2, G: "g",
+			LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Theta: value.CmpEq, F: SFIdent{}},
+		"Γᵁ-unary": UnorderedGroupUnary{In: e2, G: "g", By: []string{"A2"},
+			Theta: value.CmpEq, F: SFAgg{Fn: "sum", Attr: "B"}},
+	}
+}
+
+// TestPartitionedRowsMatchEval: random inputs, every operator of the
+// family, with and without a residual predicate.
+func TestPartitionedRowsMatchEval(t *testing.T) {
+	quickCheck(t, "partitioned-rows=Eval", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1", "C"}, 12, 4)
+		e2 := randRel(rng, []string{"A2", "B"}, 12, 4)
+		var residual Expr
+		if rng.Intn(2) == 1 {
+			residual = CmpExpr{L: Var{Name: "C"}, R: Var{Name: "B"}, Op: value.CmpLe}
+		}
+		for name, op := range partitionedFamily(e1, e2, residual) {
+			if !diffOp(t, name, op) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestPartitionedRowsMultiKey: composite keys exercise the two-column
+// inline HashKey and the >2-column string fold.
+func TestPartitionedRowsMultiKey(t *testing.T) {
+	quickCheck(t, "partitioned-rows-multikey", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1", "K1", "J1"}, 12, 3)
+		e2 := randRel(rng, []string{"A2", "K2", "J2"}, 12, 3)
+		two := GraceJoin{L: e1, R: e2,
+			LAttrs: []string{"A1", "K1"}, RAttrs: []string{"A2", "K2"}}
+		three := UnorderedJoin{L: e1, R: e2,
+			LAttrs: []string{"A1", "K1", "J1"}, RAttrs: []string{"A2", "K2", "J2"}}
+		opTwo := OPHashJoin{L: e1, R: e2,
+			LAttrs: []string{"A1", "K1"}, RAttrs: []string{"A2", "K2"}, Partitions: rng.Intn(8)}
+		gu := UnorderedGroupUnary{In: e2, G: "g", By: []string{"A2", "K2", "J2"},
+			Theta: value.CmpEq, F: SFCount{}}
+		return diffOp(t, "Grace-2key", two) && diffOp(t, "⋈ᵁ-3key", three) &&
+			diffOp(t, "OPHJ-2key", opTwo) && diffOp(t, "Γᵁ-3key", gu)
+	})
+}
+
+// TestPartitionedRowsGeneralTheta: the non-equality grouping paths take
+// the scan route on both engines.
+func TestPartitionedRowsGeneralTheta(t *testing.T) {
+	quickCheck(t, "partitioned-rows-θ", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1"}, 8, 4)
+		e2 := randRel(rng, []string{"A2", "B"}, 8, 4)
+		theta := thetasAll[rng.Intn(len(thetasAll))]
+		gu := UnorderedGroupUnary{In: e2, G: "g", By: []string{"A2"}, Theta: theta, F: SFCount{}}
+		gb := UnorderedGroupBinary{L: e1, R: e2, G: "g",
+			LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Theta: theta, F: SFCount{}}
+		return diffOp(t, "Γᵁ-θ", gu) && diffOp(t, "Γᵁ-binary-θ", gb)
+	})
+}
+
+// TestPartitionedRowsEdgeInputs: empty inputs and all-duplicate keys.
+func TestPartitionedRowsEdgeInputs(t *testing.T) {
+	empty1 := constOp{attrs: []string{"A1", "C"}}
+	empty2 := constOp{attrs: []string{"A2", "B"}}
+	one1 := constOp{ts: value.TupleSeq{{"A1": value.Int(1), "C": value.Int(9)}},
+		attrs: []string{"A1", "C"}}
+	allDup := func(n int, attrs ...string) constOp {
+		ts := make(value.TupleSeq, n)
+		for i := range ts {
+			t := value.Tuple{attrs[0]: value.Int(7)}
+			for _, a := range attrs[1:] {
+				t[a] = value.Int(int64(i))
+			}
+			ts[i] = t
+		}
+		return constOp{ts: ts, attrs: attrs}
+	}
+	cases := []struct {
+		name   string
+		e1, e2 Op
+	}{
+		{"both-empty", empty1, empty2},
+		{"left-empty", empty1, allDup(5, "A2", "B")},
+		{"right-empty", one1, empty2},
+		{"all-dup-keys", allDup(6, "A1", "C"), allDup(6, "A2", "B")},
+	}
+	for _, c := range cases {
+		for name, op := range partitionedFamily(c.e1, c.e2, nil) {
+			diffOp(t, c.name+"/"+name, op)
+		}
+	}
+}
+
+// TestPartitionedRowsPadding: ⊥-padding of empty ⟕ᵁ groups and the default
+// value of empty Γᵁ groups, in the Eqv. 2 configuration (grouped right
+// side).
+func TestPartitionedRowsPadding(t *testing.T) {
+	left := constOp{ts: value.TupleSeq{
+		{"A1": value.Int(1)}, {"A1": value.Int(99)}, {"A1": value.Int(2)},
+	}, attrs: []string{"A1"}}
+	right := constOp{ts: value.TupleSeq{
+		{"A2": value.Int(1), "B": value.Int(10)},
+		{"A2": value.Int(2), "B": value.Int(20)},
+		{"A2": value.Int(2), "B": value.Int(21)},
+	}, attrs: []string{"A2", "B"}}
+	grouped := GroupUnary{In: right, G: "g", By: []string{"A2"}, Theta: value.CmpEq, F: SFIdent{}}
+
+	oj := UnorderedOuterJoin{L: left, R: grouped, LAttrs: []string{"A1"}, RAttrs: []string{"A2"},
+		G: "g", Default: SFCount{}}
+	if !diffOp(t, "⟕ᵁ-padding", oj) {
+		return
+	}
+	got, _, _ := runNativeRows(oj)
+	var padded value.Tuple
+	for _, tp := range got {
+		if value.DeepEqual(tp["A1"], value.Int(99)) {
+			padded = tp
+		}
+	}
+	if padded == nil {
+		t.Fatalf("⟕ᵁ lost the unmatched left tuple: %s", got)
+	}
+	if _, isNull := padded["A2"].(value.Null); !isNull {
+		t.Errorf("⟕ᵁ must ⊥-pad A2, got %v", padded["A2"])
+	}
+	if !value.DeepEqual(padded["g"], value.Int(0)) {
+		t.Errorf("⟕ᵁ default on empty group: g = %v, want count(ε) = 0", padded["g"])
+	}
+
+	gb := UnorderedGroupBinary{L: left, R: right, G: "g",
+		LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Theta: value.CmpEq, F: SFCount{}}
+	if !diffOp(t, "Γᵁ-binary-empty-group", gb) {
+		return
+	}
+	got, _, _ = runNativeRows(gb)
+	for _, tp := range got {
+		if value.DeepEqual(tp["A1"], value.Int(99)) && !value.DeepEqual(tp["g"], value.Int(0)) {
+			t.Errorf("Γᵁ empty group: g = %v, want 0", tp["g"])
+		}
+	}
+}
+
+// TestPartitionedRowsXiOutput: Ξ over a partitioned subtree emits the same
+// output stream on both engines (the slotdiff Ξ-equality mirrored at
+// operator level).
+func TestPartitionedRowsXiOutput(t *testing.T) {
+	quickCheck(t, "partitioned-rows-Ξ", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e1 := randRel(rng, []string{"A1", "C"}, 10, 4)
+		e2 := randRel(rng, []string{"A2", "B"}, 10, 4)
+		for name, inner := range partitionedFamily(e1, e2, nil) {
+			attr := "A1"
+			if name == "Γᵁ-unary" {
+				attr = "A2"
+			}
+			xi := XiSimple{In: inner, Cmds: []Command{
+				LitCmd("<"), ExprCmd(Var{Name: attr}), LitCmd(">"),
+			}}
+			ctxE := NewCtx(nil)
+			xi.Eval(ctxE, nil)
+			sc, ok := ResolveSchema(xi)
+			if !ok || !sc.Native {
+				t.Errorf("Ξ over %s: not native", name)
+				return false
+			}
+			ctxR := NewCtx(nil)
+			drainRows(openRowsSchema(xi, sc, ctxR, nil))
+			if ctxR.Stats.ShimOps > leafShims(xi) {
+				t.Errorf("Ξ over %s: shim fired beyond the leaves", name)
+				return false
+			}
+			if ctxE.OutString() != ctxR.OutString() {
+				t.Errorf("Ξ over %s: output differs\neval:   %.200q\nnative: %.200q",
+					name, ctxE.OutString(), ctxR.OutString())
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestPartitionedRowsSemiAntiCollidingNames: ⋉ᵁ/▷ᵁ output only left rows,
+// so a residual-free join over inputs sharing an attribute name must still
+// run natively (no concatenated layout is needed).
+func TestPartitionedRowsSemiAntiCollidingNames(t *testing.T) {
+	e1 := constOp{ts: value.TupleSeq{
+		{"A1": value.Int(1), "X": value.Int(1)},
+		{"A1": value.Int(2), "X": value.Int(2)},
+	}, attrs: []string{"A1", "X"}}
+	e2 := constOp{ts: value.TupleSeq{
+		{"A2": value.Int(1), "X": value.Int(9)},
+	}, attrs: []string{"A2", "X"}}
+	semi := UnorderedSemiJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}}
+	anti := UnorderedAntiJoin{L: e1, R: e2, LAttrs: []string{"A1"}, RAttrs: []string{"A2"}}
+	diffOp(t, "⋉ᵁ-colliding-X", semi)
+	diffOp(t, "▷ᵁ-colliding-X", anti)
+}
+
+// TestOPHashJoinPartitionCount pins the build-side-driven sizing: tiny
+// builds run single-partition, large builds cap at 16, explicit settings
+// win.
+func TestOPHashJoinPartitionCount(t *testing.T) {
+	j := OPHashJoin{}
+	for _, c := range []struct{ build, want int }{
+		{0, 1}, {10, 1}, {127, 1}, {128, 2}, {1000, 8}, {1 << 20, 16},
+	} {
+		if got := j.partitionCount(c.build); got != c.want {
+			t.Errorf("partitionCount(%d) = %d, want %d", c.build, got, c.want)
+		}
+	}
+	if got := (OPHashJoin{Partitions: 7}).partitionCount(5); got != 7 {
+		t.Errorf("explicit Partitions overridden: %d", got)
+	}
+}

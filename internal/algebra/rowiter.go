@@ -51,6 +51,7 @@ func openRowsSchema(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
 	}
 	// Conversion shim: run the operator on the map engine and re-type its
 	// tuples under the resolved layout.
+	ctx.Stats.ShimOps++
 	return &tupleRowIter{in: openLegacy(op, ctx, env), lay: sc.Lay}
 }
 
@@ -202,6 +203,28 @@ func openNative(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
 		return openRowGroupUnary(w, sc, ctx, env)
 	case GroupBinary:
 		return openRowGroupBinary(w, sc, ctx, env)
+
+	case GraceJoin:
+		return openRowPartitionedJoin(w.L, w.R, w.LAttrs, w.RAttrs, w.Residual,
+			sc, ctx, env, joinModeInner, "", nil)
+	case OPHashJoin:
+		return openRowOPHashJoin(w, sc, ctx, env)
+	case UnorderedJoin:
+		return openRowPartitionedJoin(w.L, w.R, w.LAttrs, w.RAttrs, w.Residual,
+			sc, ctx, env, joinModeInner, "", nil)
+	case UnorderedSemiJoin:
+		return openRowPartitionedJoin(w.L, w.R, w.LAttrs, w.RAttrs, w.Residual,
+			sc, ctx, env, joinModeSemi, "", nil)
+	case UnorderedAntiJoin:
+		return openRowPartitionedJoin(w.L, w.R, w.LAttrs, w.RAttrs, w.Residual,
+			sc, ctx, env, joinModeAnti, "", nil)
+	case UnorderedOuterJoin:
+		return openRowPartitionedJoin(w.L, w.R, w.LAttrs, w.RAttrs, nil,
+			sc, ctx, env, joinModeOuter, w.G, w.Default)
+	case UnorderedGroupUnary:
+		return openRowUnorderedGroupUnary(w, sc, ctx, env)
+	case UnorderedGroupBinary:
+		return openRowUnorderedGroupBinary(w, sc, ctx, env)
 
 	case Unnest:
 		return openRowUnnest(w.In, w.Attr, w.InnerAttrs, sc, ctx, env, true)

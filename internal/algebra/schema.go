@@ -313,9 +313,54 @@ func ResolveSchema(op Op) (Schema, bool) {
 	case UnnestDistinct:
 		return unnestSchema(op, w.In, w.Attr, nil)
 
+	// The partitioned operator family: output layouts mirror the ordered
+	// counterparts (concatenation for the joins, left-side layout for ⋉ᵁ/▷ᵁ,
+	// key+group for Γᵁ).
+	case GraceJoin:
+		return concatSchema(op, w.L, w.R)
+	case OPHashJoin:
+		return concatSchema(op, w.L, w.R)
+	case UnorderedJoin:
+		return concatSchema(op, w.L, w.R)
+	case UnorderedOuterJoin:
+		return concatSchema(op, w.L, w.R)
+	case UnorderedSemiJoin:
+		if l, ok := ResolveSchema(w.L); ok {
+			if _, rok := ResolveSchema(w.R); rok {
+				return Schema{Lay: l.Lay, Nested: l.Nested, Native: true}, true
+			}
+		}
+		return genericSchema(op)
+	case UnorderedAntiJoin:
+		if l, ok := ResolveSchema(w.L); ok {
+			if _, rok := ResolveSchema(w.R); rok {
+				return Schema{Lay: l.Lay, Nested: l.Nested, Native: true}, true
+			}
+		}
+		return genericSchema(op)
+	case UnorderedGroupUnary:
+		if in, ok := ResolveSchema(w.In); ok {
+			if lay := value.NewLayout(append(append([]string(nil), w.By...), w.G)...); lay != nil {
+				nested := nestedWith(nestedKept(in.Nested, lay), w.G, fnNested(w.F, in.Lay))
+				return Schema{Lay: lay, Nested: nested, Native: true}, true
+			}
+		}
+		return genericSchema(op)
+	case UnorderedGroupBinary:
+		l, lok := ResolveSchema(w.L)
+		r, rok := ResolveSchema(w.R)
+		if lok && rok {
+			lay, slot := l.Lay.Extend(w.G)
+			if slot == l.Lay.Width() { // G must be fresh
+				nested := nestedWith(l.Nested, w.G, fnNested(w.F, r.Lay))
+				return Schema{Lay: lay, Nested: nested, Native: true}, true
+			}
+		}
+		return genericSchema(op)
+
 	default:
-		// Grace/OPHash joins, the unordered family and unknown extensions
-		// execute through the fallback shim over their static attribute set.
+		// Unknown extensions execute through the fallback shim over their
+		// static attribute set.
 		return genericSchema(op)
 	}
 }

@@ -57,13 +57,18 @@ func TestResolveSchemaNestedTracking(t *testing.T) {
 	}
 }
 
-// TestResolveSchemaFallbacks: operators without structural typing resolve
-// through their static attribute set; unknown attribute sets fail.
+// TestResolveSchemaFallbacks: the partitioned family resolves structurally
+// (slot-native); unknown attribute sets fail.
 func TestResolveSchemaFallbacks(t *testing.T) {
 	uj := UnorderedJoin{L: relR1(), R: relR2(), LAttrs: []string{"A1"}, RAttrs: []string{"A2"}}
 	sc, ok := ResolveSchema(uj)
-	if !ok || sc.Native {
-		t.Fatalf("unordered join must resolve generically: %+v %v", sc, ok)
+	if !ok || !sc.Native {
+		t.Fatalf("unordered join must resolve natively: %+v %v", sc, ok)
+	}
+	for i, a := range []string{"A1", "A2", "B"} {
+		if s, found := sc.Lay.Slot(a); !found || s != i {
+			t.Fatalf("⋈ᵁ concat layout wrong: %v", sc.Lay.Names())
+		}
 	}
 	// µD's attribute set is statically unknown without nested tracking.
 	ud := UnnestDistinct{In: constOp{attrs: []string{"a", "g"}}, Attr: "g"}

@@ -148,12 +148,13 @@ func (g GraceJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := g.R.Eval(ctx, env)
-	lKeys, lParts := partition(l, g.LAttrs)
-	_, rParts := partition(r, g.RAttrs)
-	// Partition order: sorted by key for determinism (a real Grace join's
-	// partition order depends on the hash function; any fixed order shows
-	// the same effect — it is not the probe order).
-	sort.Strings(lKeys)
+	// Partition order: the canonical LessKey order for determinism (a real
+	// Grace join's partition order depends on the hash function; any fixed
+	// order shows the same effect — it is not the probe order). The slot
+	// engine's native GraceJoin iterator uses the same order, so both
+	// engines produce identical sequences.
+	lKeys, lParts := partitionSorted(l, g.LAttrs)
+	rParts := hashBuckets(r, g.RAttrs)
 	var out value.TupleSeq
 	for _, k := range lKeys {
 		rp := rParts[k]

@@ -25,28 +25,34 @@ import (
 // and U is insensitive to permutations of its inputs whenever its subscript
 // function is.
 
-// sortedKeys returns the partition keys in their canonical total order.
-func sortedKeys(m map[string]value.TupleSeq) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// partitionSorted splits tuples into HashKey buckets and returns the keys
+// in the canonical value.LessKey order — the deterministic partition order
+// the family emits output in. The slot engine's row iterators partition
+// with the same key function and the same order, so both engines produce
+// identical sequences (differential-tested in partitioned_rows_test.go).
+func partitionSorted(ts value.TupleSeq, attrs []string) ([]value.HashKey, map[value.HashKey]value.TupleSeq) {
+	buckets := make(map[value.HashKey]value.TupleSeq, len(ts))
+	var keys []value.HashKey
+	for _, t := range ts {
+		k := tupleHashKey(t, attrs)
+		if _, ok := buckets[k]; !ok {
+			keys = append(keys, k)
+		}
+		buckets[k] = append(buckets[k], t)
 	}
-	sort.Strings(keys)
-	return keys
+	sort.Slice(keys, func(i, j int) bool { return value.LessKey(keys[i], keys[j]) })
+	return keys, buckets
 }
 
-// unorderedJoinCore partitions both inputs on the equality columns and
-// iterates partitions in key order. Residual is applied to concatenated
-// tuples.
-type unorderedJoinCore struct {
-	LAttrs, RAttrs []string
-	Residual       Expr
-}
-
-func (c unorderedJoinCore) partitions(ctx *Ctx, env value.Tuple, l, r value.TupleSeq) ([]string, map[string]value.TupleSeq, map[string]value.TupleSeq) {
-	lParts := buildHash(l, c.LAttrs)
-	rParts := buildHash(r, c.RAttrs)
-	return sortedKeys(lParts), lParts, rParts
+// hashBuckets is the build side of the partitioned operators: HashKey
+// buckets preserving input order, no key list.
+func hashBuckets(ts value.TupleSeq, attrs []string) map[value.HashKey]value.TupleSeq {
+	h := make(map[value.HashKey]value.TupleSeq, len(ts))
+	for _, t := range ts {
+		k := tupleHashKey(t, attrs)
+		h[k] = append(h[k], t)
+	}
+	return h
 }
 
 // UnorderedJoin is the unordered hash join: the bag σ[A1=A2 ∧ residual]
@@ -65,8 +71,8 @@ func (j UnorderedJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := j.R.Eval(ctx, env)
-	core := unorderedJoinCore{LAttrs: j.LAttrs, RAttrs: j.RAttrs, Residual: j.Residual}
-	keys, lParts, rParts := core.partitions(ctx, env, l, r)
+	keys, lParts := partitionSorted(l, j.LAttrs)
+	rParts := hashBuckets(r, j.RAttrs)
 	var out value.TupleSeq
 	for _, k := range keys {
 		rp := rParts[k]
@@ -127,8 +133,8 @@ func (j UnorderedSemiJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := j.R.Eval(ctx, env)
-	core := unorderedJoinCore{LAttrs: j.LAttrs, RAttrs: j.RAttrs, Residual: j.Residual}
-	keys, lParts, rParts := core.partitions(ctx, env, l, r)
+	keys, lParts := partitionSorted(l, j.LAttrs)
+	rParts := hashBuckets(r, j.RAttrs)
 	var out value.TupleSeq
 	for _, k := range keys {
 		rp := rParts[k]
@@ -185,8 +191,8 @@ func (j UnorderedAntiJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := j.R.Eval(ctx, env)
-	core := unorderedJoinCore{LAttrs: j.LAttrs, RAttrs: j.RAttrs, Residual: j.Residual}
-	keys, lParts, rParts := core.partitions(ctx, env, l, r)
+	keys, lParts := partitionSorted(l, j.LAttrs)
+	rParts := hashBuckets(r, j.RAttrs)
 	var out value.TupleSeq
 	for _, k := range keys {
 		rp := rParts[k]
@@ -253,10 +259,10 @@ func (j UnorderedOuterJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 			padAttrs = append(padAttrs, a)
 		}
 	}
-	lParts := buildHash(l, j.LAttrs)
-	rParts := buildHash(r, j.RAttrs)
+	keys, lParts := partitionSorted(l, j.LAttrs)
+	rParts := hashBuckets(r, j.RAttrs)
 	var out value.TupleSeq
-	for _, k := range sortedKeys(lParts) {
+	for _, k := range keys {
 		rp := rParts[k]
 		for _, lt := range lParts[k] {
 			if len(rp) == 0 {
@@ -309,9 +315,9 @@ type UnorderedGroupUnary struct {
 // Eval implements Op.
 func (g UnorderedGroupUnary) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 	in := g.In.Eval(ctx, env)
-	buckets := buildHash(in, g.By)
+	keys, buckets := partitionSorted(in, g.By)
 	var out value.TupleSeq
-	for _, k := range sortedKeys(buckets) {
+	for _, k := range keys {
 		b := buckets[k]
 		keyT := b[0].Project(g.By)
 		grp := b
@@ -362,17 +368,17 @@ func (g UnorderedGroupBinary) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := g.R.Eval(ctx, env)
-	lParts := buildHash(l, g.LAttrs)
-	var rHash map[string]value.TupleSeq
+	keys, lParts := partitionSorted(l, g.LAttrs)
+	var rHash map[value.HashKey]value.TupleSeq
 	if g.Theta == value.CmpEq {
-		rHash = buildHash(r, g.RAttrs)
+		rHash = hashBuckets(r, g.RAttrs)
 	}
 	var out value.TupleSeq
-	for _, k := range sortedKeys(lParts) {
+	for _, k := range keys {
 		for _, lt := range lParts[k] {
 			var grp value.TupleSeq
 			if g.Theta == value.CmpEq {
-				grp = rHash[hashKey(lt, g.LAttrs)]
+				grp = rHash[k]
 			} else {
 				for _, rt := range r {
 					if thetaMatch(lt, rt, g.LAttrs, g.RAttrs, g.Theta) {

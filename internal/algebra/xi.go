@@ -2,6 +2,7 @@ package algebra
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"nalquery/internal/dom"
@@ -43,7 +44,43 @@ func execCommands(ctx *Ctx, env value.Tuple, t value.Tuple, cs []Command) {
 			ctx.Out.WriteString(c.Lit)
 			continue
 		}
-		ctx.Out.WriteString(PrintValue(c.E.Eval(ctx, env.Concat(t))))
+		WriteValue(ctx.Out, c.E.Eval(ctx, env.Concat(t)))
+	}
+}
+
+// WriteValue streams the printed form of v into out — PrintValue without
+// the intermediate per-value string. On the per-tuple Ξ path this removes
+// the serialization builder every printed element node used to allocate
+// and grow.
+func WriteValue(out StringWriter, v value.Value) {
+	switch w := v.(type) {
+	case nil, value.Null:
+	case value.NodeVal:
+		if w.Node == nil {
+			return
+		}
+		switch w.Node.Kind {
+		case dom.KindAttribute, dom.KindText:
+			out.WriteString(w.Node.Data)
+		default:
+			if iow, ok := out.(io.Writer); ok {
+				_ = dom.WriteXML(iow, w.Node)
+			} else {
+				out.WriteString(dom.XMLString(w.Node))
+			}
+		}
+	case value.Seq:
+		for _, item := range w {
+			WriteValue(out, item)
+		}
+	case value.TupleSeq:
+		for _, t := range w {
+			t.EachValue(func(v value.Value) { WriteValue(out, v) })
+		}
+	case value.Str:
+		out.WriteString(dom.EscapeText(string(w)))
+	default:
+		out.WriteString(v.String())
 	}
 }
 

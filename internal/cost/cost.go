@@ -123,7 +123,8 @@ func (m *Model) Plan(op algebra.Op) Estimate {
 		return Estimate{Card: l.Card * selSelect, Cost: l.Cost + r.Cost + (l.Card + r.Card)}
 	case algebra.OuterJoin:
 		l, r := m.Plan(w.L), m.Plan(w.R)
-		return Estimate{Card: maxF(l.Card, r.Card), Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+		card := maxF(l.Card, r.Card)
+		return Estimate{Card: card, Cost: l.Cost + r.Cost + (l.Card+r.Card)*tupleCost + card*perTuple(op)}
 	case algebra.GroupUnary:
 		in := m.Plan(w.In)
 		card := in.Card * selGroupKeys
@@ -156,19 +157,26 @@ func (m *Model) Plan(op algebra.Op) Estimate {
 		return Estimate{Card: in.Card, Cost: in.Cost + in.Card*logF(in.Card)*tupleCost}
 	case algebra.AttachSeq:
 		return m.passThrough(w.In)
+	// The partitioned family executes slot-natively (no conversion shim):
+	// the operators that materialize concatenated output rows (the inner
+	// and outer joins) carry the same slot-rate perTuple output term as
+	// the ordered hash join, while ⋉ᵁ/▷ᵁ emit retained left rows at zero
+	// copy and keep the linear-pass formula. Partition passes stay linear
+	// in the inputs.
 	case algebra.GraceJoin:
 		l, r := m.Plan(w.L), m.Plan(w.R)
-		return Estimate{Card: maxF(l.Card, r.Card), Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+		card := maxF(l.Card, r.Card)
+		return Estimate{Card: card, Cost: l.Cost + r.Cost + (l.Card+r.Card)*tupleCost + card*perTuple(op)}
 	case algebra.OPHashJoin:
 		// Partitioned probe + P-way merge: linear passes plus a log-P merge
 		// term on the output.
 		l, r := m.Plan(w.L), m.Plan(w.R)
 		card := maxF(l.Card, r.Card)
-		return Estimate{Card: card, Cost: l.Cost + r.Cost + (l.Card + r.Card) + card*0.5}
+		return Estimate{Card: card, Cost: l.Cost + r.Cost + (l.Card+r.Card)*tupleCost + card*(perTuple(op)+0.5)}
 	case algebra.UnorderedJoin:
 		l, r := m.Plan(w.L), m.Plan(w.R)
 		card := maxF(l.Card, r.Card)
-		return Estimate{Card: card, Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+		return Estimate{Card: card, Cost: l.Cost + r.Cost + (l.Card+r.Card)*tupleCost + card*perTuple(op)}
 	case algebra.UnorderedSemiJoin:
 		l, r := m.Plan(w.L), m.Plan(w.R)
 		return Estimate{Card: l.Card * selSelect, Cost: l.Cost + r.Cost + (l.Card + r.Card)}
@@ -177,7 +185,8 @@ func (m *Model) Plan(op algebra.Op) Estimate {
 		return Estimate{Card: l.Card * selSelect, Cost: l.Cost + r.Cost + (l.Card + r.Card)}
 	case algebra.UnorderedOuterJoin:
 		l, r := m.Plan(w.L), m.Plan(w.R)
-		return Estimate{Card: maxF(l.Card, r.Card), Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+		card := maxF(l.Card, r.Card)
+		return Estimate{Card: card, Cost: l.Cost + r.Cost + (l.Card+r.Card)*tupleCost + card*perTuple(op)}
 	case algebra.UnorderedGroupUnary:
 		in := m.Plan(w.In)
 		card := in.Card * selGroupKeys

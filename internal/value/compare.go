@@ -2,6 +2,7 @@ package value
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -284,10 +285,19 @@ func Key(v Value) string {
 
 // HashKey is the allocation-free form of Key: a comparable struct usable as
 // a Go map key. KeyOf(a) == KeyOf(b) exactly when Key(a) == Key(b).
+//
+// A HashKey carries up to two columns inline (the second column's fields
+// are zero for single-column keys; kind2 is tagged so a two-column key
+// never collides with a one-column key). Keys wider than two columns fold
+// into a single length-prefixed string — see KeyOfSlots.
 type HashKey struct {
 	kind byte // 0 null, 'n' numeric, 'N' NaN, 's' string, 'm' multi-column fold
 	num  float64
 	str  string
+	// second column of a composite key (CombineKeys); zero when absent
+	kind2 byte
+	num2  float64
+	str2  string
 }
 
 // numKey folds every NaN into one key: NaN != NaN would otherwise make a
@@ -305,6 +315,125 @@ func numKey(f float64) HashKey {
 
 // FoldKey wraps a pre-folded multi-column key string.
 func FoldKey(s string) HashKey { return HashKey{kind: 'm', str: s} }
+
+// compositeTag marks the second column of a two-column composite key:
+// kind2 is never zero for a composite, so (x, NULL) cannot collide with
+// the single-column key x.
+const compositeTag = 0x80
+
+// CombineKeys packs two single-column keys into one composite HashKey
+// without allocating — the two-column join/grouping key. Both operands
+// must be single-column KeyOf results (not composites or folds).
+func CombineKeys(a, b HashKey) HashKey {
+	a.kind2 = b.kind | compositeTag
+	a.num2 = b.num
+	a.str2 = b.str
+	return a
+}
+
+// KeyOfSlots computes the canonical composite grouping/join key of the
+// values at the given slots — the multi-column extension of KeyOf, used by
+// every partitioned operator of the slot engine. One- and two-column keys
+// are allocation-free; wider keys fold the per-column Key strings into one
+// length-prefixed string (no separator collisions).
+func KeyOfSlots(vals []Value, slots []int) HashKey {
+	switch len(slots) {
+	case 0:
+		return HashKey{}
+	case 1:
+		return KeyOf(vals[slots[0]])
+	case 2:
+		return CombineKeys(KeyOf(vals[slots[0]]), KeyOf(vals[slots[1]]))
+	}
+	var sb strings.Builder
+	for _, s := range slots {
+		writeFoldCol(&sb, vals[s])
+	}
+	return FoldKey(sb.String())
+}
+
+// KeyOfAttrs is KeyOfSlots for map tuples. Both functions produce the same
+// key for the same logical tuple — the invariant the partitioned operators
+// rely on when the map evaluator and the slot engine must agree on
+// partition order.
+func KeyOfAttrs(t Tuple, attrs []string) HashKey {
+	switch len(attrs) {
+	case 0:
+		return HashKey{}
+	case 1:
+		return KeyOf(t[attrs[0]])
+	case 2:
+		return CombineKeys(KeyOf(t[attrs[0]]), KeyOf(t[attrs[1]]))
+	}
+	var sb strings.Builder
+	for _, a := range attrs {
+		writeFoldCol(&sb, t[a])
+	}
+	return FoldKey(sb.String())
+}
+
+func writeFoldCol(sb *strings.Builder, v Value) {
+	k := Key(v)
+	sb.WriteString(strconv.Itoa(len(k)))
+	sb.WriteByte(':')
+	sb.WriteString(k)
+}
+
+// LessKey is a deterministic total order on hash keys — the canonical
+// partition order of the unordered operator family and the Grace join (any
+// fixed order demonstrates the same effects; this one never allocates). It
+// is a structural order, unrelated to the value order of CompareAtomic.
+func LessKey(a, b HashKey) bool {
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.num != b.num {
+		return a.num < b.num
+	}
+	if a.str != b.str {
+		return a.str < b.str
+	}
+	if a.kind2 != b.kind2 {
+		return a.kind2 < b.kind2
+	}
+	if a.num2 != b.num2 {
+		return a.num2 < b.num2
+	}
+	return a.str2 < b.str2
+}
+
+// Hash returns a well-distributed 64-bit FNV-1a hash of the key for
+// partition assignment (the Grace-style partitioning of OPHashJoin). Equal
+// keys hash equally; unequal keys may collide — partitioning tolerates
+// collisions, map lookups must keep using the HashKey itself.
+func (k HashKey) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mix64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(v))
+			v >>= 8
+		}
+	}
+	mix(k.kind)
+	mix64(math.Float64bits(k.num))
+	for i := 0; i < len(k.str); i++ {
+		mix(k.str[i])
+	}
+	mix(k.kind2)
+	mix64(math.Float64bits(k.num2))
+	for i := 0; i < len(k.str2); i++ {
+		mix(k.str2[i])
+	}
+	return h
+}
 
 // KeyOf computes the canonical grouping/join key of a value without
 // allocating: the hot path of every hash join, grouping and distinct

@@ -1,0 +1,138 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Properties of the composite HashKey scheme (KeyOfSlots / KeyOfAttrs /
+// LessKey / Hash) the partitioned operators build on.
+
+func randVal(rng *rand.Rand) Value {
+	switch rng.Intn(6) {
+	case 0:
+		return Int(int64(rng.Intn(5)))
+	case 1:
+		return Float(float64(rng.Intn(5)))
+	case 2:
+		return Str([]string{"a", "b", "3", " 3 ", ""}[rng.Intn(5)])
+	case 3:
+		return Null{}
+	case 4:
+		return Bool(rng.Intn(2) == 1)
+	default:
+		return nil
+	}
+}
+
+// TestKeyOfSlotsMatchesPerColumnKeys: composite keys are equal exactly
+// when every column's Key string is equal — at widths 1, 2 (inline
+// composite) and 3 (string fold).
+func TestKeyOfSlotsMatchesPerColumnKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for width := 1; width <= 3; width++ {
+		slots := make([]int, width)
+		for i := range slots {
+			slots[i] = i
+		}
+		for iter := 0; iter < 2000; iter++ {
+			a := make([]Value, width)
+			b := make([]Value, width)
+			for i := 0; i < width; i++ {
+				a[i] = randVal(rng)
+				b[i] = randVal(rng)
+			}
+			wantEq := true
+			for i := 0; i < width; i++ {
+				if Key(a[i]) != Key(b[i]) {
+					wantEq = false
+				}
+			}
+			gotEq := KeyOfSlots(a, slots) == KeyOfSlots(b, slots)
+			if gotEq != wantEq {
+				t.Fatalf("width %d: KeyOfSlots equality %v, per-column %v (%v vs %v)",
+					width, gotEq, wantEq, a, b)
+			}
+		}
+	}
+}
+
+// TestKeyOfAttrsAgreesWithKeyOfSlots: the map-tuple and slot-row forms of
+// the same logical tuple key identically — the invariant that keeps the
+// definitional evaluator and the slot engine in the same partition order.
+func TestKeyOfAttrsAgreesWithKeyOfSlots(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	attrs := []string{"a", "b", "c"}
+	for width := 1; width <= 3; width++ {
+		slots := make([]int, width)
+		for i := range slots {
+			slots[i] = i
+		}
+		for iter := 0; iter < 1000; iter++ {
+			vals := make([]Value, width)
+			tup := Tuple{}
+			for i := 0; i < width; i++ {
+				vals[i] = randVal(rng)
+				if vals[i] != nil {
+					tup[attrs[i]] = vals[i]
+				}
+			}
+			if KeyOfSlots(vals, slots) != KeyOfAttrs(tup, attrs[:width]) {
+				t.Fatalf("width %d: slot and attr keys disagree for %v", width, vals)
+			}
+		}
+	}
+}
+
+// TestCompositeKeyNoCrossWidthCollision: a two-column key never equals a
+// one-column key, even when the second column is NULL.
+func TestCompositeKeyNoCrossWidthCollision(t *testing.T) {
+	single := KeyOf(Int(1))
+	composite := CombineKeys(KeyOf(Int(1)), KeyOf(nil))
+	if single == composite {
+		t.Fatalf("(1) and (1, NULL) collide")
+	}
+	if CombineKeys(KeyOf(Int(1)), KeyOf(Int(2))) == CombineKeys(KeyOf(Int(2)), KeyOf(Int(1))) {
+		t.Fatalf("(1,2) and (2,1) collide")
+	}
+}
+
+// TestLessKeyTotalOrder: LessKey is irreflexive, antisymmetric and total
+// over distinct keys.
+func TestLessKeyTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var keys []HashKey
+	for i := 0; i < 200; i++ {
+		a, b := randVal(rng), randVal(rng)
+		keys = append(keys, KeyOf(a), CombineKeys(KeyOf(a), KeyOf(b)))
+	}
+	for _, x := range keys {
+		if LessKey(x, x) {
+			t.Fatalf("LessKey not irreflexive at %+v", x)
+		}
+		for _, y := range keys {
+			lt, gt := LessKey(x, y), LessKey(y, x)
+			if x == y && (lt || gt) {
+				t.Fatalf("equal keys ordered: %+v", x)
+			}
+			if x != y && lt == gt {
+				t.Fatalf("distinct keys not totally ordered: %+v vs %+v", x, y)
+			}
+		}
+	}
+}
+
+// TestHashKeyHashEqualKeys: equal keys hash equally, and the hash spreads
+// distinct keys (sanity, not a distribution proof).
+func TestHashKeyHashEqualKeys(t *testing.T) {
+	if KeyOf(Int(3)).Hash() != KeyOf(Str("3")).Hash() {
+		t.Fatalf("numerically equal keys must hash equally")
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		seen[KeyOf(Int(int64(i))).Hash()] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("hash collapses: %d distinct hashes of 64 keys", len(seen))
+	}
+}
