@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		expID     = flag.String("exp", "all", "experiment id (q1, q1dblp, q2..q6, joins, unorderedq1, fig6, ablations, all)")
+		expID     = flag.String("exp", "all", "experiment id (q1, q1dblp, q2..q6, joins, unorderedq1, grouping, fig6, ablations, all)")
 		sizes     = flag.String("sizes", "", "comma-separated document sizes (default: the paper's 100,1000,10000)")
 		full      = flag.Bool("full", false, "run the quadratic nested plans at every size")
 		repeat    = flag.Int("repeat", 1, "average over this many runs")
@@ -37,11 +37,12 @@ func main() {
 		jsonFile  = flag.String("jsonfile", "BENCH_results.json", "output path for -json")
 		diffBase  = flag.String("diff", "", "compare -jsonfile against this baseline BENCH json (e.g. saved from git show HEAD:BENCH_results.json) instead of measuring")
 		threshold = flag.Float64("threshold", 10, "allowed allocs/op regression percentage for -diff")
+		bThresh   = flag.Float64("bthreshold", 15, "allowed B/op regression percentage for -diff")
 	)
 	flag.Parse()
 
 	if *diffBase != "" {
-		if err := runDiff(*diffBase, *jsonFile, *threshold); err != nil {
+		if err := runDiff(*diffBase, *jsonFile, *threshold, *bThresh); err != nil {
 			fmt.Fprintf(os.Stderr, "nalbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -114,13 +115,13 @@ func runJSON(path, expID string, opts experiments.Options) error {
 	exps := experiments.All()
 	switch expID {
 	case "all":
-	case "joins", "unorderedq1":
-		exps = nil // join/unordered family only
+	case "joins", "unorderedq1", "grouping":
+		exps = nil // physical-operator family only
 	default:
 		exp, ok := experiments.Find(expID)
 		if !ok {
 			// fig6 and the ablations have no per-plan Execute benchmarks.
-			return fmt.Errorf("-json measures query plans only (q1, q1dblp, q2..q6, joins, unorderedq1, all); %q has no plan benchmarks", expID)
+			return fmt.Errorf("-json measures query plans only (q1, q1dblp, q2..q6, joins, unorderedq1, grouping, all); %q has no plan benchmarks", expID)
 		}
 		exps = []experiments.Experiment{exp}
 	}
@@ -187,6 +188,16 @@ func runJSON(path, expID string, opts experiments.Options) error {
 		}
 		targets = append(targets, ts...)
 	}
+	// The grouping family: Γ payload construction, the Γ→µ roundtrip and
+	// the quantifier plan alternatives — the nested-data workloads the
+	// RowSeq representation exists for.
+	if expID == "all" || expID == "grouping" {
+		ts, err := experiments.GroupingBenchTargets(sizes)
+		if err != nil {
+			return fmt.Errorf("grouping: %w", err)
+		}
+		targets = append(targets, ts...)
+	}
 	for _, tg := range targets {
 		run := tg.Run
 		r := testing.Benchmark(func(b *testing.B) {
@@ -215,10 +226,10 @@ func runJSON(path, expID string, opts experiments.Options) error {
 
 // runDiff compares a baseline BENCH json (typically the committed
 // trajectory, saved from git show) against the current one and fails when
-// allocs/op regresses beyond the threshold percentage on any measured
-// plan. ns/op changes are reported but not gated: wall-clock is too noisy
-// across machines, the allocation profile is not.
-func runDiff(basePath, newPath string, threshold float64) error {
+// allocs/op or B/op regress beyond their threshold percentages on any
+// measured plan. ns/op changes are reported but not gated: wall-clock is
+// too noisy across machines, the allocation profile is not.
+func runDiff(basePath, newPath string, threshold, bThreshold float64) error {
 	load := func(path string) ([]benchRecord, error) {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -258,27 +269,34 @@ func runDiff(basePath, newPath string, threshold float64) error {
 		return 100 * float64(new-old) / float64(old)
 	}
 	var failures []string
-	fmt.Printf("%-52s %12s %12s\n", "benchmark", "Δallocs/op", "Δns/op")
+	fmt.Printf("%-52s %12s %12s %12s\n", "benchmark", "Δallocs/op", "ΔB/op", "Δns/op")
 	for _, r := range cur {
 		b, ok := baseBy[key(r)]
 		if !ok {
-			fmt.Printf("%-52s %12s %12s\n", key(r), "new", "new")
+			fmt.Printf("%-52s %12s %12s %12s\n", key(r), "new", "new", "new")
 			continue
 		}
 		delete(baseBy, key(r))
-		da, dn := pct(b.AllocsPerOp, r.AllocsPerOp), pct(b.NsPerOp, r.NsPerOp)
-		fmt.Printf("%-52s %+11.1f%% %+11.1f%%\n", key(r), da, dn)
+		da := pct(b.AllocsPerOp, r.AllocsPerOp)
+		db := pct(b.BytesPerOp, r.BytesPerOp)
+		dn := pct(b.NsPerOp, r.NsPerOp)
+		fmt.Printf("%-52s %+11.1f%% %+11.1f%% %+11.1f%%\n", key(r), da, db, dn)
 		if da > threshold {
 			failures = append(failures,
 				fmt.Sprintf("%s: allocs/op %d → %d (%+.1f%% > %.1f%%)",
 					key(r), b.AllocsPerOp, r.AllocsPerOp, da, threshold))
+		}
+		if db > bThreshold {
+			failures = append(failures,
+				fmt.Sprintf("%s: B/op %d → %d (%+.1f%% > %.1f%%)",
+					key(r), b.BytesPerOp, r.BytesPerOp, db, bThreshold))
 		}
 	}
 	// A benchmark that vanished from the trajectory is a failure too: a
 	// truncated results file (e.g. a partial -exp regeneration) must not
 	// pass for a full one.
 	for k := range baseBy {
-		fmt.Printf("%-52s %12s %12s\n", k, "gone", "gone")
+		fmt.Printf("%-52s %12s %12s %12s\n", k, "gone", "gone", "gone")
 		failures = append(failures, fmt.Sprintf("%s: missing from %s", k, newPath))
 	}
 	if len(failures) > 0 {

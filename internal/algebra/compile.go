@@ -24,6 +24,17 @@ func compileExpr(e Expr, sc Schema, env value.Tuple) RowExpr {
 	switch w := e.(type) {
 	case Var:
 		if slot, ok := sc.Lay.Slot(w.Name); ok {
+			if v, bound := env[w.Name]; bound {
+				// A nil slot is an absent attribute: the map engine's env ◦ t
+				// lets the environment binding show through, so the compiled
+				// form must fall back too.
+				return func(_ *Ctx, r value.Row) value.Value {
+					if x := r.Vals[slot]; x != nil {
+						return x
+					}
+					return v
+				}
+			}
 			return func(_ *Ctx, r value.Row) value.Value { return r.Vals[slot] }
 		}
 		v := env[w.Name]
@@ -115,27 +126,55 @@ func compileExpr(e Expr, sc Schema, env value.Tuple) RowExpr {
 
 	case BindTuples:
 		in := compileExpr(w.E, sc, env)
+		lay := value.NewLayout(w.Attr)
 		return func(ctx *Ctx, r value.Row) value.Value {
-			return value.BindSeq(value.AsSeq(in(ctx, r)), w.Attr)
+			return value.BindRowSeqLay(lay, value.AsSeq(in(ctx, r)))
 		}
 
 	case AggOfAttr:
 		attr := compileExpr(w.Attr, sc, env)
 		if fnNeedsRowEnv(w.F, sc, exprNested(w.Attr, sc)) {
+			// Free variables of f resolve from the current row: materialize
+			// env ◦ row (the environment shim — not a data-path map tuple).
+			// The applier closes over that per-row environment, so there is
+			// nothing to cache across rows.
 			return func(ctx *Ctx, r value.Row) value.Value {
-				ts, ok := attr(ctx, r).(value.TupleSeq)
-				if !ok {
-					return value.Null{}
+				switch ts := attr(ctx, r).(type) {
+				case value.TupleSeq:
+					return w.F.Apply(ctx, rowEnv(env, r), ts)
+				case value.RowSeq:
+					return applyFnRowSeq(ctx, rowEnv(env, r), w.F, ts)
 				}
-				return w.F.Apply(ctx, rowEnv(env, r), ts)
-			}
-		}
-		return func(ctx *Ctx, r value.Row) value.Value {
-			ts, ok := attr(ctx, r).(value.TupleSeq)
-			if !ok {
 				return value.Null{}
 			}
-			return w.F.Apply(ctx, env, ts)
+		}
+		// Payloads of one operator share a member layout: compile the
+		// applier once per layout, not once per outer row, and reuse the
+		// member buffer (no applier retains it — SFIdent, the one that
+		// would, returns the payload before delegation). Iterator trees
+		// evaluate single-threaded, so closure-local caching is safe.
+		var cachedLay *value.Layout
+		var cachedApply func(*Ctx, value.Tuple, []value.Row) value.Value
+		var rowBuf []value.Row
+		return func(ctx *Ctx, r value.Row) value.Value {
+			switch ts := attr(ctx, r).(type) {
+			case value.TupleSeq:
+				return w.F.Apply(ctx, env, ts)
+			case value.RowSeq:
+				switch w.F.(type) {
+				case SFIdent:
+					return ts
+				case SFCount:
+					return value.Int(int64(ts.Len()))
+				}
+				if ts.Lay() != cachedLay {
+					cachedLay = ts.Lay()
+					cachedApply = groupApplier(w.F, cachedLay, env)
+				}
+				rowBuf = rowSeqRows(ts, rowBuf[:0])
+				return cachedApply(ctx, env, rowBuf)
+			}
+			return value.Null{}
 		}
 
 	default:
@@ -197,13 +236,13 @@ func rowEnv(env value.Tuple, r value.Row) value.Tuple {
 
 // fnNeedsRowEnv reports whether a sequence function's free variables must be
 // satisfied from the current row (then Apply needs the materialized env ◦
-// row). Variables bound inside the group tuples (inner layout) shadow the
+// row). Variables bound inside the group tuples (inner schema) shadow the
 // environment, so they never force materialization.
-func fnNeedsRowEnv(f SeqFunc, sc Schema, inner *value.Layout) bool {
+func fnNeedsRowEnv(f SeqFunc, sc Schema, inner *Inner) bool {
 	free := map[string]bool{}
 	f.FreeVars(free)
 	for name := range free {
-		if inner != nil && inner.Has(name) {
+		if inner != nil && inner.Lay != nil && inner.Lay.Has(name) {
 			continue
 		}
 		if sc.Lay.Has(name) {

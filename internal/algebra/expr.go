@@ -26,6 +26,14 @@ type StringWriter interface {
 	WriteString(s string) (int, error)
 }
 
+// CardEstimator estimates operator output cardinalities — implemented by
+// the cost model and wired into the Ctx by the public API, so pipeline
+// breakers can pre-size their hash tables and partition buffers from the
+// plan-time estimates instead of Go map defaults.
+type CardEstimator interface {
+	EstimateCard(op Op) float64
+}
+
 // Ctx is the evaluation context shared by a plan execution.
 type Ctx struct {
 	// Docs resolves document URIs for the doc()/document() functions.
@@ -34,6 +42,26 @@ type Ctx struct {
 	Out StringWriter
 	// Stats accumulates execution counters.
 	Stats Stats
+	// Cards optionally estimates operator cardinalities (nil: fall back to
+	// input-derived heuristics).
+	Cards CardEstimator
+}
+
+// cardHint returns the estimated output cardinality of op as a map-size
+// hint, or fallback when no estimator is wired or the estimate is useless.
+// The estimate is clamped to fallback: callers pass the known input size,
+// which bounds a grouping operator's output, and an inflated estimate (the
+// model multiplies across joins) must never pre-allocate beyond it.
+func (c *Ctx) cardHint(op Op, fallback int) int {
+	if c.Cards != nil {
+		if est := c.Cards.EstimateCard(op); est >= 1 {
+			if est < float64(fallback) {
+				return int(est)
+			}
+			return fallback
+		}
+	}
+	return fallback
 }
 
 // Stats holds execution counters used by the experiment reports.
@@ -52,6 +80,15 @@ type Stats struct {
 	// plan runs with ShimOps == 0 — the property the
 	// partitioned-plans-resolve-natively tests pin.
 	ShimOps int64
+	// MapTuples counts map tuples materialized on the row engine's data
+	// path: group payloads converted to TupleSeq for an uncompiled sequence
+	// function, and the per-tuple traffic of the conversion shim. The
+	// public-API boundary (RunIter, iterator Next) and the environment shim
+	// of nested algebraic expressions — the deliberately-measured
+	// nested-loop strategy — are excluded. A plan whose nested data runs
+	// natively on RowSeq executes with MapTuples == 0, the property
+	// TestPaperPlansMapFree pins.
+	MapTuples int64
 }
 
 // NewCtx creates an evaluation context over the given documents, collecting
@@ -386,12 +423,15 @@ type AggOfAttr struct {
 
 // Eval implements Expr.
 func (a AggOfAttr) Eval(ctx *Ctx, env value.Tuple) value.Value {
-	v := a.Attr.Eval(ctx, env)
-	ts, ok := v.(value.TupleSeq)
-	if !ok {
-		return value.Null{}
+	switch ts := a.Attr.Eval(ctx, env).(type) {
+	case value.TupleSeq:
+		return a.F.Apply(ctx, env, ts)
+	case value.RowSeq:
+		// Slot-backed payloads (reaching the definitional evaluator through
+		// an environment shim) apply without materializing map tuples.
+		return applyFnRowSeq(ctx, env, a.F, ts)
 	}
-	return a.F.Apply(ctx, env, ts)
+	return value.Null{}
 }
 
 func (a AggOfAttr) String() string {

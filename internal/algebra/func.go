@@ -262,6 +262,8 @@ func nonEmpty(v value.Value) bool {
 		return len(w) > 0
 	case value.TupleSeq:
 		return len(w) > 0
+	case value.RowSeq:
+		return w.Len() > 0
 	default:
 		return true
 	}
@@ -275,6 +277,8 @@ func itemCount(v value.Value) int {
 		return len(w)
 	case value.TupleSeq:
 		return len(w)
+	case value.RowSeq:
+		return w.Len()
 	default:
 		return 1
 	}
@@ -289,6 +293,12 @@ func atomsOf(v value.Value) value.Seq {
 		var out value.Seq
 		for _, t := range w {
 			t.EachValue(func(x value.Value) { out = append(out, value.Atomize(x)...) })
+		}
+		return out
+	case value.RowSeq:
+		var out value.Seq
+		for i := 0; i < w.Len(); i++ {
+			w.EachValue(i, func(x value.Value) { out = append(out, value.Atomize(x)...) })
 		}
 		return out
 	default:
@@ -379,6 +389,29 @@ type SeqFunc interface {
 	String() string
 	// FreeVars appends free variables of embedded predicates.
 	FreeVars(dst map[string]bool)
+}
+
+// applyFnRowSeq applies a sequence function to a slot-backed group payload
+// without materializing map tuples, by compiling the function against the
+// payload's member layout (groupApplier) and running it over the members.
+// The per-call compilation is the dynamic-payload fallback; the compiled
+// AggOfAttr path caches the applier per layout instead.
+func applyFnRowSeq(ctx *Ctx, env value.Tuple, f SeqFunc, rs value.RowSeq) value.Value {
+	switch f.(type) {
+	case SFIdent:
+		return rs
+	case SFCount:
+		return value.Int(int64(rs.Len()))
+	}
+	return groupApplier(f, rs.Lay(), env)(ctx, env, rowSeqRows(rs, nil))
+}
+
+// rowSeqRows appends the members of a sequence to dst as rows.
+func rowSeqRows(rs value.RowSeq, dst []value.Row) []value.Row {
+	for i := 0; i < rs.Len(); i++ {
+		dst = append(dst, rs.At(i))
+	}
+	return dst
 }
 
 // SFIdent is the identity function id.

@@ -175,21 +175,38 @@ type Unnest struct {
 // Eval implements Op.
 func (u Unnest) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 	in := u.In.Eval(ctx, env)
+	// The ⊥-pad attribute set A(e.g) resolves lazily, on the first empty
+	// group: the schema resolver names it even when every group is empty
+	// (the paper defines ⊥A(e.g) by the schema, not by an observed member;
+	// nested evaluation re-runs Eval per outer tuple, so the subtree walk
+	// must not be paid when nothing pads). Observation remains the
+	// fallback for inputs the resolver cannot type.
 	inner := u.InnerAttrs
-	if inner == nil {
+	resolved := inner != nil
+	padAttrs := func() []string {
+		if resolved {
+			return inner
+		}
+		resolved = true
+		if inner = staticInnerAttrs(u.In, u.Attr); inner != nil {
+			return inner
+		}
 		for _, t := range in {
-			if ts, ok := t[u.Attr].(value.TupleSeq); ok && len(ts) > 0 {
+			// TuplesOf admits both payload representations: a slot-native
+			// child below a map-engine plan hands groups over as RowSeq.
+			if ts, ok := value.TuplesOf(t[u.Attr]); ok && len(ts) > 0 {
 				inner = ts[0].Attrs()
 				break
 			}
 		}
+		return inner
 	}
 	var out value.TupleSeq
 	for _, t := range in {
 		base := t.Drop([]string{u.Attr})
-		ts, _ := t[u.Attr].(value.TupleSeq)
+		ts, _ := value.TuplesOf(t[u.Attr])
 		if len(ts) == 0 {
-			out = append(out, base.Concat(value.NullTuple(inner)))
+			out = append(out, base.Concat(value.NullTuple(padAttrs())))
 			continue
 		}
 		for _, g := range ts {
@@ -197,6 +214,17 @@ func (u Unnest) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		}
 	}
 	return out
+}
+
+// staticInnerAttrs returns the statically known attribute set of a
+// tuple-sequence-valued attribute of in's output, or nil.
+func staticInnerAttrs(in Op, attr string) []string {
+	if insc, ok := ResolveSchema(in); ok {
+		if nested := insc.nested(attr); nested != nil && nested.Lay != nil {
+			return nested.Lay.Names()
+		}
+	}
+	return nil
 }
 
 func (u Unnest) String() string { return fmt.Sprintf("µ[%s]", u.Attr) }
@@ -237,7 +265,7 @@ func (u UnnestDistinct) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 	var out value.TupleSeq
 	for _, t := range in {
 		base := t.Drop([]string{u.Attr})
-		ts, _ := t[u.Attr].(value.TupleSeq)
+		ts, _ := value.TuplesOf(t[u.Attr])
 		seen := map[string]bool{}
 		for _, g := range ts {
 			k := hashKey(g, g.Attrs())

@@ -319,11 +319,12 @@ type unnestIter struct {
 	op Unnest
 	in Iterator
 
-	inner   []string
-	cur     value.Tuple
-	pending value.TupleSeq
-	pos     int
-	padded  bool
+	inner      []string
+	staticDone bool // resolver consulted for the ⊥-pad attribute set
+	cur        value.Tuple
+	pending    value.TupleSeq
+	pos        int
+	padded     bool
 }
 
 func (u *unnestIter) Next() (value.Tuple, bool) {
@@ -339,11 +340,18 @@ func (u *unnestIter) Next() (value.Tuple, bool) {
 			return nil, false
 		}
 		u.cur = t
-		ts, _ := t[u.op.Attr].(value.TupleSeq)
+		ts, _ := value.TuplesOf(t[u.op.Attr])
 		if len(ts) == 0 {
-			// ⊥-pad: infer inner attributes lazily from previous groups or
-			// the operator hint.
+			// ⊥-pad: the operator hint, then the resolver's nested schema
+			// (consulted lazily, on the first empty group — matching
+			// Unnest.Eval), then attributes observed on earlier groups.
 			inner := u.op.InnerAttrs
+			if inner == nil && !u.staticDone {
+				u.staticDone = true
+				if s := staticInnerAttrs(u.op.In, u.op.Attr); s != nil {
+					u.inner = s
+				}
+			}
 			if inner == nil {
 				inner = u.inner
 			}

@@ -2,7 +2,7 @@ package algebra
 
 import (
 	"container/heap"
-	"sort"
+	"slices"
 
 	"nalquery/internal/value"
 )
@@ -27,10 +27,12 @@ import (
 // partitioned_rows_test.go differential-tests.
 
 // partitionRowsSorted buckets rows on the key slots and returns the keys
-// in canonical LessKey order.
-func partitionRowsSorted(rows []value.Row, slots []int) ([]value.HashKey, map[value.HashKey][]value.Row) {
-	buckets := make(map[value.HashKey][]value.Row, len(rows))
-	var keys []value.HashKey
+// in canonical LessKey order. keyHint pre-sizes the partition table and key
+// list — the cost model's distinct-key estimate where the caller has one,
+// the input size otherwise.
+func partitionRowsSorted(rows []value.Row, slots []int, keyHint int) ([]value.HashKey, map[value.HashKey][]value.Row) {
+	buckets := make(map[value.HashKey][]value.Row, keyHint)
+	keys := make([]value.HashKey, 0, keyHint)
 	for _, r := range rows {
 		k := rowKey(r, slots)
 		if _, ok := buckets[k]; !ok {
@@ -38,7 +40,7 @@ func partitionRowsSorted(rows []value.Row, slots []int) ([]value.HashKey, map[va
 		}
 		buckets[k] = append(buckets[k], r)
 	}
-	sort.Slice(keys, func(i, j int) bool { return value.LessKey(keys[i], keys[j]) })
+	slices.SortFunc(keys, value.CmpKey)
 	return keys, buckets
 }
 
@@ -104,7 +106,7 @@ func openRowPartitionedJoin(l, r Op, lAttrs, rAttrs []string, residual Expr,
 		if len(left) == 0 {
 			return false
 		}
-		it.keys, it.lParts = partitionRowsSorted(left, lSlots)
+		it.keys, it.lParts = partitionRowsSorted(left, lSlots, len(left))
 		right := drainRows(openRowsSchema(r, rsc, ctx, env))
 		it.rParts = hashRowBuckets(right, rSlots)
 		return true
@@ -386,10 +388,10 @@ func openRowUnorderedGroupUnary(g UnorderedGroupUnary, sc Schema, ctx *Ctx, env 
 	gSlot, _ := sc.Lay.Slot(g.G)
 	outBy, _ := slotsOf(sc.Lay, g.By)
 	it := &rowUnorderedGroupUnaryIter{lay: sc.Lay, gSlot: gSlot, by: by, outBy: outBy,
-		theta: g.Theta, apply: groupApplier(g.F, insc.Lay), ctx: ctx, env: env}
+		theta: g.Theta, apply: groupApplier(g.F, insc.Lay, env), ctx: ctx, env: env}
 	it.build = func() {
 		it.rows = drainRows(openRowsSchema(g.In, insc, ctx, env))
-		it.keys, it.buckets = partitionRowsSorted(it.rows, by)
+		it.keys, it.buckets = partitionRowsSorted(it.rows, by, ctx.cardHint(g, len(it.rows)))
 	}
 	return it
 }
@@ -461,13 +463,13 @@ func openRowUnorderedGroupBinary(g UnorderedGroupBinary, sc Schema, ctx *Ctx, en
 	gSlot, _ := sc.Lay.Slot(g.G)
 	it := &rowUnorderedGroupBinaryIter{lay: sc.Lay, gSlot: gSlot,
 		lSlots: lSlots, rSlots: rSlots, theta: g.Theta,
-		apply: groupApplier(g.F, rsc.Lay), ctx: ctx, env: env}
+		apply: groupApplier(g.F, rsc.Lay, env), ctx: ctx, env: env}
 	it.build = func() bool {
 		left := drainRows(openRowsSchema(g.L, lsc, ctx, env))
 		if len(left) == 0 {
 			return false
 		}
-		it.keys, it.lParts = partitionRowsSorted(left, lSlots)
+		it.keys, it.lParts = partitionRowsSorted(left, lSlots, len(left))
 		right := drainRows(openRowsSchema(g.R, rsc, ctx, env))
 		if g.Theta == value.CmpEq {
 			it.rHash = hashRowBuckets(right, rSlots)

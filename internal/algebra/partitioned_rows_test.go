@@ -52,7 +52,11 @@ func runNativeRows(op Op) (value.TupleSeq, string, bool) {
 		return nil, "", false
 	}
 	rows := drainRows(it)
-	return rowsToTuples(rows), ctx.OutString(), ctx.Stats.ShimOps <= leafShims(op)
+	out := make(value.TupleSeq, len(rows))
+	for i, r := range rows {
+		out[i] = r.Tuple()
+	}
+	return out, ctx.OutString(), ctx.Stats.ShimOps <= leafShims(op)
 }
 
 // diffOp compares Eval and native row execution of one operator.

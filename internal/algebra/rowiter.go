@@ -1,7 +1,8 @@
 package algebra
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"nalquery/internal/value"
 )
@@ -11,10 +12,11 @@ import (
 // (schema.go) fixes every operator's attribute→slot mapping at plan time;
 // the iterators then produce rows with one value-slice allocation (often
 // zero: σ and Ξ pass rows through, ΠA′:A swaps the layout pointer and keeps
-// the slice). Map-based tuples survive only at two boundaries: inside
-// TupleSeq values (group attributes, nested query results), and in the
-// conversion shim that runs structurally untyped operators through the
-// definitional evaluator.
+// the slice). Nested data is slot-native too: group payloads, e[a] bindings
+// and nested-block results travel as value.RowSeq. Map-based tuples survive
+// only in the conversion shim that runs structurally untyped operators
+// through the definitional evaluator — every map tuple materialized on the
+// data path counts in Stats.MapTuples.
 //
 // Rows are immutable once emitted. Operators may retain received rows
 // (sort, hash build, the group-detecting Ξ's previous row) without copying;
@@ -52,7 +54,7 @@ func openRowsSchema(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
 	// Conversion shim: run the operator on the map engine and re-type its
 	// tuples under the resolved layout.
 	ctx.Stats.ShimOps++
-	return &tupleRowIter{in: openLegacy(op, ctx, env), lay: sc.Lay}
+	return &tupleRowIter{in: openLegacy(op, ctx, env), lay: sc.Lay, ctx: ctx}
 }
 
 // openNative constructs the slot-native iterator for a structurally resolved
@@ -164,11 +166,15 @@ func openNative(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
 		if !ok {
 			return nil
 		}
-		rows := drainRows(openRowsSchema(w.In, insc, ctx, env))
-		sort.SliceStable(rows, func(i, j int) bool {
-			return lessRowsDirs(rows[i], rows[j], by, w.Dirs)
+		// The order-restoration breaker: materialize into a pooled buffer
+		// (reused across Open cycles — emitted Rows are value copies, so
+		// recycling the buffer never aliases them) and sort it in place with
+		// a monomorphic comparison instead of sort.Sort's interface dispatch.
+		rows := drainRowsInto(openRowsSchema(w.In, insc, ctx, env), getSortBuf())
+		slices.SortStableFunc(rows, func(a, b value.Row) int {
+			return cmpRowsDirs(a, b, by, w.Dirs)
 		})
-		return &rowSliceIter{rows: rows}
+		return &rowSliceIter{rows: rows, pooled: true}
 
 	case AttachSeq:
 		in, insc, ok := openRowsChild(w.In, ctx, env)
@@ -247,20 +253,46 @@ func openRowsChild(op Op, ctx *Ctx, env value.Tuple) (RowIter, Schema, bool) {
 
 // drainRows materializes an iterator's remaining rows and closes it.
 func drainRows(it RowIter) []value.Row {
-	var out []value.Row
+	return drainRowsInto(it, nil)
+}
+
+// drainRowsInto materializes into a caller-provided buffer (the pooled form
+// used by the Sort breaker) and closes the iterator.
+func drainRowsInto(it RowIter, buf []value.Row) []value.Row {
 	for {
 		r, ok := it.Next()
 		if !ok {
 			it.Close()
-			return out
+			return buf
 		}
-		out = append(out, r)
+		buf = append(buf, r)
 	}
 }
 
-// rowsToTuples converts materialized rows for map-level consumers
-// (SeqFunc.Apply group payloads).
-func rowsToTuples(rows []value.Row) value.TupleSeq {
+// sortBufPool recycles the Sort breaker's materialization buffers across
+// Open cycles (and across executions — the pool is process-wide). Buffers
+// hold Row structs by value; emitted rows are copies, so reuse is safe.
+var sortBufPool sync.Pool
+
+func getSortBuf() []value.Row {
+	if p, ok := sortBufPool.Get().(*[]value.Row); ok {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func putSortBuf(buf []value.Row) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	sortBufPool.Put(&buf)
+}
+
+// rowsToTuples converts materialized rows for map-level consumers — the
+// counted fallback for sequence functions the slot engine cannot compile.
+func rowsToTuples(ctx *Ctx, rows []value.Row) value.TupleSeq {
+	ctx.Stats.MapTuples += int64(len(rows))
 	out := make(value.TupleSeq, len(rows))
 	for i, r := range rows {
 		out[i] = r.Tuple()
@@ -269,12 +301,17 @@ func rowsToTuples(rows []value.Row) value.TupleSeq {
 }
 
 // groupApplier compiles a SeqFunc against the layout of the group's member
-// rows. Functions that ignore tuple structure (count) or read one attribute
-// (the aggregates) run straight off the slots; everything else materializes
-// the group as map tuples, which downstream consumers (µ, Ξ, AsSeq) expect
-// inside TupleSeq values anyway.
-func groupApplier(f SeqFunc, lay *value.Layout) func(ctx *Ctx, env value.Tuple, rows []value.Row) value.Value {
+// rows. The whole paper library runs slot-natively: id wraps the member rows
+// as a RowSeq without copying, count and the aggregates read slots, ΠA
+// builds a flat projected RowSeq, and f ∘ σp compiles its predicate against
+// the member layout once. Only unknown SeqFunc extensions materialize the
+// group as map tuples (counted in Stats.MapTuples).
+func groupApplier(f SeqFunc, lay *value.Layout, env value.Tuple) func(ctx *Ctx, env value.Tuple, rows []value.Row) value.Value {
 	switch w := f.(type) {
+	case SFIdent:
+		return func(_ *Ctx, _ value.Tuple, rows []value.Row) value.Value {
+			return value.WrapRows(lay, rows)
+		}
 	case SFCount:
 		return func(_ *Ctx, _ value.Tuple, rows []value.Row) value.Value {
 			return value.Int(int64(len(rows)))
@@ -290,42 +327,53 @@ func groupApplier(f SeqFunc, lay *value.Layout) func(ctx *Ctx, env value.Tuple, 
 			}
 		}
 	case SFProject:
-		// Project straight off the slots: one map per member instead of the
-		// full-tuple conversion followed by Tuple.Project.
-		slots := make([]int, len(w.Attrs))
-		for i, a := range w.Attrs {
-			if s, ok := lay.Slot(a); ok {
-				slots[i] = s
-			} else {
-				slots[i] = -1
+		if plLay := value.NewLayout(w.Attrs...); plLay != nil && plLay.Width() > 0 {
+			slots := make([]int, len(w.Attrs))
+			for i, a := range w.Attrs {
+				if s, ok := lay.Slot(a); ok {
+					slots[i] = s
+				} else {
+					slots[i] = -1
+				}
 			}
-		}
-		return func(_ *Ctx, _ value.Tuple, rows []value.Row) value.Value {
-			out := make(value.TupleSeq, len(rows))
-			for i, r := range rows {
-				t := make(value.Tuple, len(slots))
-				for j, s := range slots {
-					if s >= 0 {
-						if v := r.Vals[s]; v != nil {
-							t[w.Attrs[j]] = v
+			return func(_ *Ctx, _ value.Tuple, rows []value.Row) value.Value {
+				flat := make([]value.Value, 0, len(rows)*len(slots))
+				for _, r := range rows {
+					for _, s := range slots {
+						if s >= 0 {
+							flat = append(flat, r.Vals[s])
+						} else {
+							flat = append(flat, nil)
 						}
 					}
 				}
-				out[i] = t
+				return value.RowSeqOfFlat(plLay, flat)
 			}
-			return out
+		}
+	case SFFiltered:
+		pred := compileExpr(w.Pred, Schema{Lay: lay}, env)
+		inner := groupApplier(w.Inner, lay, env)
+		return func(ctx *Ctx, env value.Tuple, rows []value.Row) value.Value {
+			var kept []value.Row
+			for _, r := range rows {
+				if value.EffectiveBool(pred(ctx, r)) {
+					kept = append(kept, r)
+				}
+			}
+			return inner(ctx, env, kept)
 		}
 	}
 	return func(ctx *Ctx, env value.Tuple, rows []value.Row) value.Value {
-		return f.Apply(ctx, env, rowsToTuples(rows))
+		return f.Apply(ctx, env, rowsToTuples(ctx, rows))
 	}
 }
 
 // ---- elementary iterators ----
 
 type rowSliceIter struct {
-	rows []value.Row
-	pos  int
+	rows   []value.Row
+	pos    int
+	pooled bool // return the buffer to the sort pool on Close
 }
 
 func (s *rowSliceIter) Next() (value.Row, bool) {
@@ -337,13 +385,19 @@ func (s *rowSliceIter) Next() (value.Row, bool) {
 	return r, true
 }
 
-func (s *rowSliceIter) Close() { s.rows = nil }
+func (s *rowSliceIter) Close() {
+	if s.pooled && s.rows != nil {
+		putSortBuf(s.rows)
+	}
+	s.rows = nil
+}
 
 // tupleRowIter is the conversion shim: it streams a map-based iterator and
 // re-types every tuple under the resolved layout.
 type tupleRowIter struct {
 	in  Iterator
 	lay *value.Layout
+	ctx *Ctx
 }
 
 func (s *tupleRowIter) Next() (value.Row, bool) {
@@ -351,6 +405,7 @@ func (s *tupleRowIter) Next() (value.Row, bool) {
 	if !ok {
 		return value.Row{}, false
 	}
+	s.ctx.Stats.MapTuples++
 	return value.RowFromTuple(s.lay, t), true
 }
 
@@ -575,8 +630,12 @@ func openRowXiGroup(x XiGroup, ctx *Ctx, env value.Tuple) RowIter {
 		return nil
 	}
 	rows := drainRows(openRowsSchema(x.In, insc, ctx, env))
-	var keys []value.HashKey
-	buckets := map[value.HashKey][]value.Row{}
+	// Ξ-group passes its input through, so its output cardinality says
+	// nothing about the bucket count; size the table by the textbook
+	// distinct-keys fraction of the input instead.
+	hint := len(rows)/3 + 1
+	keys := make([]value.HashKey, 0, hint)
+	buckets := make(map[value.HashKey][]value.Row, hint)
 	for _, r := range rows {
 		k := rowKey(r, by)
 		if _, ok := buckets[k]; !ok {
@@ -607,31 +666,22 @@ func sameGroupRows(a, b value.Row, by []int) bool {
 	return true
 }
 
-func lessRowsDirs(a, b value.Row, by []int, dirs []bool) bool {
+// cmpRowsDirs is the three-way sort comparison of the row engine's Sort
+// breaker: per-key atomization with one atom parse per side (value.Compare3)
+// instead of the two CompareAtomic probes the bool form needed. Empty values
+// sort first on ascending keys and last on descending ones.
+func cmpRowsDirs(a, b value.Row, by []int, dirs []bool) int {
 	for i, s := range by {
-		desc := i < len(dirs) && dirs[i]
-		av := value.AtomizeSingle(a.Vals[s])
-		bv := value.AtomizeSingle(b.Vals[s])
-		switch {
-		case av == nil && bv == nil:
+		c := value.Compare3(value.AtomizeSingle(a.Vals[s]), value.AtomizeSingle(b.Vals[s]))
+		if c == 0 {
 			continue
-		case av == nil:
-			return !desc
-		case bv == nil:
-			return desc
 		}
-		lt, gt := value.CmpLt, value.CmpGt
-		if desc {
-			lt, gt = gt, lt
+		if i < len(dirs) && dirs[i] {
+			return -c
 		}
-		if value.CompareAtomic(av, bv, lt) {
-			return true
-		}
-		if value.CompareAtomic(av, bv, gt) {
-			return false
-		}
+		return c
 	}
-	return false
+	return 0
 }
 
 type rowAttachSeqIter struct {
@@ -878,9 +928,13 @@ func openRowGroupUnary(g GroupUnary, sc Schema, ctx *Ctx, env value.Tuple) RowIt
 	gSlot, _ := sc.Lay.Slot(g.G)
 	outBy, _ := slotsOf(sc.Lay, g.By)
 	rows := drainRows(openRowsSchema(g.In, insc, ctx, env))
-	apply := groupApplier(g.F, insc.Lay)
+	apply := groupApplier(g.F, insc.Lay, env)
 
-	var out []value.Row
+	// Γ's output cardinality is its distinct-key count: pre-size the hash
+	// table and key list from the cost model's estimate instead of growing
+	// from Go map defaults.
+	hint := ctx.cardHint(g, len(rows))
+	out := make([]value.Row, 0, hint)
 	emit := func(key value.Row, v value.Value) {
 		vals := make([]value.Value, sc.Lay.Width())
 		for i, s := range by {
@@ -891,8 +945,8 @@ func openRowGroupUnary(g GroupUnary, sc Schema, ctx *Ctx, env value.Tuple) RowIt
 	}
 
 	if g.Theta == value.CmpEq {
-		var keys []value.HashKey
-		buckets := map[value.HashKey][]value.Row{}
+		keys := make([]value.HashKey, 0, hint)
+		buckets := make(map[value.HashKey][]value.Row, hint)
 		for _, r := range rows {
 			k := rowKey(r, by)
 			if _, ok := buckets[k]; !ok {
@@ -956,7 +1010,7 @@ func openRowGroupBinary(g GroupBinary, sc Schema, ctx *Ctx, env value.Tuple) Row
 	left := openRowsSchema(g.L, lsc, ctx, env)
 
 	it := &rowGroupBinaryIter{left: left, lay: sc.Lay, gSlot: gSlot,
-		apply: groupApplier(g.F, rsc.Lay), ctx: ctx, env: env,
+		apply: groupApplier(g.F, rsc.Lay, env), ctx: ctx, env: env,
 		lSlots: lSlots, rSlots: rSlots, theta: g.Theta}
 	// The build side materializes lazily on the first left tuple, so an
 	// empty left input never evaluates R — matching GroupBinary.Eval's
@@ -1047,7 +1101,10 @@ func openRowUnnest(child Op, attr string, innerAttrs []string, sc Schema, ctx *C
 	if !ok {
 		return nil
 	}
-	inner := insc.nested(attr)
+	var inner *value.Layout
+	if nested := insc.nested(attr); nested != nil {
+		inner = nested.Lay
+	}
 	if innerAttrs != nil {
 		inner = value.NewLayout(innerAttrs...)
 	}
@@ -1095,10 +1152,20 @@ type rowUnnestIter struct {
 	innerDst   []int
 	pad        bool // µ pads empty groups with ⊥; µD skips them
 
-	cur     value.Row
-	pending value.TupleSeq
+	cur      value.Row
+	pendRows value.RowSeq   // slot-backed payload (the native case)
+	pendTup  value.TupleSeq // map-backed payload (values built off-engine)
+	pendN    int
+	pos      int
+
+	// Splice cache for RowSeq payloads: innerSrc[i] is the slot of
+	// innerNames[i] in the payload layout, recomputed only when the payload
+	// layout changes (normally once — every group of one Γ shares it).
+	innerLay *value.Layout
+	innerSrc []int
+
 	dedup   map[value.HashKey]bool
-	pos     int
+	scratch []int // KeyOfRow slot scratch, reused across members
 }
 
 func (u *rowUnnestIter) base() []value.Value {
@@ -1109,25 +1176,65 @@ func (u *rowUnnestIter) base() []value.Value {
 	return vals
 }
 
+// spliceFor points the inner-attribute splice at a payload layout.
+func (u *rowUnnestIter) spliceFor(lay *value.Layout) {
+	if u.innerLay == lay {
+		return
+	}
+	u.innerLay = lay
+	if cap(u.innerSrc) < len(u.innerNames) {
+		u.innerSrc = make([]int, len(u.innerNames))
+	}
+	u.innerSrc = u.innerSrc[:len(u.innerNames)]
+	for i, n := range u.innerNames {
+		if s, ok := lay.Slot(n); ok {
+			u.innerSrc[i] = s
+		} else {
+			u.innerSrc[i] = -1
+		}
+	}
+}
+
 func (u *rowUnnestIter) Next() (value.Row, bool) {
 	for {
-		for u.pos < len(u.pending) {
-			g := u.pending[u.pos]
+		for u.pos < u.pendN {
+			i := u.pos
 			u.pos++
+			if u.pendTup != nil {
+				g := u.pendTup[i]
+				if u.dedup != nil {
+					// Key each member on its own attribute set, exactly like
+					// UnnestDistinct.Eval: a member lacking an attribute must
+					// not collide with one binding it to NULL.
+					k := tupleHashKey(g, g.Attrs())
+					if u.dedup[k] {
+						continue
+					}
+					u.dedup[k] = true
+				}
+				vals := u.base()
+				for j, n := range u.innerNames {
+					if v, ok := g[n]; ok {
+						vals[u.innerDst[j]] = v
+					}
+				}
+				return value.Row{Lay: u.lay, Vals: vals}, true
+			}
+			g := u.pendRows.At(i)
 			if u.dedup != nil {
-				// Key each member on its own attribute set, exactly like
-				// UnnestDistinct.Eval: a member lacking an attribute must not
-				// collide with one binding it to NULL.
-				k := tupleHashKey(g, g.Attrs())
+				var k value.HashKey
+				k, u.scratch = value.KeyOfRow(g, u.scratch)
 				if u.dedup[k] {
 					continue
 				}
 				u.dedup[k] = true
 			}
 			vals := u.base()
-			for i, n := range u.innerNames {
-				if v, ok := g[n]; ok {
-					vals[u.innerDst[i]] = v
+			for j, s := range u.innerSrc {
+				if s >= 0 {
+					if v := g.Vals[s]; v != nil {
+						vals[u.innerDst[j]] = v
+					}
 				}
 			}
 			return value.Row{Lay: u.lay, Vals: vals}, true
@@ -1137,15 +1244,23 @@ func (u *rowUnnestIter) Next() (value.Row, bool) {
 			return value.Row{}, false
 		}
 		u.cur = r
-		ts, _ := r.Vals[u.gSlot].(value.TupleSeq)
-		u.pending = ts
+		u.pendTup, u.pendRows, u.pendN = nil, value.RowSeq{}, 0
+		switch p := r.Vals[u.gSlot].(type) {
+		case value.RowSeq:
+			u.pendRows = p
+			u.pendN = p.Len()
+			u.spliceFor(p.Lay())
+		case value.TupleSeq:
+			u.pendTup = p
+			u.pendN = len(p)
+		}
 		u.pos = 0
 		if !u.pad {
 			u.dedup = map[value.HashKey]bool{}
 			continue
 		}
 		u.dedup = nil
-		if len(ts) == 0 {
+		if u.pendN == 0 {
 			vals := u.base()
 			for _, d := range u.innerDst {
 				vals[d] = value.Null{}

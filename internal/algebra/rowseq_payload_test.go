@@ -1,0 +1,220 @@
+package algebra
+
+import (
+	"testing"
+
+	"nalquery/internal/value"
+)
+
+// Differential property tests of the RowSeq group-payload representation:
+// for plans whose nested data the slot engine carries as rows (Γ payloads,
+// e[a] bindings, nested-in-nested groups), native execution must emit the
+// same sequences as the definitional map evaluator — across the edge cases
+// that distinguish the representations (⊥-padding of empty groups, renames
+// inside groups, µD member dedup on partially absent attributes).
+
+// mapFree executes op natively and requires that no map tuple materialized
+// on the data path (the conversion shim at the constOp leaves streams base
+// tuples and is excluded, exactly like leafShims excludes their ShimOps).
+func mapFree(t *testing.T, name string, op Op, leafTuples int64) {
+	t.Helper()
+	ctx := NewCtx(nil)
+	sc, ok := ResolveSchema(op)
+	if !ok || !sc.Native {
+		t.Fatalf("%s: plan is not native", name)
+	}
+	it := openRowsSchema(op, sc, ctx, nil)
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	it.Close()
+	if got := ctx.Stats.MapTuples - leafTuples; got > 0 {
+		t.Errorf("%s: %d map tuples materialized beyond the leaf scans", name, got)
+	}
+}
+
+// leafTupleCount sums the tuples the constOp leaves feed through the
+// conversion shim (each conversion counts once in Stats.MapTuples).
+func leafTupleCount(op Op) int64 {
+	var n int64
+	var walk func(Op)
+	walk = func(o Op) {
+		cs := o.Children()
+		if len(cs) == 0 {
+			if c, ok := o.(constOp); ok {
+				n += int64(len(c.ts))
+			}
+			return
+		}
+		for _, c := range cs {
+			walk(c)
+		}
+	}
+	walk(op)
+	return n
+}
+
+func diffPayloadPlan(t *testing.T, name string, op Op) {
+	t.Helper()
+	if diffOp(t, name, op) {
+		mapFree(t, name, op, leafTupleCount(op))
+	}
+}
+
+// TestRowSeqGammaMuRoundtrip pins the Γ→µ roundtrip: grouping builds a
+// RowSeq payload (zero-copy over the bucket rows), unnesting splices it
+// back — and the flat sequences match the map evaluator's, including the
+// group keys reappearing inside the members (shared slots).
+func TestRowSeqGammaMuRoundtrip(t *testing.T) {
+	in := constOp{
+		ts: value.TupleSeq{
+			{"K": value.Int(1), "V": value.Str("a")},
+			{"K": value.Int(2), "V": value.Str("b")},
+			{"K": value.Int(1), "V": value.Str("c")},
+			{"K": value.Int(3), "V": value.Str("d")},
+			{"K": value.Int(2), "V": value.Str("e")},
+		},
+		attrs: []string{"K", "V"},
+	}
+	gamma := GroupUnary{In: in, G: "g", By: []string{"K"}, Theta: value.CmpEq, F: SFIdent{}}
+	diffPayloadPlan(t, "gamma-mu", Unnest{In: gamma, Attr: "g"})
+	diffPayloadPlan(t, "gamma-muD", UnnestDistinct{In: gamma, Attr: "g"})
+}
+
+// TestRowSeqAllDuplicateKeys drives one giant group (every input tuple
+// shares the key) through Γ→µ and through the count/aggregate appliers.
+func TestRowSeqAllDuplicateKeys(t *testing.T) {
+	ts := make(value.TupleSeq, 0, 12)
+	for i := 0; i < 12; i++ {
+		ts = append(ts, value.Tuple{"K": value.Str("same"), "N": value.Int(int64(i % 3))})
+	}
+	in := constOp{ts: ts, attrs: []string{"K", "N"}}
+	gamma := GroupUnary{In: in, G: "g", By: []string{"K"}, Theta: value.CmpEq, F: SFIdent{}}
+	diffPayloadPlan(t, "alldup-mu", Unnest{In: gamma, Attr: "g"})
+	diffPayloadPlan(t, "alldup-muD", UnnestDistinct{In: gamma, Attr: "g"})
+	diffPayloadPlan(t, "alldup-count",
+		Map{In: gamma, Attr: "c", E: AggOfAttr{F: SFCount{}, Attr: Var{Name: "g"}}})
+	diffPayloadPlan(t, "alldup-sum",
+		Map{In: gamma, Attr: "s", E: AggOfAttr{F: SFAgg{Fn: "sum", Attr: "N"}, Attr: Var{Name: "g"}}})
+}
+
+// TestRowSeqEmptyGroupPadding pins ⊥-padding: binary Γ gives unmatched left
+// tuples an empty payload, and µ must release it as one NULL-padded tuple —
+// before any non-empty group has been seen (the plan-time inner layout).
+func TestRowSeqEmptyGroupPadding(t *testing.T) {
+	left := constOp{
+		ts: value.TupleSeq{
+			{"A1": value.Int(1)},
+			{"A1": value.Int(99)}, // no partner
+			{"A1": value.Int(2)},
+		},
+		attrs: []string{"A1"},
+	}
+	right := constOp{
+		ts: value.TupleSeq{
+			{"A2": value.Int(1), "B": value.Str("x")},
+			{"A2": value.Int(2), "B": value.Str("y")},
+			{"A2": value.Int(1), "B": value.Str("z")},
+		},
+		attrs: []string{"A2", "B"},
+	}
+	gamma := GroupBinary{L: left, R: right, G: "g",
+		LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Theta: value.CmpEq, F: SFIdent{}}
+	diffPayloadPlan(t, "empty-group-mu", Unnest{In: gamma, Attr: "g"})
+
+	// All groups empty: the ⊥ attribute set must come from the resolver's
+	// nested layout, not from an observed member.
+	emptyRight := constOp{attrs: []string{"A2", "B"}}
+	allEmpty := GroupBinary{L: left, R: emptyRight, G: "g",
+		LAttrs: []string{"A1"}, RAttrs: []string{"A2"}, Theta: value.CmpEq, F: SFIdent{}}
+	diffPayloadPlan(t, "all-empty-groups-mu", Unnest{In: allEmpty, Attr: "g"})
+}
+
+// TestRowSeqRenameInsideGroup pins that a rename below Γ reaches the
+// payload as a layout-pointer swap: the members carry the renamed
+// attributes and µ releases them under the new names.
+func TestRowSeqRenameInsideGroup(t *testing.T) {
+	in := constOp{
+		ts: value.TupleSeq{
+			{"K": value.Int(1), "V": value.Str("a")},
+			{"K": value.Int(1), "V": value.Str("b")},
+			{"K": value.Int(2), "V": value.Str("c")},
+		},
+		attrs: []string{"K", "V"},
+	}
+	ren := ProjectRename{In: in, Pairs: []Rename{{New: "W", Old: "V"}}}
+	gamma := GroupUnary{In: ren, G: "g", By: []string{"K"}, Theta: value.CmpEq, F: SFIdent{}}
+	diffPayloadPlan(t, "rename-in-group", Unnest{In: gamma, Attr: "g"})
+
+	// Swap rename (K↔V) below Γ: simultaneous substitution inside the
+	// member layout.
+	swap := ProjectRename{In: in, Pairs: []Rename{{New: "V", Old: "K"}, {New: "K", Old: "V"}}}
+	gammaSwap := GroupUnary{In: swap, G: "g", By: []string{"V"}, Theta: value.CmpEq, F: SFIdent{}}
+	diffPayloadPlan(t, "swap-rename-in-group", Unnest{In: gammaSwap, Attr: "g"})
+}
+
+// TestRowSeqNestedInNested pins Γ under µ under Γ: the outer payload's
+// members themselves carry a RowSeq payload, and both unnest levels release
+// their attributes natively.
+func TestRowSeqNestedInNested(t *testing.T) {
+	in := constOp{
+		ts: value.TupleSeq{
+			{"K": value.Int(1), "J": value.Str("x"), "V": value.Int(10)},
+			{"K": value.Int(1), "J": value.Str("y"), "V": value.Int(20)},
+			{"K": value.Int(2), "J": value.Str("x"), "V": value.Int(30)},
+			{"K": value.Int(1), "J": value.Str("x"), "V": value.Int(40)},
+		},
+		attrs: []string{"J", "K", "V"},
+	}
+	inner := GroupUnary{In: in, G: "g1", By: []string{"K", "J"}, Theta: value.CmpEq, F: SFIdent{}}
+	outer := GroupUnary{In: inner, G: "g2", By: []string{"K"}, Theta: value.CmpEq, F: SFIdent{}}
+	plan := Unnest{In: Unnest{In: outer, Attr: "g2"}, Attr: "g1"}
+	diffPayloadPlan(t, "gamma-under-mu", plan)
+}
+
+// TestRowSeqBindingsAndDistinct pins the e[a] constructor payloads: χ binds
+// an item sequence as a width-1 RowSeq sharing the sequence backing, and
+// µ/µD release and deduplicate it like the map engine.
+func TestRowSeqBindingsAndDistinct(t *testing.T) {
+	in := constOp{
+		ts: value.TupleSeq{
+			{"S": value.Seq{value.Int(1), value.Int(2), value.Int(1)}},
+			{"S": value.Seq{value.Str("3"), value.Int(3)}}, // numeric dedup across lexical forms
+			{"S": value.Seq{}},
+		},
+		attrs: []string{"S"},
+	}
+	bind := Map{In: in, Attr: "b", E: BindTuples{E: Var{Name: "S"}, Attr: "x"}}
+	diffPayloadPlan(t, "bind-mu", Unnest{In: bind, Attr: "b", InnerAttrs: []string{"x"}})
+	diffPayloadPlan(t, "bind-muD", UnnestDistinct{In: bind, Attr: "b"})
+}
+
+// TestRowSeqFilteredApplier pins f ∘ σp payloads (Eqvs. 8/9): the predicate
+// compiles against the member layout and the filtered payload stays a
+// RowSeq.
+func TestRowSeqFilteredApplier(t *testing.T) {
+	in := constOp{
+		ts: value.TupleSeq{
+			{"K": value.Int(1), "N": value.Int(5)},
+			{"K": value.Int(1), "N": value.Int(15)},
+			{"K": value.Int(2), "N": value.Int(25)},
+			{"K": value.Int(2), "N": value.Int(5)},
+		},
+		attrs: []string{"K", "N"},
+	}
+	f := SFFiltered{
+		Pred:  CmpExpr{L: Var{Name: "N"}, R: ConstVal{V: value.Int(10)}, Op: value.CmpGt},
+		Inner: SFCount{},
+	}
+	gamma := GroupUnary{In: in, G: "c", By: []string{"K"}, Theta: value.CmpEq, F: f}
+	diffPayloadPlan(t, "filtered-count", gamma)
+
+	fid := SFFiltered{
+		Pred:  CmpExpr{L: Var{Name: "N"}, R: ConstVal{V: value.Int(10)}, Op: value.CmpGt},
+		Inner: SFIdent{},
+	}
+	gammaID := GroupUnary{In: in, G: "g", By: []string{"K"}, Theta: value.CmpEq, F: fid}
+	diffPayloadPlan(t, "filtered-id-mu", Unnest{In: gammaID, Attr: "g"})
+}

@@ -26,15 +26,26 @@ import (
 type Schema struct {
 	// Lay assigns the operator's output attributes to slots.
 	Lay *value.Layout
-	// Nested holds the inner layouts of tuple-sequence-valued attributes,
+	// Nested holds the inner schemas of tuple-sequence-valued attributes,
 	// keyed by attribute name, when statically known.
-	Nested map[string]*value.Layout
+	Nested map[string]*Inner
 	// Native reports that the operator has a slot-native iterator under this
 	// schema; otherwise it executes through the fallback shim.
 	Native bool
 }
 
-func (s Schema) nested(attr string) *value.Layout {
+// Inner is the schema of a tuple-sequence-valued attribute: the member
+// layout plus, recursively, the inner schemas of the members' own
+// sequence-valued attributes. The recursion is what lets nested-in-nested
+// plans (Γ under µ — the outer payload's members carrying their own group
+// attribute) resolve natively: unnesting releases not just the member
+// attributes but their nested schemas too.
+type Inner struct {
+	Lay    *value.Layout
+	Nested map[string]*Inner
+}
+
+func (s Schema) nested(attr string) *Inner {
 	if s.Nested == nil {
 		return nil
 	}
@@ -42,16 +53,16 @@ func (s Schema) nested(attr string) *value.Layout {
 }
 
 // nestedWith returns a copy of the nested map with one entry replaced (or
-// removed when lay is nil).
-func nestedWith(src map[string]*value.Layout, attr string, lay *value.Layout) map[string]*value.Layout {
-	out := make(map[string]*value.Layout, len(src)+1)
+// removed when in is nil).
+func nestedWith(src map[string]*Inner, attr string, in *Inner) map[string]*Inner {
+	out := make(map[string]*Inner, len(src)+1)
 	for k, v := range src {
 		out[k] = v
 	}
-	if lay == nil {
+	if in == nil {
 		delete(out, attr)
 	} else {
-		out[attr] = lay
+		out[attr] = in
 	}
 	if len(out) == 0 {
 		return nil
@@ -60,15 +71,15 @@ func nestedWith(src map[string]*value.Layout, attr string, lay *value.Layout) ma
 }
 
 // nestedKept filters a nested map to the attributes of a layout.
-func nestedKept(src map[string]*value.Layout, lay *value.Layout) map[string]*value.Layout {
+func nestedKept(src map[string]*Inner, lay *value.Layout) map[string]*Inner {
 	if src == nil {
 		return nil
 	}
-	var out map[string]*value.Layout
+	var out map[string]*Inner
 	for k, v := range src {
 		if lay.Has(k) {
 			if out == nil {
-				out = map[string]*value.Layout{}
+				out = map[string]*Inner{}
 			}
 			out[k] = v
 		}
@@ -76,11 +87,11 @@ func nestedKept(src map[string]*value.Layout, lay *value.Layout) map[string]*val
 	return out
 }
 
-func nestedUnion(a, b map[string]*value.Layout) map[string]*value.Layout {
+func nestedUnion(a, b map[string]*Inner) map[string]*Inner {
 	if a == nil && b == nil {
 		return nil
 	}
-	out := make(map[string]*value.Layout, len(a)+len(b))
+	out := make(map[string]*Inner, len(a)+len(b))
 	for k, v := range a {
 		out[k] = v
 	}
@@ -90,15 +101,17 @@ func nestedUnion(a, b map[string]*value.Layout) map[string]*value.Layout {
 	return out
 }
 
-// fnNested returns the layout of the tuple sequence a SeqFunc produces when
-// applied to groups drawn from input tuples with layout in — the inner
-// schema of a group attribute.
-func fnNested(f SeqFunc, in *value.Layout) *value.Layout {
+// fnNested returns the inner schema of the tuple sequence a SeqFunc
+// produces when applied to groups drawn from tuples of the input schema.
+func fnNested(f SeqFunc, in Schema) *Inner {
 	switch w := f.(type) {
 	case SFIdent:
-		return in
+		return &Inner{Lay: in.Lay, Nested: in.Nested}
 	case SFProject:
-		return value.NewLayout(w.Attrs...)
+		if lay := value.NewLayout(w.Attrs...); lay != nil {
+			return &Inner{Lay: lay, Nested: nestedKept(in.Nested, lay)}
+		}
+		return nil
 	case SFFiltered:
 		return fnNested(w.Inner, in)
 	default:
@@ -107,24 +120,24 @@ func fnNested(f SeqFunc, in *value.Layout) *value.Layout {
 	}
 }
 
-// exprNested returns the inner layout of a tuple-sequence value an
+// exprNested returns the inner schema of a tuple-sequence value an
 // expression produces, when statically known.
-func exprNested(e Expr, in Schema) *value.Layout {
+func exprNested(e Expr, in Schema) *Inner {
 	switch w := e.(type) {
 	case Var:
 		return in.nested(w.Name)
 	case BindTuples:
-		return value.NewLayout(w.Attr)
+		return &Inner{Lay: value.NewLayout(w.Attr)}
 	case NestedApply:
 		sub, ok := ResolveSchema(w.Plan)
 		if !ok {
 			return nil
 		}
-		return fnNested(w.F, sub.Lay)
+		return fnNested(w.F, sub)
 	case CondExpr:
 		t := exprNested(w.Then, in)
 		f := exprNested(w.Else, in)
-		if t != nil && f != nil && sameNames(t, f) {
+		if t != nil && f != nil && sameNames(t.Lay, f.Lay) {
 			return t
 		}
 		return nil
@@ -183,10 +196,10 @@ func ResolveSchema(op Op) (Schema, bool) {
 				ren[r.Old] = r.New
 			}
 			if lay := in.Lay.Rename(ren); lay != nil {
-				var nested map[string]*value.Layout
+				var nested map[string]*Inner
 				for k, v := range in.Nested {
 					if nested == nil {
-						nested = map[string]*value.Layout{}
+						nested = map[string]*Inner{}
 					}
 					if nn, ok := ren[k]; ok {
 						nested[nn] = v
@@ -202,12 +215,12 @@ func ResolveSchema(op Op) (Schema, bool) {
 	case ProjectDistinct:
 		if in, ok := ResolveSchema(w.In); ok {
 			names := make([]string, len(w.Pairs))
-			var nested map[string]*value.Layout
+			var nested map[string]*Inner
 			for i, r := range w.Pairs {
 				names[i] = r.New
 				if inner := in.nested(r.Old); inner != nil {
 					if nested == nil {
-						nested = map[string]*value.Layout{}
+						nested = map[string]*Inner{}
 					}
 					nested[r.New] = inner
 				}
@@ -290,7 +303,7 @@ func ResolveSchema(op Op) (Schema, bool) {
 	case GroupUnary:
 		if in, ok := ResolveSchema(w.In); ok {
 			if lay := value.NewLayout(append(append([]string(nil), w.By...), w.G)...); lay != nil {
-				nested := nestedWith(nestedKept(in.Nested, lay), w.G, fnNested(w.F, in.Lay))
+				nested := nestedWith(nestedKept(in.Nested, lay), w.G, fnNested(w.F, in))
 				return Schema{Lay: lay, Nested: nested, Native: true}, true
 			}
 		}
@@ -302,7 +315,7 @@ func ResolveSchema(op Op) (Schema, bool) {
 		if lok && rok {
 			lay, slot := l.Lay.Extend(w.G)
 			if slot == l.Lay.Width() { // G must be fresh
-				nested := nestedWith(l.Nested, w.G, fnNested(w.F, r.Lay))
+				nested := nestedWith(l.Nested, w.G, fnNested(w.F, r))
 				return Schema{Lay: lay, Nested: nested, Native: true}, true
 			}
 		}
@@ -341,7 +354,7 @@ func ResolveSchema(op Op) (Schema, bool) {
 	case UnorderedGroupUnary:
 		if in, ok := ResolveSchema(w.In); ok {
 			if lay := value.NewLayout(append(append([]string(nil), w.By...), w.G)...); lay != nil {
-				nested := nestedWith(nestedKept(in.Nested, lay), w.G, fnNested(w.F, in.Lay))
+				nested := nestedWith(nestedKept(in.Nested, lay), w.G, fnNested(w.F, in))
 				return Schema{Lay: lay, Nested: nested, Native: true}, true
 			}
 		}
@@ -352,7 +365,7 @@ func ResolveSchema(op Op) (Schema, bool) {
 		if lok && rok {
 			lay, slot := l.Lay.Extend(w.G)
 			if slot == l.Lay.Width() { // G must be fresh
-				nested := nestedWith(l.Nested, w.G, fnNested(w.F, r.Lay))
+				nested := nestedWith(l.Nested, w.G, fnNested(w.F, r))
 				return Schema{Lay: lay, Nested: nested, Native: true}, true
 			}
 		}
@@ -387,19 +400,24 @@ func unnestSchema(op Op, in Op, attr string, innerAttrs []string) (Schema, bool)
 	if insc, ok := ResolveSchema(in); ok {
 		inner := insc.nested(attr)
 		if innerAttrs != nil {
-			inner = value.NewLayout(innerAttrs...)
+			inner = &Inner{Lay: value.NewLayout(innerAttrs...)}
 		}
-		if inner != nil {
+		if inner != nil && inner.Lay != nil {
 			base, _ := insc.Lay.Drop([]string{attr})
 			names := append([]string(nil), base.Names()...)
-			for _, n := range inner.Names() {
+			for _, n := range inner.Lay.Names() {
 				if !base.Has(n) {
 					names = append(names, n)
 				}
 			}
 			if lay := value.NewLayout(names...); lay != nil {
-				return Schema{Lay: lay,
-					Nested: nestedKept(insc.Nested, base), Native: true}, true
+				// The released members' own nested schemas join the output's:
+				// that is what makes Γ-under-µ (nested-in-nested payloads)
+				// resolve natively. On a name collision the group side wins,
+				// matching Concat's map semantics.
+				nested := nestedUnion(nestedKept(insc.Nested, base),
+					nestedKept(inner.Nested, lay))
+				return Schema{Lay: lay, Nested: nested, Native: true}, true
 			}
 		}
 	}

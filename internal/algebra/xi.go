@@ -77,6 +77,10 @@ func WriteValue(out StringWriter, v value.Value) {
 		for _, t := range w {
 			t.EachValue(func(v value.Value) { WriteValue(out, v) })
 		}
+	case value.RowSeq:
+		for i := 0; i < w.Len(); i++ {
+			w.EachValue(i, func(v value.Value) { WriteValue(out, v) })
+		}
 	case value.Str:
 		out.WriteString(dom.EscapeText(string(w)))
 	default:
@@ -112,6 +116,12 @@ func PrintValue(v value.Value) string {
 		var sb strings.Builder
 		for _, t := range w {
 			t.EachValue(func(v value.Value) { sb.WriteString(PrintValue(v)) })
+		}
+		return sb.String()
+	case value.RowSeq:
+		var sb strings.Builder
+		for i := 0; i < w.Len(); i++ {
+			w.EachValue(i, func(v value.Value) { sb.WriteString(PrintValue(v)) })
 		}
 		return sb.String()
 	case value.Str:

@@ -80,6 +80,14 @@ type Estimate struct {
 	Cost float64
 }
 
+// EstimateCard implements algebra.CardEstimator: the estimated output
+// cardinality of one operator, used by the execution engine to pre-size
+// grouping hash tables and partition buffers instead of growing them from
+// Go map defaults.
+func (m *Model) EstimateCard(op algebra.Op) float64 {
+	return m.Plan(op).Card
+}
+
 // Plan estimates a full operator tree.
 func (m *Model) Plan(op algebra.Op) Estimate {
 	switch w := op.(type) {
@@ -125,19 +133,24 @@ func (m *Model) Plan(op algebra.Op) Estimate {
 		l, r := m.Plan(w.L), m.Plan(w.R)
 		card := maxF(l.Card, r.Card)
 		return Estimate{Card: card, Cost: l.Cost + r.Cost + (l.Card+r.Card)*tupleCost + card*perTuple(op)}
+	// The grouping family runs slot-natively with RowSeq payloads: one
+	// hash pass over the input plus a slot-rate output term per emitted
+	// group row. Payload construction itself is O(1) per group (the id
+	// payload wraps the bucket rows without copying), so no per-member
+	// term appears.
 	case algebra.GroupUnary:
 		in := m.Plan(w.In)
 		card := in.Card * selGroupKeys
 		if w.Theta != 0 { // non-equality θ: key × input scan
 			return Estimate{Card: card, Cost: in.Cost + card*in.Card*tupleCost}
 		}
-		return Estimate{Card: card, Cost: in.Cost + in.Card*tupleCost}
+		return Estimate{Card: card, Cost: in.Cost + in.Card*tupleCost + card*slotCost*width(op)}
 	case algebra.GroupBinary:
 		l, r := m.Plan(w.L), m.Plan(w.R)
 		if w.Theta != 0 || w.ForceScan {
 			return Estimate{Card: l.Card, Cost: l.Cost + r.Cost + l.Card*r.Card*tupleCost}
 		}
-		return Estimate{Card: l.Card, Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+		return Estimate{Card: l.Card, Cost: l.Cost + r.Cost + (l.Card + r.Card) + l.Card*slotCost*width(op)}
 	case algebra.Unnest:
 		in := m.Plan(w.In)
 		card := in.Card * 3
@@ -193,13 +206,13 @@ func (m *Model) Plan(op algebra.Op) Estimate {
 		if w.Theta != 0 {
 			return Estimate{Card: card, Cost: in.Cost + card*in.Card*tupleCost}
 		}
-		return Estimate{Card: card, Cost: in.Cost + in.Card*tupleCost}
+		return Estimate{Card: card, Cost: in.Cost + in.Card*tupleCost + card*slotCost*width(op)}
 	case algebra.UnorderedGroupBinary:
 		l, r := m.Plan(w.L), m.Plan(w.R)
 		if w.Theta != 0 {
 			return Estimate{Card: l.Card, Cost: l.Cost + r.Cost + l.Card*r.Card*tupleCost}
 		}
-		return Estimate{Card: l.Card, Cost: l.Cost + r.Cost + (l.Card + r.Card)}
+		return Estimate{Card: l.Card, Cost: l.Cost + r.Cost + (l.Card + r.Card) + l.Card*slotCost*width(op)}
 	case algebra.XiGroupStream:
 		in := m.Plan(w.In)
 		return Estimate{Card: in.Card, Cost: in.Cost + in.Card*tupleCost}

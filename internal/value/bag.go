@@ -61,10 +61,38 @@ func deepKey(v Value, sb *strings.Builder) {
 			sb.WriteByte(',')
 		}
 		sb.WriteString("}")
+	case RowSeq:
+		// Identical rendering to the TupleSeq case for the same logical
+		// members, so the two payload representations share a key space.
+		sb.WriteString("{")
+		for i := 0; i < w.Len(); i++ {
+			rowMemberKey(w, i, sb)
+			sb.WriteByte(',')
+		}
+		sb.WriteString("}")
 	default:
 		sb.WriteString("?:")
 		sb.WriteString(v.String())
 	}
+}
+
+// rowMemberKey renders member i of a row sequence exactly like tupleKey
+// renders the equivalent map tuple: canonical attribute order, nil slots
+// (absent attributes) skipped.
+func rowMemberKey(rs RowSeq, i int, sb *strings.Builder) {
+	r := rs.At(i)
+	sb.WriteString("(")
+	for _, s := range rs.Lay().Canon() {
+		v := r.Vals[s]
+		if v == nil {
+			continue
+		}
+		sb.WriteString(rs.Lay().Name(s))
+		sb.WriteByte('=')
+		deepKey(v, sb)
+		sb.WriteByte(';')
+	}
+	sb.WriteString(")")
 }
 
 func tupleKey(t Tuple, sb *strings.Builder) {

@@ -83,6 +83,12 @@ func Atomize(v Value) Seq {
 			t.EachValue(func(v Value) { out = append(out, Atomize(v)...) })
 		}
 		return out
+	case RowSeq:
+		var out Seq
+		for i := 0; i < w.Len(); i++ {
+			w.EachValue(i, func(v Value) { out = append(out, Atomize(v)...) })
+		}
+		return out
 	default:
 		return Seq{w}
 	}
@@ -111,6 +117,18 @@ func AtomizeSingle(v Value) Value {
 			for _, a := range t.Attrs() {
 				if x := AtomizeSingle(t[a]); x != nil {
 					return x
+				}
+			}
+		}
+		return nil
+	case RowSeq:
+		for i := 0; i < w.Len(); i++ {
+			r := w.At(i)
+			for _, s := range w.Lay().Canon() {
+				if v := r.Vals[s]; v != nil {
+					if x := AtomizeSingle(v); x != nil {
+						return x
+					}
 				}
 			}
 		}
@@ -222,6 +240,33 @@ func CompareAtomic(a, b Value, op CmpOp) bool {
 	return false
 }
 
+// Compare3 three-way-compares two already-atomized values under
+// CompareAtomic's semantics (numeric when both sides parse as numbers, else
+// string), with absent (nil/NULL) values ordered first — the single-parse
+// comparison the sort operators use.
+func Compare3(a, b Value) int {
+	x, okx := toAtom(a)
+	y, oky := toAtom(b)
+	switch {
+	case !okx && !oky:
+		return 0
+	case !okx:
+		return -1
+	case !oky:
+		return 1
+	}
+	if x.isNum && y.isNum {
+		switch {
+		case x.num < y.num:
+			return -1
+		case x.num > y.num:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(x.text(), y.text())
+}
+
 // GeneralCompare implements XQuery general comparison semantics: it holds if
 // some pair of atomized items from the two operands satisfies θ. This is the
 // "simple '=' has existential semantics" rule of Sec. 5.1. Item-vs-item
@@ -248,7 +293,7 @@ func GeneralCompare(a, b Value, op CmpOp) bool {
 // (Seq flattens, TupleSeq contributes per attribute).
 func isItem(v Value) bool {
 	switch v.(type) {
-	case Seq, TupleSeq:
+	case Seq, TupleSeq, RowSeq:
 		return false
 	default:
 		return true
@@ -383,23 +428,32 @@ func writeFoldCol(sb *strings.Builder, v Value) {
 // partition order of the unordered operator family and the Grace join (any
 // fixed order demonstrates the same effects; this one never allocates). It
 // is a structural order, unrelated to the value order of CompareAtomic.
-func LessKey(a, b HashKey) bool {
-	if a.kind != b.kind {
-		return a.kind < b.kind
+func LessKey(a, b HashKey) bool { return CmpKey(a, b) < 0 }
+
+// CmpKey is the three-way form of LessKey, for slices.SortFunc. The num
+// fields are never NaN (numKey folds every NaN into the distinguished
+// kind 'N'), so the != / < probes below form a consistent total order.
+func CmpKey(a, b HashKey) int {
+	switch {
+	case a.kind != b.kind:
+		return int(a.kind) - int(b.kind)
+	case a.num != b.num:
+		if a.num < b.num {
+			return -1
+		}
+		return 1
+	case a.str != b.str:
+		return strings.Compare(a.str, b.str)
+	case a.kind2 != b.kind2:
+		return int(a.kind2) - int(b.kind2)
+	case a.num2 != b.num2:
+		if a.num2 < b.num2 {
+			return -1
+		}
+		return 1
+	default:
+		return strings.Compare(a.str2, b.str2)
 	}
-	if a.num != b.num {
-		return a.num < b.num
-	}
-	if a.str != b.str {
-		return a.str < b.str
-	}
-	if a.kind2 != b.kind2 {
-		return a.kind2 < b.kind2
-	}
-	if a.num2 != b.num2 {
-		return a.num2 < b.num2
-	}
-	return a.str2 < b.str2
 }
 
 // Hash returns a well-distributed 64-bit FNV-1a hash of the key for
@@ -494,6 +548,8 @@ func EffectiveBool(v Value) bool {
 		return len(w) > 0
 	case TupleSeq:
 		return len(w) > 0
+	case RowSeq:
+		return w.Len() > 0
 	default:
 		return false
 	}
@@ -521,11 +577,31 @@ func DeepEqual(a, b Value) bool {
 		}
 		return true
 	case TupleSeq:
-		y, ok := b.(TupleSeq)
-		if !ok {
-			return false
+		switch y := b.(type) {
+		case TupleSeq:
+			return TupleSeqEqual(x, y)
+		case RowSeq:
+			// A slot-engine group payload equals the map engine's when the
+			// member tuples coincide — the representations are interchangeable.
+			return rowSeqEqualTupleSeq(y, x)
 		}
-		return TupleSeqEqual(x, y)
+		return false
+	case RowSeq:
+		switch y := b.(type) {
+		case TupleSeq:
+			return rowSeqEqualTupleSeq(x, y)
+		case RowSeq:
+			if x.Len() != y.Len() {
+				return false
+			}
+			for i := 0; i < x.Len(); i++ {
+				if !rowEqualRow(x.At(i), y.At(i)) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
 	case NodeVal:
 		y, ok := b.(NodeVal)
 		return ok && x.Node == y.Node
@@ -554,6 +630,61 @@ func DeepEqual(a, b Value) bool {
 	default:
 		return false
 	}
+}
+
+// rowSeqEqualTupleSeq compares a slot-backed sequence with a map-backed one
+// member-wise.
+func rowSeqEqualTupleSeq(a RowSeq, b TupleSeq) bool {
+	if a.Len() != len(b) {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !rowEqualTuple(a.At(i), b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// rowEqualTuple compares one row with one map tuple: every non-nil slot must
+// match an attribute of t, and t must bind nothing else (nil slots are
+// absent attributes, like missing map keys).
+func rowEqualTuple(r Row, t Tuple) bool {
+	present := 0
+	for i, v := range r.Vals {
+		if v == nil {
+			continue
+		}
+		present++
+		w, ok := t[r.Lay.Name(i)]
+		if !ok || !DeepEqual(v, w) {
+			return false
+		}
+	}
+	return present == len(t)
+}
+
+// rowEqualRow compares two rows by attribute-name semantics without
+// materializing map tuples: every present (non-nil) slot of a must match
+// the same-named binding of b, and b must bind nothing else.
+func rowEqualRow(a, b Row) bool {
+	present := 0
+	for i, v := range a.Vals {
+		if v == nil {
+			continue
+		}
+		present++
+		w := b.Value(a.Lay.Name(i))
+		if w == nil || !DeepEqual(v, w) {
+			return false
+		}
+	}
+	for _, v := range b.Vals {
+		if v != nil {
+			present--
+		}
+	}
+	return present == 0
 }
 
 // TupleEqual compares two tuples attribute-wise with DeepEqual.

@@ -10,6 +10,7 @@ import "sort"
 type Layout struct {
 	names []string
 	index map[string]int
+	canon []int // slots in sorted-name order (the canonical tuple order)
 }
 
 // NewLayout builds a layout over the given attribute names in slot order.
@@ -23,8 +24,48 @@ func NewLayout(names ...string) *Layout {
 		}
 		l.index[n] = i
 	}
+	// Already-sorted names (single attributes, SortedLayout — the common
+	// case) share one identity slot order, keeping NewLayout at allocation
+	// parity with the pre-canon revision on the plan-open path.
+	sorted := true
+	for i := 1; i < len(names); i++ {
+		if l.names[i-1] > l.names[i] {
+			sorted = false
+			break
+		}
+	}
+	if sorted && len(l.names) <= len(identSlots) {
+		l.canon = identSlots[:len(l.names)]
+		return l
+	}
+	l.canon = make([]int, len(l.names))
+	for i := range l.canon {
+		l.canon[i] = i
+	}
+	// Insertion sort by name: layouts are narrow, and this avoids the
+	// reflection swapper sort.Slice allocates (NewLayout runs many times
+	// during plan open).
+	for i := 1; i < len(l.canon); i++ {
+		for j := i; j > 0 && l.names[l.canon[j]] < l.names[l.canon[j-1]]; j-- {
+			l.canon[j], l.canon[j-1] = l.canon[j-1], l.canon[j]
+		}
+	}
 	return l
 }
+
+// identSlots is the shared identity slot order of sorted-name layouts.
+var identSlots = func() []int {
+	s := make([]int, 64)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}()
+
+// Canon returns the slots in canonical (sorted attribute name) order — the
+// order map tuples enumerate their values in (Tuple.EachValue, Attrs). The
+// slice is shared; do not mutate.
+func (l *Layout) Canon() []int { return l.canon }
 
 // SortedLayout builds a layout over the names in sorted order — the
 // canonical layout for operators that only publish an attribute set.

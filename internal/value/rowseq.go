@@ -1,0 +1,152 @@
+package value
+
+import "strings"
+
+// RowSeq is the slot-native tuple sequence: the group payloads created by Γ,
+// the e[a] constructor and nested query blocks, carried as rows over one
+// shared Layout instead of a slice of map tuples. It implements Value with
+// the same Kind as TupleSeq (the logical data model is unchanged — only the
+// representation is), and every consumer of tuple-sequence values
+// (atomization, printing, comparison, µ/µD) reads it without converting.
+// Map tuples materialize from a RowSeq only at the public API and the
+// differential-test boundary (Tuples).
+//
+// Two backings share the type:
+//
+//   - chunked ([]Row): a zero-copy wrap of rows an operator already
+//     materialized — the Γ bucket slices. Appending a group attribute costs
+//     one interface box, no per-member work.
+//   - flat ([]Value): width·n values in one allocation — the backing built
+//     by e[a] bindings and ΠA payload projection, where members are
+//     constructed rather than inherited.
+//
+// Like Row, a RowSeq is immutable once emitted. A rename inside the group
+// is WithLayout — a layout-pointer swap sharing both backings.
+type RowSeq struct {
+	lay  *Layout
+	rows []Row   // chunked backing (nil when flat)
+	flat []Value // flat backing, stride lay.Width()
+	n    int
+}
+
+// WrapRows wraps already-materialized rows as a sequence value without
+// copying. The rows must share lay's attribute names (their own layout
+// pointers may differ, e.g. after a rename; lay wins).
+func WrapRows(lay *Layout, rows []Row) RowSeq {
+	return RowSeq{lay: lay, rows: rows, n: len(rows)}
+}
+
+// RowSeqOfFlat wraps a flat backing of n·lay.Width() values.
+func RowSeqOfFlat(lay *Layout, flat []Value) RowSeq {
+	n := 0
+	if w := lay.Width(); w > 0 {
+		n = len(flat) / w
+	}
+	return RowSeq{lay: lay, flat: flat, n: n}
+}
+
+// BindRowSeq is the slot-native e[a] constructor: a sequence of
+// single-attribute rows sharing the item sequence as their flat backing —
+// zero per-item work instead of one map per item.
+func BindRowSeq(items Seq, a string) RowSeq {
+	return BindRowSeqLay(NewLayout(a), items)
+}
+
+// BindRowSeqLay is BindRowSeq with a caller-cached single-attribute layout
+// (the compiled path builds it once per plan, not once per tuple). The item
+// slice is aliased, not copied — values are immutable throughout the
+// engine, and a width-1 flat backing is exactly an item sequence.
+func BindRowSeqLay(lay *Layout, items Seq) RowSeq {
+	return RowSeq{lay: lay, flat: items, n: len(items)}
+}
+
+// Kind implements Value. A RowSeq is a tuple sequence; only the
+// representation differs.
+func (rs RowSeq) Kind() Kind { return KTupleSeq }
+
+// Lay returns the shared member layout.
+func (rs RowSeq) Lay() *Layout { return rs.lay }
+
+// Len returns the member count.
+func (rs RowSeq) Len() int { return rs.n }
+
+// At returns member i as a Row under the sequence's layout. Flat backings
+// slice; chunked backings re-point the member's value slice at the
+// sequence layout (which carries any rename applied after wrapping).
+func (rs RowSeq) At(i int) Row {
+	if rs.rows != nil {
+		return Row{Lay: rs.lay, Vals: rs.rows[i].Vals}
+	}
+	w := rs.lay.Width()
+	off := i * w
+	return Row{Lay: rs.lay, Vals: rs.flat[off : off+w : off+w]}
+}
+
+// WithLayout returns the sequence under a different layout of the same
+// width — the O(1) form of a rename applied to every member.
+func (rs RowSeq) WithLayout(lay *Layout) RowSeq {
+	out := rs
+	out.lay = lay
+	return out
+}
+
+// Tuples materializes the members as map tuples — the public API /
+// differential-test boundary. Inside the engine, callers count this
+// conversion (Stats.MapTuples) instead of calling it.
+func (rs RowSeq) Tuples() TupleSeq {
+	out := make(TupleSeq, rs.n)
+	for i := 0; i < rs.n; i++ {
+		out[i] = rs.At(i).Tuple()
+	}
+	return out
+}
+
+// EachValue calls fn with member i's attribute values in canonical
+// (sorted-name) order, skipping absent (nil) slots — the order Ξ printing,
+// atomization and AsSeq use, matching Tuple.EachValue.
+func (rs RowSeq) EachValue(i int, fn func(Value)) {
+	r := rs.At(i)
+	for _, s := range rs.lay.Canon() {
+		if v := r.Vals[s]; v != nil {
+			fn(v)
+		}
+	}
+}
+
+func (rs RowSeq) String() string {
+	parts := make([]string, rs.n)
+	for i := 0; i < rs.n; i++ {
+		parts[i] = rs.At(i).Tuple().String()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// KeyOfRow computes the canonical grouping key of a row over its present
+// (non-nil) attributes in canonical order — producing the same HashKey as
+// KeyOfAttrs(t, t.Attrs()) for the equivalent map tuple (the µD member-dedup
+// key). scratch is reused across members to avoid a per-member allocation;
+// the (possibly regrown) slice is returned.
+func KeyOfRow(r Row, scratch []int) (HashKey, []int) {
+	scratch = scratch[:0]
+	for _, s := range r.Lay.Canon() {
+		if r.Vals[s] != nil {
+			scratch = append(scratch, s)
+		}
+	}
+	return KeyOfSlots(r.Vals, scratch), scratch
+}
+
+// TuplesOf views a tuple-sequence value through the map-tuple lens: a
+// TupleSeq stays itself, a RowSeq materializes. ok=false for any other
+// value. The definitional evaluator uses it where slot-engine payloads can
+// reach map-engine operators (mixed plans, environment shims).
+func TuplesOf(v Value) (TupleSeq, bool) {
+	switch w := v.(type) {
+	case TupleSeq:
+		return w, true
+	case RowSeq:
+		return w.Tuples(), true
+	default:
+		return nil, false
+	}
+}

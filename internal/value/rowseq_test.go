@@ -1,0 +1,97 @@
+package value
+
+import "testing"
+
+// The RowSeq/TupleSeq contract: the two representations of one logical
+// tuple sequence are indistinguishable to every observer — DeepEqual,
+// DeepKey, atomization, effective boolean value — including members with
+// absent attributes (nil slots vs missing map keys).
+
+func testSeqPair() (RowSeq, TupleSeq) {
+	lay := NewLayout("b", "a") // slot order ≠ canonical order
+	rows := []Row{
+		{Lay: lay, Vals: []Value{Str("x"), Int(1)}},
+		{Lay: lay, Vals: []Value{nil, Int(2)}}, // b absent
+	}
+	ts := TupleSeq{
+		{"a": Int(1), "b": Str("x")},
+		{"a": Int(2)},
+	}
+	return WrapRows(lay, rows), ts
+}
+
+func TestRowSeqDeepEqualAcrossRepresentations(t *testing.T) {
+	rs, ts := testSeqPair()
+	if !DeepEqual(rs, ts) || !DeepEqual(ts, rs) {
+		t.Fatalf("RowSeq and TupleSeq of the same members must be DeepEqual")
+	}
+	other := TupleSeq{{"a": Int(1), "b": Str("x")}, {"a": Int(2), "b": Null{}}}
+	if DeepEqual(rs, other) {
+		t.Fatalf("absent attribute must not equal NULL binding")
+	}
+}
+
+func TestRowSeqDeepKeyMatchesTupleSeq(t *testing.T) {
+	rs, ts := testSeqPair()
+	if DeepKey(rs) != DeepKey(ts) {
+		t.Fatalf("DeepKey differs:\nrow:   %s\ntuple: %s", DeepKey(rs), DeepKey(ts))
+	}
+}
+
+func TestRowSeqAtomizeCanonicalOrder(t *testing.T) {
+	rs, ts := testSeqPair()
+	if !DeepEqual(Atomize(rs), Atomize(ts)) {
+		t.Fatalf("atomization differs: %v vs %v", Atomize(rs), Atomize(ts))
+	}
+	if AtomizeSingle(rs) == nil || !DeepEqual(AtomizeSingle(rs), AtomizeSingle(ts)) {
+		t.Fatalf("AtomizeSingle differs")
+	}
+}
+
+func TestRowSeqRenameIsLayoutSwap(t *testing.T) {
+	rs, _ := testSeqPair()
+	ren := rs.Lay().Rename(map[string]string{"a": "z"})
+	swapped := rs.WithLayout(ren)
+	if got := swapped.At(0).Value("z"); !DeepEqual(got, Int(1)) {
+		t.Fatalf("renamed member reads %v, want 1", got)
+	}
+	// The backing is shared: same member value slices.
+	if &rs.At(0).Vals[0] != &swapped.At(0).Vals[0] {
+		t.Fatalf("rename must not copy member values")
+	}
+}
+
+func TestBindRowSeqSharesBacking(t *testing.T) {
+	items := Seq{Int(1), Str("two")}
+	rs := BindRowSeq(items, "x")
+	if rs.Len() != 2 {
+		t.Fatalf("Len = %d", rs.Len())
+	}
+	if &items[0] != &rs.At(0).Vals[0] {
+		t.Fatalf("e[a] backing must alias the item sequence")
+	}
+	if !DeepEqual(rs, TupleSeq{{"x": Int(1)}, {"x": Str("two")}}) {
+		t.Fatalf("BindRowSeq members differ from BindSeq semantics")
+	}
+}
+
+func TestKeyOfRowMatchesKeyOfAttrs(t *testing.T) {
+	lay := NewLayout("c", "a", "b")
+	r := Row{Lay: lay, Vals: []Value{Str("v"), nil, Int(7)}} // a absent
+	tup := Tuple{"b": Int(7), "c": Str("v")}
+	k1, _ := KeyOfRow(r, nil)
+	if k2 := KeyOfAttrs(tup, tup.Attrs()); k1 != k2 {
+		t.Fatalf("KeyOfRow %v != KeyOfAttrs %v", k1, k2)
+	}
+}
+
+func TestRowSeqEffectiveBoolAndEmpty(t *testing.T) {
+	lay := NewLayout("a")
+	empty := WrapRows(lay, nil)
+	if EffectiveBool(empty) {
+		t.Fatalf("empty RowSeq must be false")
+	}
+	if !DeepEqual(empty, TupleSeq{}) {
+		t.Fatalf("empty RowSeq must equal empty TupleSeq")
+	}
+}

@@ -159,6 +159,8 @@ func renderValue(v Value) string {
 		return strconv.Quote(string(w))
 	case TupleSeq:
 		return w.String()
+	case RowSeq:
+		return w.String()
 	default:
 		return v.String()
 	}
@@ -284,6 +286,12 @@ func AsSeq(v Value) Seq {
 		var out Seq
 		for _, t := range w {
 			t.EachValue(func(v Value) { out = append(out, AsSeq(v)...) })
+		}
+		return out
+	case RowSeq:
+		var out Seq
+		for i := 0; i < w.Len(); i++ {
+			w.EachValue(i, func(v Value) { out = append(out, AsSeq(v)...) })
 		}
 		return out
 	default:

@@ -236,42 +236,68 @@ func contextNodes(v value.Value) []*dom.Node {
 }
 
 func applyStep(ctx []*dom.Node, st Step) []*dom.Node {
+	// Single context node — the common shape on the per-tuple path ($b/author
+	// applied to one book): the selection is already in document order and
+	// duplicate-free, so it goes out without the merge copy and without
+	// SortDocOrder.
+	if len(ctx) == 1 {
+		return applyPos(selectAxis(ctx[0], st), st)
+	}
 	var out []*dom.Node
 	for _, n := range ctx {
-		var sel []*dom.Node
-		switch st.Axis {
-		case AxisChild:
-			for _, c := range n.Children {
-				if c.Kind == dom.KindElement && (st.Name == "" || c.Name == st.Name) {
-					sel = append(sel, c)
-				}
-			}
-		case AxisDescendant:
-			sel = n.Descendants(st.Name, nil)
-		case AxisAttribute:
-			if st.Name == "" {
-				sel = append(sel, n.Attrs...)
-			} else if a := n.Attr(st.Name); a != nil {
-				sel = append(sel, a)
-			}
-		}
 		// Positional predicates apply within each context node's selection
 		// (XPath semantics), before the global merge.
-		switch {
-		case st.Pos == PosLast:
-			if len(sel) > 0 {
-				sel = sel[len(sel)-1:]
-			}
-		case st.Pos > 0:
-			if st.Pos <= len(sel) {
-				sel = sel[st.Pos-1 : st.Pos]
-			} else {
-				sel = nil
-			}
-		}
-		out = append(out, sel...)
+		out = append(out, applyPos(selectAxis(n, st), st)...)
 	}
 	return dedupeDocOrder(out)
+}
+
+// selectAxis returns one context node's selection for a step, exactly sized
+// on the child axis (a counting pass is cheaper than append growth).
+func selectAxis(n *dom.Node, st Step) []*dom.Node {
+	switch st.Axis {
+	case AxisChild:
+		cnt := 0
+		for _, c := range n.Children {
+			if c.Kind == dom.KindElement && (st.Name == "" || c.Name == st.Name) {
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return nil
+		}
+		sel := make([]*dom.Node, 0, cnt)
+		for _, c := range n.Children {
+			if c.Kind == dom.KindElement && (st.Name == "" || c.Name == st.Name) {
+				sel = append(sel, c)
+			}
+		}
+		return sel
+	case AxisDescendant:
+		return n.Descendants(st.Name, nil)
+	case AxisAttribute:
+		if st.Name == "" {
+			return append([]*dom.Node(nil), n.Attrs...)
+		} else if a := n.Attr(st.Name); a != nil {
+			return []*dom.Node{a}
+		}
+	}
+	return nil
+}
+
+func applyPos(sel []*dom.Node, st Step) []*dom.Node {
+	switch {
+	case st.Pos == PosLast:
+		if len(sel) > 0 {
+			return sel[len(sel)-1:]
+		}
+	case st.Pos > 0:
+		if st.Pos <= len(sel) {
+			return sel[st.Pos-1 : st.Pos]
+		}
+		return nil
+	}
+	return sel
 }
 
 // dedupeDocOrder sorts into document order and removes duplicate handles.

@@ -112,6 +112,10 @@ type Stats struct {
 	NestedEvals int64
 	// Tuples counts tuples produced by scan operators.
 	Tuples int64
+	// MapTuples counts map tuples materialized on the slot engine's data
+	// path (group payloads converted for uncompiled sequence functions,
+	// conversion-shim traffic). Fully native execution reports 0.
+	MapTuples int64
 }
 
 // Plan is one compiled plan alternative.
@@ -148,7 +152,26 @@ type Query struct {
 	OrderIrrelevant bool
 
 	engine *Engine
+	model  *cost.Model
 	plans  []Plan
+}
+
+// newCtx creates the evaluation context of one plan run, with the compile
+// time cost model wired in so pipeline breakers pre-size their hash tables
+// from the cardinality estimates.
+func (q *Query) newCtx() *algebra.Ctx {
+	ctx := algebra.NewCtx(q.engine.docs)
+	ctx.Cards = q.model
+	return ctx
+}
+
+func statsOf(ctx *algebra.Ctx) Stats {
+	return Stats{
+		DocAccesses: ctx.Stats.DocAccesses,
+		NestedEvals: ctx.Stats.NestedEvals,
+		Tuples:      ctx.Stats.Tuples,
+		MapTuples:   ctx.Stats.MapTuples,
+	}
 }
 
 // Compile parses, normalizes, translates and unnests a query, producing all
@@ -176,7 +199,7 @@ func (e *Engine) Compile(text string) (*Query, error) {
 	rw := core.NewRewriter(res, e.cat)
 	alts := rw.Alternatives(res.Plan)
 	model := cost.NewModel(e.docs)
-	q := &Query{Text: text, Normalized: norm.String(), engine: e, OrderIrrelevant: orderIrrelevant}
+	q := &Query{Text: text, Normalized: norm.String(), engine: e, model: model, OrderIrrelevant: orderIrrelevant}
 	for _, a := range alts {
 		est := model.Plan(a.Op)
 		q.plans = append(q.plans, Plan{
@@ -253,11 +276,7 @@ func (q *Query) ExecuteReference(name string) (string, Stats, error) {
 	}
 	ctx := algebra.NewCtx(q.engine.docs)
 	p.op.Eval(ctx, nil)
-	return ctx.OutString(), Stats{
-		DocAccesses: ctx.Stats.DocAccesses,
-		NestedEvals: ctx.Stats.NestedEvals,
-		Tuples:      ctx.Stats.Tuples,
-	}, nil
+	return ctx.OutString(), statsOf(ctx), nil
 }
 
 // ExecuteStreaming runs the named plan ("" = lowest estimated cost) through
@@ -270,13 +289,9 @@ func (q *Query) ExecuteStreaming(name string) (string, Stats, error) {
 	if err != nil {
 		return "", Stats{}, err
 	}
-	ctx := algebra.NewCtx(q.engine.docs)
+	ctx := q.newCtx()
 	algebra.DrainIter(p.op, ctx, nil)
-	return ctx.OutString(), Stats{
-		DocAccesses: ctx.Stats.DocAccesses,
-		NestedEvals: ctx.Stats.NestedEvals,
-		Tuples:      ctx.Stats.Tuples,
-	}, nil
+	return ctx.OutString(), statsOf(ctx), nil
 }
 
 // ExecuteTo runs the named plan ("" = most optimized) through the pull-based
@@ -290,15 +305,12 @@ func (q *Query) ExecuteTo(w io.Writer, name string) (Stats, error) {
 	}
 	bw := bufio.NewWriter(w)
 	ctx := algebra.NewCtxWriter(q.engine.docs, bw)
+	ctx.Cards = q.model
 	algebra.DrainIter(p.op, ctx, nil)
 	if err := bw.Flush(); err != nil {
 		return Stats{}, err
 	}
-	return Stats{
-		DocAccesses: ctx.Stats.DocAccesses,
-		NestedEvals: ctx.Stats.NestedEvals,
-		Tuples:      ctx.Stats.Tuples,
-	}, nil
+	return statsOf(ctx), nil
 }
 
 // Query is the one-shot convenience API: compile and execute with the most

@@ -94,6 +94,45 @@ func TestPaperPlansResolveNatively(t *testing.T) {
 	}
 }
 
+// TestPaperPlansMapFree pins the RowSeq data model: no plan of any paper
+// query — including its unordered variants — materializes a single map
+// tuple on the slot engine's data path. Group payloads, e[a] bindings and
+// nested-block results all travel as slot rows; Stats.MapTuples counts any
+// conversion back to the map-tuple model (uncompiled sequence functions,
+// conversion-shim traffic) and must stay zero.
+func TestPaperPlansMapFree(t *testing.T) {
+	e := tinyEngine(t)
+	e.LoadDBLPDocument(40)
+	for id, text := range PaperQueries {
+		for _, wrap := range []string{"", "unordered"} {
+			q := text
+			name := id
+			if wrap != "" {
+				if !strings.HasPrefix(strings.TrimSpace(text), "let") {
+					continue
+				}
+				q = "unordered(" + text + ")"
+				name = id + "+unordered"
+			}
+			cq, err := e.Compile(q)
+			if err != nil {
+				if wrap != "" {
+					continue // not every paper query parses under the wrapper
+				}
+				t.Fatalf("%s: %v", name, err)
+			}
+			for _, p := range cq.Plans() {
+				ctx := algebra.NewCtx(e.docs)
+				algebra.DrainIter(p.op, ctx, nil)
+				if ctx.Stats.MapTuples != 0 {
+					t.Errorf("%s/%s: %d map tuples materialized on the slot engine's data path",
+						name, p.Name, ctx.Stats.MapTuples)
+				}
+			}
+		}
+	}
+}
+
 // assertFullyNative walks a plan and requires every operator to resolve
 // slot-natively, then executes it and requires that the conversion shim
 // never fired — the pin that no plan containing a partitioned operator
