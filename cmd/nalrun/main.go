@@ -11,9 +11,12 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -86,15 +89,28 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// Stream the result to stdout instead of materializing it: memory stays
+	// bounded by the plan's pipeline-breaker state, and Ctrl-C cancels the
+	// run mid-stream through the context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var st nalquery.Stats
 	t0 := time.Now()
-	out, st, err := q.Execute(*plan)
+	res, err := q.Run(ctx, nalquery.WithPlan(*plan), nalquery.WithStats(&st))
 	if err != nil {
 		fail(err)
 	}
+	w := bufio.NewWriter(os.Stdout)
+	if err := res.WriteXML(w); err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(w)
+	if err := w.Flush(); err != nil {
+		fail(err)
+	}
 	elapsed := time.Since(t0)
-	fmt.Println(out)
 	if *stats {
-		p, _ := q.Plan(*plan)
+		p := res.Plan()
 		fmt.Fprintf(os.Stderr, "plan: %s  time: %v  doc-accesses: %d  nested-evals: %d  tuples: %d\n",
 			p.Name, elapsed, st.DocAccesses, st.NestedEvals, st.Tuples)
 	}

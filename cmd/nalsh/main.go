@@ -17,8 +17,10 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -176,18 +178,28 @@ func runQuery(eng *nalquery.Engine, last **nalquery.Query, text string) {
 }
 
 func execute(q *nalquery.Query, name string) {
-	p, err := q.Plan(name)
+	// Stream the result to stdout item by item instead of materializing the
+	// whole output string; Ctrl-C cancels a long-running plan mid-stream.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var stats nalquery.Stats
+	t0 := time.Now()
+	res, err := q.Run(ctx, nalquery.WithPlan(name), nalquery.WithStats(&stats))
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	t0 := time.Now()
-	out, stats, err := q.Execute(p.Name)
-	if err != nil {
+	w := bufio.NewWriter(os.Stdout)
+	if err := res.WriteXML(w); err != nil {
+		w.Flush()
+		fmt.Println("\nerror:", err)
+		return
+	}
+	fmt.Fprintln(w)
+	if err := w.Flush(); err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	fmt.Printf("-- plan %s, %s, doc-scans=%d, nested-evals=%d\n",
-		p.Name, time.Since(t0).Round(time.Microsecond), stats.DocAccesses, stats.NestedEvals)
-	fmt.Println(out)
+		res.Plan().Name, time.Since(t0).Round(time.Microsecond), stats.DocAccesses, stats.NestedEvals)
 }

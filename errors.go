@@ -1,0 +1,44 @@
+package nalquery
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrNoPlan reports that a Query carries no plan alternatives to select
+// from.
+var ErrNoPlan = errors.New("nalquery: query has no plan alternatives")
+
+// ErrUnknownPlan is the sentinel matched (via errors.Is) by the
+// *UnknownPlanError returned when a named plan alternative does not exist.
+var ErrUnknownPlan = errors.New("nalquery: no such plan")
+
+// UnknownPlanError reports a plan name that matches none of a query's
+// alternatives. It matches ErrUnknownPlan under errors.Is.
+type UnknownPlanError struct {
+	// Name is the plan name that was requested.
+	Name string
+	// Have lists the names of the query's plan alternatives.
+	Have []string
+}
+
+func (e *UnknownPlanError) Error() string {
+	return fmt.Sprintf("nalquery: no plan %q (have %s)", e.Name, strings.Join(e.Have, ", "))
+}
+
+// Is implements the errors.Is protocol: every UnknownPlanError matches the
+// ErrUnknownPlan sentinel.
+func (e *UnknownPlanError) Is(target error) bool { return target == ErrUnknownPlan }
+
+// ParseError is a query syntax error with its source position.
+type ParseError struct {
+	// Line is the 1-based line of the query text the parser stopped at.
+	Line int
+	// Msg describes the syntax error.
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xquery: line %d: %s", e.Line, e.Msg)
+}

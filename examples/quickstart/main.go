@@ -1,10 +1,14 @@
 // Quickstart: load a document, compile a query, inspect the plan
-// alternatives the unnesting rewriter produces, and execute.
+// alternatives the unnesting rewriter produces, and run it through the
+// Results session API.
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	nalquery "nalquery"
@@ -57,19 +61,29 @@ return
 		fmt.Printf("  - %s%s\n", p.Name, applied)
 	}
 
-	// "" selects the most optimized plan — here the group-detecting Ξ.
-	out, stats, err := q.Execute("")
+	// Run the most optimized plan (here the group-detecting Ξ) and stream
+	// the serialized result to stdout. WithStats collects the counters once
+	// the stream is drained.
+	var stats nalquery.Stats
+	res, err := q.Run(context.Background(), nalquery.WithStats(&stats))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nresult:")
-	fmt.Println(out)
-	fmt.Printf("\ndocument scans: %d, nested-loop iterations: %d\n",
+	if err := res.WriteXML(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n\ndocument scans: %d, nested-loop iterations: %d\n",
 		stats.DocAccesses, stats.NestedEvals)
 
 	// Compare with the nested baseline: same result, many more scans.
-	_, nestedStats, err := q.Execute("nested")
+	var nestedStats nalquery.Stats
+	nested, err := q.Run(context.Background(),
+		nalquery.WithPlan("nested"), nalquery.WithStats(&nestedStats))
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nested.WriteXML(io.Discard); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("nested baseline: %d scans, %d nested-loop iterations\n",

@@ -1,0 +1,73 @@
+// Streaming: consume a query's result as typed items instead of one
+// serialized string — count and inspect values without building markup —
+// and cancel a long-running plan mid-stream through the context.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	nalquery "nalquery"
+)
+
+func main() {
+	// The paper's synthetic use-case documents at 5000 elements: large
+	// enough that streaming and cancellation are observable.
+	eng := nalquery.NewEngine()
+	eng.LoadUseCaseDocuments(5000, 2)
+
+	q, err := eng.Compile(`
+let $d1 := doc("bib.xml")
+for $b1 in $d1//book
+return <entry>{ $b1/title }</entry>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Typed consumption: walk the item stream, reading node values
+	// directly. Markup fragments ("<entry>", "</entry>") interleave with
+	// the typed title nodes; nothing is serialized.
+	res, err := q.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	titles, markup := 0, 0
+	for item := range res.Seq() {
+		if !item.IsValue() {
+			markup++
+			continue
+		}
+		for _, v := range item.Value().Items() {
+			if v.Kind() == nalquery.KindNode && v.NodeName() == "title" {
+				titles++
+			}
+		}
+	}
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
+	}
+	res.Close()
+	fmt.Printf("typed pass: %d titles, %d markup fragments, zero serialization\n", titles, markup)
+
+	// Cancellation: stop the same run after the first few items. The
+	// engine's scans poll the context, so the pipeline terminates without
+	// draining the remaining thousands of books.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var st nalquery.Stats
+	res2, err := q.Run(ctx, nalquery.WithStats(&st))
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	t0 := time.Now()
+	for range res2.Seq() {
+		if n++; n == 10 {
+			cancel()
+		}
+	}
+	fmt.Printf("cancelled after %d items in %s: err=%v, %d scan tuples produced (of %d books)\n",
+		n, time.Since(t0).Round(time.Microsecond), res2.Err(), st.Tuples, titles)
+}

@@ -274,10 +274,10 @@ func compileCommands(cs []Command, sc Schema, env value.Tuple) []compiledCmd {
 func execCompiled(ctx *Ctx, r value.Row, cs []compiledCmd) {
 	for _, c := range cs {
 		if c.isLit {
-			ctx.Out.WriteString(c.lit)
+			ctx.EmitLit(c.lit)
 			continue
 		}
-		WriteValue(ctx.Out, c.e(ctx, r))
+		ctx.EmitValue(c.e(ctx, r))
 	}
 }
 

@@ -34,17 +34,91 @@ type CardEstimator interface {
 	EstimateCard(op Op) float64
 }
 
+// ResultSink receives the result-construction stream of the Ξ operators as
+// discrete items instead of serialized text: literal markup fragments and
+// the typed values of expression commands. It is the yield boundary the
+// public Results iterator consumes — serialization becomes one sink among
+// others rather than the only way out of the engine.
+type ResultSink interface {
+	// EmitLit receives a literal markup fragment of a Ξ command list.
+	EmitLit(s string)
+	// EmitValue receives the typed value of a Ξ expression command.
+	EmitValue(v value.Value)
+}
+
 // Ctx is the evaluation context shared by a plan execution.
 type Ctx struct {
 	// Docs resolves document URIs for the doc()/document() functions.
 	Docs map[string]*dom.Document
 	// Out receives the output stream of the Ξ result-construction operators.
 	Out StringWriter
+	// Sink, when non-nil, receives the Ξ stream as typed items instead of
+	// serialized text on Out (see EmitLit/EmitValue).
+	Sink ResultSink
 	// Stats accumulates execution counters.
 	Stats Stats
 	// Cards optionally estimates operator cardinalities (nil: fall back to
 	// input-derived heuristics).
 	Cards CardEstimator
+
+	// done, when non-nil, is the run's cancellation signal (a
+	// context.Context Done channel). Scans and pipeline breakers poll it
+	// through Cancelled and terminate the pipeline early.
+	done      <-chan struct{}
+	cancelled bool
+	tick      uint
+}
+
+// EmitLit routes a Ξ literal to the sink, or to the serialized output
+// stream when no sink is attached.
+func (c *Ctx) EmitLit(s string) {
+	if c.Sink != nil {
+		c.Sink.EmitLit(s)
+		return
+	}
+	c.Out.WriteString(s)
+}
+
+// EmitValue routes a Ξ expression value to the sink, or serializes it onto
+// the output stream when no sink is attached.
+func (c *Ctx) EmitValue(v value.Value) {
+	if c.Sink != nil {
+		c.Sink.EmitValue(v)
+		return
+	}
+	WriteValue(c.Out, v)
+}
+
+// SetDone wires a cancellation signal (typically ctx.Done()) into the
+// evaluation context. A nil channel disables cancellation checks.
+func (c *Ctx) SetDone(done <-chan struct{}) { c.done = done }
+
+// cancelCheckMask paces the cancellation poll: hot per-tuple loops pay a
+// counter increment and poll the channel once every mask+1 calls, keeping
+// the guard overhead far below measurement noise while still bounding how
+// much work runs after a cancel.
+const cancelCheckMask = 63
+
+// Cancelled polls the run's cancellation signal. The check is paced (one
+// channel poll per cancelCheckMask+1 calls), so callers may invoke it per
+// tuple; once it has observed the cancel it stays true.
+func (c *Ctx) Cancelled() bool {
+	if c.cancelled {
+		return true
+	}
+	if c.done == nil {
+		return false
+	}
+	c.tick++
+	if c.tick&cancelCheckMask != 0 {
+		return false
+	}
+	select {
+	case <-c.done:
+		c.cancelled = true
+	default:
+	}
+	return c.cancelled
 }
 
 // cardHint returns the estimated output cardinality of op as a map-size

@@ -121,23 +121,59 @@ func RunIter(op Op, ctx *Ctx, env value.Tuple) value.TupleSeq {
 
 // DrainIter pulls a plan to completion discarding tuples — the execution
 // mode of a top-level query, where the Ξ side effects are the result. On
-// the row engine no map tuple is ever materialized.
+// the row engine no map tuple is ever materialized. A cancellation signal
+// wired into ctx (SetDone) terminates the drain early.
 func DrainIter(op Op, ctx *Ctx, env value.Tuple) {
-	if sc, ok := ResolveSchema(op); ok && sc.Native {
-		rit := openRowsSchema(op, sc, ctx, env)
-		defer rit.Close()
-		for {
-			if _, ok := rit.Next(); !ok {
-				return
-			}
-		}
-	}
-	it := openLegacy(op, ctx, env)
-	defer it.Close()
-	for {
-		if _, ok := it.Next(); !ok {
+	p := OpenPump(op, ctx, env)
+	defer p.Close()
+	for p.Step() {
+		if ctx.Cancelled() {
 			return
 		}
+	}
+}
+
+// Pump is a running plan that advances one root tuple per Step. The Ξ side
+// effects — serialized text on ctx.Out, or items on ctx.Sink — happen
+// while stepping; Pump itself discards the tuples. It is the drive shaft
+// of the public Results iterator: opening the pump may already emit items
+// (pipeline breakers below the root Ξ materialize at open), each Step may
+// emit zero or more.
+type Pump struct {
+	rit RowIter
+	it  Iterator
+}
+
+// OpenPump opens the iterator tree of a plan for step-wise driving,
+// choosing the slot-based row engine when the plan's schema resolves and
+// the legacy map engine otherwise — the same dispatch as DrainIter.
+func OpenPump(op Op, ctx *Ctx, env value.Tuple) *Pump {
+	if sc, ok := ResolveSchema(op); ok && sc.Native {
+		return &Pump{rit: openRowsSchema(op, sc, ctx, env)}
+	}
+	return &Pump{it: openLegacy(op, ctx, env)}
+}
+
+// Step advances the plan by one root tuple; false means the plan is
+// exhausted (or the run was cancelled).
+func (p *Pump) Step() bool {
+	if p.rit != nil {
+		_, ok := p.rit.Next()
+		return ok
+	}
+	_, ok := p.it.Next()
+	return ok
+}
+
+// Close releases the iterator state. Close is idempotent.
+func (p *Pump) Close() {
+	if p.rit != nil {
+		p.rit.Close()
+		p.rit = nil
+	}
+	if p.it != nil {
+		p.it.Close()
+		p.it = nil
 	}
 }
 
@@ -275,6 +311,11 @@ type unnestMapIter struct {
 
 func (u *unnestMapIter) Next() (value.Tuple, bool) {
 	for {
+		// The scan-level cancellation point of the map engine, mirroring
+		// rowUnnestMapIter on the slot engine.
+		if u.ctx.Cancelled() {
+			return nil, false
+		}
 		if u.pos < len(u.pending) {
 			nt := u.cur.Copy()
 			nt[u.attr] = u.pending[u.pos]

@@ -412,6 +412,11 @@ func (u UnnestMap) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 	in := u.In.Eval(ctx, env)
 	var out value.TupleSeq
 	for _, t := range in {
+		// Scan-level cancellation point of the materializing reference
+		// evaluator (every document traversal streams through Υ).
+		if ctx.Cancelled() {
+			break
+		}
 		items := value.AsSeq(u.E.Eval(ctx, env.Concat(t)))
 		for i, item := range items {
 			nt := t.Copy()

@@ -102,12 +102,12 @@ func openRowPartitionedJoin(l, r Op, lAttrs, rAttrs []string, residual Expr,
 		it.residual = compileExpr(residual, Schema{Lay: catLay}, env)
 	}
 	it.build = func() bool {
-		left := drainRows(openRowsSchema(l, lsc, ctx, env))
+		left := drainRows(ctx, openRowsSchema(l, lsc, ctx, env))
 		if len(left) == 0 {
 			return false
 		}
 		it.keys, it.lParts = partitionRowsSorted(left, lSlots, len(left))
-		right := drainRows(openRowsSchema(r, rsc, ctx, env))
+		right := drainRows(ctx, openRowsSchema(r, rsc, ctx, env))
 		it.rParts = hashRowBuckets(right, rSlots)
 		return true
 	}
@@ -292,11 +292,11 @@ func openRowOPHashJoin(j OPHashJoin, sc Schema, ctx *Ctx, env value.Tuple) RowIt
 	}
 	it := &rowOPHashJoinIter{}
 	it.build = func() {
-		left := drainRows(openRowsSchema(j.L, lsc, ctx, env))
+		left := drainRows(ctx, openRowsSchema(j.L, lsc, ctx, env))
 		if len(left) == 0 {
 			return
 		}
-		right := drainRows(openRowsSchema(j.R, rsc, ctx, env))
+		right := drainRows(ctx, openRowsSchema(j.R, rsc, ctx, env))
 		p := j.partitionCount(len(right))
 
 		type tagged struct {
@@ -390,7 +390,7 @@ func openRowUnorderedGroupUnary(g UnorderedGroupUnary, sc Schema, ctx *Ctx, env 
 	it := &rowUnorderedGroupUnaryIter{lay: sc.Lay, gSlot: gSlot, by: by, outBy: outBy,
 		theta: g.Theta, apply: groupApplier(g.F, insc.Lay, env), ctx: ctx, env: env}
 	it.build = func() {
-		it.rows = drainRows(openRowsSchema(g.In, insc, ctx, env))
+		it.rows = drainRows(ctx, openRowsSchema(g.In, insc, ctx, env))
 		it.keys, it.buckets = partitionRowsSorted(it.rows, by, ctx.cardHint(g, len(it.rows)))
 	}
 	return it
@@ -465,12 +465,12 @@ func openRowUnorderedGroupBinary(g UnorderedGroupBinary, sc Schema, ctx *Ctx, en
 		lSlots: lSlots, rSlots: rSlots, theta: g.Theta,
 		apply: groupApplier(g.F, rsc.Lay, env), ctx: ctx, env: env}
 	it.build = func() bool {
-		left := drainRows(openRowsSchema(g.L, lsc, ctx, env))
+		left := drainRows(ctx, openRowsSchema(g.L, lsc, ctx, env))
 		if len(left) == 0 {
 			return false
 		}
 		it.keys, it.lParts = partitionRowsSorted(left, lSlots, len(left))
-		right := drainRows(openRowsSchema(g.R, rsc, ctx, env))
+		right := drainRows(ctx, openRowsSchema(g.R, rsc, ctx, env))
 		if g.Theta == value.CmpEq {
 			it.rHash = hashRowBuckets(right, rSlots)
 			it.applied = make(map[value.HashKey]value.Value, len(it.rHash))

@@ -170,7 +170,7 @@ func openNative(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
 		// (reused across Open cycles — emitted Rows are value copies, so
 		// recycling the buffer never aliases them) and sort it in place with
 		// a monomorphic comparison instead of sort.Sort's interface dispatch.
-		rows := drainRowsInto(openRowsSchema(w.In, insc, ctx, env), getSortBuf())
+		rows := drainRowsInto(ctx, openRowsSchema(w.In, insc, ctx, env), getSortBuf())
 		slices.SortStableFunc(rows, func(a, b value.Row) int {
 			return cmpRowsDirs(a, b, by, w.Dirs)
 		})
@@ -194,7 +194,7 @@ func openNative(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
 			left.Close()
 			return nil
 		}
-		return &rowCrossIter{left: left, right: drainRows(right), lay: sc.Lay, pos: -1}
+		return &rowCrossIter{left: left, right: drainRows(ctx, right), lay: sc.Lay, pos: -1}
 
 	case Join:
 		return openRowJoin(w.L, w.R, w.Pred, sc, ctx, env, joinModeInner, "", nil)
@@ -252,14 +252,20 @@ func openRowsChild(op Op, ctx *Ctx, env value.Tuple) (RowIter, Schema, bool) {
 }
 
 // drainRows materializes an iterator's remaining rows and closes it.
-func drainRows(it RowIter) []value.Row {
-	return drainRowsInto(it, nil)
+func drainRows(ctx *Ctx, it RowIter) []value.Row {
+	return drainRowsInto(ctx, it, nil)
 }
 
 // drainRowsInto materializes into a caller-provided buffer (the pooled form
-// used by the Sort breaker) and closes the iterator.
-func drainRowsInto(it RowIter, buf []value.Row) []value.Row {
+// used by the Sort breaker) and closes the iterator. It is the breaker-side
+// cancellation point: a cancelled run stops materializing build sides, sort
+// buffers and group inputs mid-drain.
+func drainRowsInto(ctx *Ctx, it RowIter, buf []value.Row) []value.Row {
 	for {
+		if ctx.Cancelled() {
+			it.Close()
+			return buf
+		}
 		r, ok := it.Next()
 		if !ok {
 			it.Close()
@@ -543,6 +549,12 @@ type rowUnnestMapIter struct {
 
 func (u *rowUnnestMapIter) Next() (value.Row, bool) {
 	for {
+		// Υ is the engine's scan producer: every stored-document traversal
+		// streams through here, making it the cancellation point of choice
+		// for fully pipelined plans.
+		if u.ctx.Cancelled() {
+			return value.Row{}, false
+		}
 		if u.pos < len(u.pending) {
 			vals := make([]value.Value, u.lay.Width())
 			copy(vals, u.cur.Vals)
@@ -629,7 +641,7 @@ func openRowXiGroup(x XiGroup, ctx *Ctx, env value.Tuple) RowIter {
 	if !ok {
 		return nil
 	}
-	rows := drainRows(openRowsSchema(x.In, insc, ctx, env))
+	rows := drainRows(ctx, openRowsSchema(x.In, insc, ctx, env))
 	// Ξ-group passes its input through, so its output cardinality says
 	// nothing about the bucket count; size the table by the textbook
 	// distinct-keys fraction of the input instead.
@@ -826,7 +838,7 @@ func openRowJoin(l, r Op, pred Expr, sc Schema, ctx *Ctx, env value.Tuple,
 	}
 
 	left := openRowsSchema(l, lsc, ctx, env)
-	jp := rowJoinPlan{catLay: catLay, right: drainRows(openRowsSchema(r, rsc, ctx, env))}
+	jp := rowJoinPlan{catLay: catLay, right: drainRows(ctx, openRowsSchema(r, rsc, ctx, env))}
 
 	if pairs, residual, ok := splitEqPred(pred, attrBoolSet(lsc.Lay), attrBoolSet(rsc.Lay)); ok {
 		var lKeys, rKeys []string
@@ -927,7 +939,7 @@ func openRowGroupUnary(g GroupUnary, sc Schema, ctx *Ctx, env value.Tuple) RowIt
 	}
 	gSlot, _ := sc.Lay.Slot(g.G)
 	outBy, _ := slotsOf(sc.Lay, g.By)
-	rows := drainRows(openRowsSchema(g.In, insc, ctx, env))
+	rows := drainRows(ctx, openRowsSchema(g.In, insc, ctx, env))
 	apply := groupApplier(g.F, insc.Lay, env)
 
 	// Γ's output cardinality is its distinct-key count: pre-size the hash
@@ -1016,7 +1028,7 @@ func openRowGroupBinary(g GroupBinary, sc Schema, ctx *Ctx, env value.Tuple) Row
 	// empty left input never evaluates R — matching GroupBinary.Eval's
 	// short-circuit.
 	it.build = func() {
-		rRows := drainRows(openRowsSchema(g.R, rsc, ctx, env))
+		rRows := drainRows(ctx, openRowsSchema(g.R, rsc, ctx, env))
 		if g.Theta == value.CmpEq && !g.ForceScan {
 			it.hash = make(map[value.HashKey][]value.Row, len(rRows))
 			for _, r := range rRows {

@@ -41,10 +41,10 @@ func cmdStrings(cs []Command) string {
 func execCommands(ctx *Ctx, env value.Tuple, t value.Tuple, cs []Command) {
 	for _, c := range cs {
 		if c.IsLit {
-			ctx.Out.WriteString(c.Lit)
+			ctx.EmitLit(c.Lit)
 			continue
 		}
-		WriteValue(ctx.Out, c.E.Eval(ctx, env.Concat(t)))
+		ctx.EmitValue(c.E.Eval(ctx, env.Concat(t)))
 	}
 }
 

@@ -8,6 +8,18 @@ import (
 	"nalquery/internal/value"
 )
 
+// ParseError is a syntax error with its source position.
+type ParseError struct {
+	// Line is the 1-based source line the parser stopped at.
+	Line int
+	// Msg describes the syntax error.
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xquery: line %d: %s", e.Line, e.Msg)
+}
+
 // ParseQuery parses an XQuery-subset query into its AST.
 func ParseQuery(src string) (Expr, error) {
 	p := &parser{src: src}
@@ -38,7 +50,7 @@ type parser struct {
 
 func (p *parser) errf(format string, args ...interface{}) error {
 	line := 1 + strings.Count(p.src[:p.pos], "\n")
-	return fmt.Errorf("xquery: line %d: %s", line, fmt.Sprintf(format, args...))
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) remainder(n int) string {

@@ -18,12 +18,22 @@
 //	    let $d1 := doc("bib.xml")
 //	    for $t1 in $d1//book/title
 //	    return <t>{ $t1 }</t>`)
-//	out, stats, _ := q.Execute("")   // "" = most optimized plan
+//	res, _ := q.Run(ctx)          // most optimized plan
+//	defer res.Close()
+//	for item := range res.Seq() { // typed, streaming result items
+//	    ...
+//	}
+//
+// A compiled Query is immutable and safe for any number of concurrent Run
+// sessions; each Results is a pull iterator over typed items that can be
+// cancelled through its context, closed early, or serialized with
+// Results.WriteXML. See docs/API.md for the full surface and the migration
+// table from the deprecated Execute family.
 package nalquery
 
 import (
-	"bufio"
-	"fmt"
+	"context"
+	"errors"
 	"io"
 	"sort"
 	"strings"
@@ -39,7 +49,10 @@ import (
 	"nalquery/internal/xquery"
 )
 
-// Engine holds documents and schema facts and compiles queries.
+// Engine holds documents and schema facts and compiles queries. Loading and
+// compiling are not synchronized — load documents first, then compile;
+// compiled queries snapshot the document set and may Run concurrently while
+// the engine keeps loading for future compilations.
 type Engine struct {
 	docs map[string]*dom.Document
 	cat  *schema.Catalog
@@ -139,7 +152,10 @@ func (p Plan) Explain() string { return algebra.Explain(p.op) }
 // nested algebraic expressions appear as dashed edges.
 func (p Plan) ExplainDot() string { return algebra.ExplainDot(p.op) }
 
-// Query is a compiled query with its plan alternatives.
+// Query is a compiled query with its plan alternatives. A Query is
+// immutable: it carries a snapshot of the engine's documents and catalog
+// taken at Compile, so any number of Run sessions may execute concurrently
+// (per-run state lives in each Results).
 type Query struct {
 	// Text is the original query.
 	Text string
@@ -151,18 +167,9 @@ type Query struct {
 	// offered in addition to the order-preserving ones.
 	OrderIrrelevant bool
 
-	engine *Engine
-	model  *cost.Model
-	plans  []Plan
-}
-
-// newCtx creates the evaluation context of one plan run, with the compile
-// time cost model wired in so pipeline breakers pre-size their hash tables
-// from the cardinality estimates.
-func (q *Query) newCtx() *algebra.Ctx {
-	ctx := algebra.NewCtx(q.engine.docs)
-	ctx.Cards = q.model
-	return ctx
+	docs  map[string]*dom.Document // immutable snapshot taken at Compile
+	model *cost.Model
+	plans []Plan
 }
 
 func statsOf(ctx *algebra.Ctx) Stats {
@@ -174,11 +181,48 @@ func statsOf(ctx *algebra.Ctx) Stats {
 	}
 }
 
+// CompileOption configures one Compile call.
+type CompileOption func(*compileConfig)
+
+type compileConfig struct {
+	cat   *schema.Catalog
+	model *cost.Model
+}
+
+// WithCatalog compiles against the given schema-fact catalog instead of the
+// engine's, e.g. to verify the condition-bearing equivalences under
+// alternative DTD facts without mutating the shared engine.
+func WithCatalog(cat *schema.Catalog) CompileOption {
+	return func(c *compileConfig) { c.cat = cat }
+}
+
+// WithCostModel supplies a pre-built statistics model instead of gathering
+// element counts from the engine's documents — e.g. to reuse one model
+// across many Compile calls over the same corpus, or to rank plans under
+// synthetic statistics.
+func WithCostModel(m *cost.Model) CompileOption {
+	return func(c *compileConfig) { c.model = m }
+}
+
 // Compile parses, normalizes, translates and unnests a query, producing all
-// plan alternatives.
-func (e *Engine) Compile(text string) (*Query, error) {
+// plan alternatives. The returned Query snapshots the engine's current
+// document set and catalog; later Load calls do not affect it. Syntax
+// errors are *ParseError values carrying the source line.
+func (e *Engine) Compile(text string, opts ...CompileOption) (*Query, error) {
+	var cfg compileConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cat := cfg.cat
+	if cat == nil {
+		cat = e.cat
+	}
 	ast, err := xquery.ParseQuery(text)
 	if err != nil {
+		var pe *xquery.ParseError
+		if errors.As(err, &pe) {
+			return nil, &ParseError{Line: pe.Line, Msg: pe.Msg}
+		}
 		return nil, err
 	}
 	// A top-level unordered(FLWR) wrapper releases the order requirement
@@ -191,15 +235,24 @@ func (e *Engine) Compile(text string) (*Query, error) {
 			orderIrrelevant = true
 		}
 	}
-	norm := normalize.NormalizeWithCatalog(ast, e.cat)
-	res, err := translate.Translate(norm, e.cat)
+	norm := normalize.NormalizeWithCatalog(ast, cat)
+	res, err := translate.Translate(norm, cat)
 	if err != nil {
 		return nil, err
 	}
-	rw := core.NewRewriter(res, e.cat)
+	rw := core.NewRewriter(res, cat)
 	alts := rw.Alternatives(res.Plan)
-	model := cost.NewModel(e.docs)
-	q := &Query{Text: text, Normalized: norm.String(), engine: e, model: model, OrderIrrelevant: orderIrrelevant}
+	// The immutable per-query snapshot: concurrent Run sessions read these
+	// maps; the engine may keep loading documents for future compilations.
+	docs := make(map[string]*dom.Document, len(e.docs))
+	for uri, d := range e.docs {
+		docs[uri] = d
+	}
+	model := cfg.model
+	if model == nil {
+		model = cost.NewModel(docs)
+	}
+	q := &Query{Text: text, Normalized: norm.String(), docs: docs, model: model, OrderIrrelevant: orderIrrelevant}
 	for _, a := range alts {
 		est := model.Plan(a.Op)
 		q.plans = append(q.plans, Plan{
@@ -233,8 +286,13 @@ func (e *Engine) Compile(text string) (*Query, error) {
 func (q *Query) Plans() []Plan { return q.plans }
 
 // Plan returns the alternative with the given name; the empty name selects
-// the plan with the lowest estimated cost.
+// the plan with the lowest estimated cost. A query without alternatives
+// returns ErrNoPlan; an unmatched name returns an *UnknownPlanError
+// (errors.Is-matchable against ErrUnknownPlan).
 func (q *Query) Plan(name string) (Plan, error) {
+	if len(q.plans) == 0 {
+		return Plan{}, ErrNoPlan
+	}
 	if name == "" {
 		best := q.plans[0]
 		for _, p := range q.plans[1:] {
@@ -249,68 +307,77 @@ func (q *Query) Plan(name string) (Plan, error) {
 			return p, nil
 		}
 	}
-	var names []string
-	for _, p := range q.plans {
-		names = append(names, p.Name)
+	names := make([]string, len(q.plans))
+	for i, p := range q.plans {
+		names[i] = p.Name
 	}
-	return Plan{}, fmt.Errorf("nalquery: no plan %q (have %s)", name, strings.Join(names, ", "))
+	return Plan{}, &UnknownPlanError{Name: name, Have: names}
 }
 
 // Execute runs the named plan ("" = most optimized) and returns the
-// constructed result string plus execution statistics. Execution goes
-// through the slot-based iterator engine: the schema-resolution pass
-// compiles attribute names to slots at plan time, so no per-tuple map is
-// built (see docs/EXECUTION.md). Plans whose schema does not resolve fall
-// back to the map-based engine transparently.
+// constructed result string plus execution statistics.
+//
+// Deprecated: Execute is a compatibility wrapper over Run — prefer
+// q.Run(ctx, WithPlan(name)) and consume the Results (typed items via
+// Next/Seq, or serialized via WriteXML), which adds streaming, concurrency
+// and cancellation.
 func (q *Query) Execute(name string) (string, Stats, error) {
-	return q.ExecuteStreaming(name)
+	var st Stats
+	res, err := q.run(context.Background(), runConfig{plan: name, stats: &st})
+	if err != nil {
+		return "", Stats{}, err
+	}
+	var sb strings.Builder
+	if err := res.WriteXML(&sb); err != nil {
+		return "", Stats{}, err
+	}
+	return sb.String(), st, nil
 }
 
 // ExecuteReference runs the named plan ("" = most optimized) on the
 // definitional materializing evaluator over map-based tuples — the
 // executable semantics the slot engine is differential-tested against.
+//
+// Deprecated: use q.Run(ctx, WithReferenceEngine(), WithPlan(name)).
 func (q *Query) ExecuteReference(name string) (string, Stats, error) {
-	p, err := q.Plan(name)
+	var st Stats
+	res, err := q.run(context.Background(), runConfig{plan: name, reference: true, stats: &st})
 	if err != nil {
 		return "", Stats{}, err
 	}
-	ctx := algebra.NewCtx(q.engine.docs)
-	p.op.Eval(ctx, nil)
-	return ctx.OutString(), statsOf(ctx), nil
+	var sb strings.Builder
+	if err := res.WriteXML(&sb); err != nil {
+		return "", Stats{}, err
+	}
+	return sb.String(), st, nil
 }
 
 // ExecuteStreaming runs the named plan ("" = lowest estimated cost) through
 // the pull-based iterator engine (open-next-close, the physical execution
-// model of the engine the paper evaluates on). The constructed result is
-// identical to Execute's; pipeline-breaking operators materialize only the
-// state their algorithm requires.
+// model of the engine the paper evaluates on).
+//
+// Deprecated: identical to Execute; prefer Run.
 func (q *Query) ExecuteStreaming(name string) (string, Stats, error) {
-	p, err := q.Plan(name)
-	if err != nil {
-		return "", Stats{}, err
-	}
-	ctx := q.newCtx()
-	algebra.DrainIter(p.op, ctx, nil)
-	return ctx.OutString(), statsOf(ctx), nil
+	return q.Execute(name)
 }
 
 // ExecuteTo runs the named plan ("" = most optimized) through the pull-based
 // iterator engine, streaming the constructed result into w instead of
 // building it in memory. Combined with the streaming Ξ operators, memory
 // stays bounded by the plan's pipeline-breaker state, not the output size.
+//
+// Deprecated: use q.Run(ctx, WithPlan(name)) followed by
+// Results.WriteXML(w), which adds cancellation.
 func (q *Query) ExecuteTo(w io.Writer, name string) (Stats, error) {
-	p, err := q.Plan(name)
+	var st Stats
+	res, err := q.run(context.Background(), runConfig{plan: name, stats: &st})
 	if err != nil {
 		return Stats{}, err
 	}
-	bw := bufio.NewWriter(w)
-	ctx := algebra.NewCtxWriter(q.engine.docs, bw)
-	ctx.Cards = q.model
-	algebra.DrainIter(p.op, ctx, nil)
-	if err := bw.Flush(); err != nil {
+	if err := res.WriteXML(w); err != nil {
 		return Stats{}, err
 	}
-	return statsOf(ctx), nil
+	return st, nil
 }
 
 // Query is the one-shot convenience API: compile and execute with the most

@@ -1,0 +1,326 @@
+package nalquery
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"iter"
+	"strings"
+
+	"nalquery/internal/algebra"
+	"nalquery/internal/value"
+)
+
+// RunOption configures one Run of a compiled Query.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	plan      string
+	reference bool
+	stats     *Stats
+}
+
+// WithPlan selects the plan alternative to run by its paper row label
+// ("nested", "grouping", "group Ξ", …). The default — and WithPlan("") —
+// is the alternative with the lowest estimated cost.
+func WithPlan(name string) RunOption {
+	return func(c *runConfig) { c.plan = name }
+}
+
+// WithReferenceEngine runs the plan on the definitional materializing
+// evaluator over map-based tuples — the executable semantics the slot
+// engine is differential-tested against. The whole result is computed
+// eagerly on first consumption; items then stream from memory.
+func WithReferenceEngine() RunOption {
+	return func(c *runConfig) { c.reference = true }
+}
+
+// WithStats records the run's final execution counters into st when the
+// result stream is exhausted, cancelled, or closed.
+func WithStats(st *Stats) RunOption {
+	return func(c *runConfig) { c.stats = st }
+}
+
+// Run starts one execution of the query and returns its Results session.
+// Runs are independent: a compiled Query may be run any number of times,
+// from any number of goroutines, concurrently — execution state lives in
+// the Results, and the engine snapshot taken at Compile is immutable.
+//
+// The context cancels the run: scans and pipeline breakers inside the
+// engine poll ctx and terminate the pipeline early; the cancellation
+// surfaces as Results.Err after the stream ends.
+//
+// Opening is lazy. The first Next/Seq call fixes the session into typed
+// item consumption; calling WriteXML first instead serializes straight
+// into the writer with no per-item overhead (the Execute compatibility
+// path). Run itself only selects the plan, so an unknown plan name
+// surfaces here as *UnknownPlanError (ErrNoPlan for a planless query).
+func (q *Query) Run(ctx context.Context, opts ...RunOption) (*Results, error) {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return q.run(ctx, cfg)
+}
+
+// run is the shared session constructor behind Run and the deprecated
+// Execute wrappers (which bypass the options slice on the hot path).
+func (q *Query) run(ctx context.Context, cfg runConfig) (*Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p, err := q.Plan(cfg.plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{q: q, plan: p, ctx: ctx, cfg: cfg}, nil
+}
+
+// Results is one running query session: a pull iterator over the typed
+// result items the plan's Ξ result-construction operators emit. It is not
+// safe for concurrent use by multiple goroutines (run the Query again
+// instead — that is safe).
+type Results struct {
+	q    *Query
+	plan Plan
+	ctx  context.Context
+	cfg  runConfig
+
+	actx   *algebra.Ctx
+	pump   *algebra.Pump
+	queue  itemQueue
+	qpos   int
+	opened bool
+	done   bool // the pump is exhausted (trailing queue items may remain)
+	closed bool
+	err    error
+}
+
+// itemQueue buffers the items emitted between two pump steps; it is the
+// algebra.ResultSink of a typed-consumption session.
+type itemQueue struct{ items []Item }
+
+func (s *itemQueue) EmitLit(lit string) {
+	s.items = append(s.items, Item{markup: lit})
+}
+
+func (s *itemQueue) EmitValue(v value.Value) {
+	s.items = append(s.items, Item{v: v, isVal: true})
+}
+
+// Plan returns the plan alternative this session runs.
+func (r *Results) Plan() Plan { return r.plan }
+
+// newAlgebraCtx builds the per-run evaluation context. The reference
+// engine mirrors the historical ExecuteReference setup (no cardinality
+// estimator — its hash sizing heuristics are part of what the slot engine
+// is differential-tested against).
+func (r *Results) newAlgebraCtx(out algebra.StringWriter) *algebra.Ctx {
+	ctx := algebra.NewCtxWriter(r.q.docs, out)
+	if !r.cfg.reference {
+		ctx.Cards = r.q.model
+	}
+	ctx.SetDone(r.ctx.Done())
+	return ctx
+}
+
+// openTyped fixes the session into typed item consumption.
+func (r *Results) openTyped() {
+	r.opened = true
+	r.actx = r.newAlgebraCtx(nil)
+	r.actx.Sink = &r.queue
+	if r.cfg.reference {
+		// The reference evaluator materializes; all items queue up front.
+		r.plan.op.Eval(r.actx, nil)
+		r.done = true
+		return
+	}
+	r.pump = algebra.OpenPump(r.plan.op, r.actx, nil)
+}
+
+// Next returns the next result item; ok is false when the stream ends —
+// because the plan is exhausted, the context was cancelled (check Err), or
+// the session was closed.
+func (r *Results) Next() (item Item, ok bool) {
+	if r.closed || r.err != nil {
+		return Item{}, false
+	}
+	if !r.opened {
+		if err := context.Cause(r.ctx); err != nil {
+			r.fail(err)
+			return Item{}, false
+		}
+		r.openTyped()
+	}
+	for r.qpos >= len(r.queue.items) {
+		if err := context.Cause(r.ctx); err != nil {
+			r.fail(err)
+			return Item{}, false
+		}
+		if r.done {
+			r.finish()
+			return Item{}, false
+		}
+		r.queue.items = r.queue.items[:0]
+		r.qpos = 0
+		if !r.pump.Step() {
+			r.done = true
+		}
+	}
+	item = r.queue.items[r.qpos]
+	r.qpos++
+	return item, true
+}
+
+// Seq adapts the session to a range-over-func iterator:
+//
+//	for item := range res.Seq() { ... }
+//
+// Breaking out of the range leaves the session open (Close releases it);
+// check Err afterwards for cancellation.
+func (r *Results) Seq() iter.Seq[Item] {
+	return func(yield func(Item) bool) {
+		for {
+			item, ok := r.Next()
+			if !ok {
+				return
+			}
+			if !yield(item) {
+				return
+			}
+		}
+	}
+}
+
+// WriteXML serializes the remaining result items into w and ends the
+// session. Called before any Next/Seq consumption it streams the whole
+// run straight into the writer — memory stays bounded by the plan's
+// pipeline-breaker state, not the output size — and the bytes equal the
+// concatenated XML() of the items a typed consumption would have yielded.
+// The error is the context's cancellation cause, a write error, or nil.
+func (r *Results) WriteXML(w io.Writer) error {
+	if r.closed {
+		return r.err
+	}
+	if !r.opened {
+		return r.drainTo(w)
+	}
+	sw, flush := writerSink(w)
+	for {
+		item, ok := r.Next()
+		if !ok {
+			break
+		}
+		item.writeTo(sw)
+	}
+	if ferr := flush(); ferr != nil && r.err == nil {
+		r.err = ferr
+	}
+	return r.err
+}
+
+// drainTo is the serialize-while-executing fast path: no sink, no item
+// queue — the exact execution profile of the historical Execute/ExecuteTo.
+func (r *Results) drainTo(w io.Writer) error {
+	r.opened = true
+	sw, flush := writerSink(w)
+	r.actx = r.newAlgebraCtx(sw)
+	if r.cfg.reference {
+		r.plan.op.Eval(r.actx, nil)
+	} else {
+		algebra.DrainIter(r.plan.op, r.actx, nil)
+	}
+	r.done = true
+	if err := context.Cause(r.ctx); err != nil {
+		r.fail(err)
+	} else {
+		r.finish()
+	}
+	if ferr := flush(); ferr != nil && r.err == nil {
+		r.err = ferr
+	}
+	return r.err
+}
+
+// writerSink views w as the engine's output sink. The engine's writes are
+// fire-and-forget (see algebra.StringWriter), so only writers that cannot
+// fail — the in-memory builders and io.Discard — are used directly, and a
+// caller-provided bufio.Writer keeps its own buffer (its sticky error
+// surfaces through flush). Everything else, files included, is buffered
+// here with the buffer's sticky write error surfaced by flush.
+func writerSink(w io.Writer) (sw algebra.StringWriter, flush func() error) {
+	switch s := w.(type) {
+	case *strings.Builder:
+		return s, func() error { return nil }
+	case *bytes.Buffer:
+		return s, func() error { return nil }
+	case *bufio.Writer:
+		return s, s.Flush
+	}
+	if w == io.Discard {
+		return io.Discard.(algebra.StringWriter), func() error { return nil }
+	}
+	bw := bufio.NewWriter(w)
+	return bw, bw.Flush
+}
+
+// Err returns the error that ended the stream early: the context's
+// cancellation cause or a WriteXML write error. It is nil while the stream
+// is live and after a clean exhaustion or Close.
+func (r *Results) Err() error { return r.err }
+
+// Stats returns a snapshot of the run's execution counters so far.
+func (r *Results) Stats() Stats {
+	if r.actx == nil {
+		return Stats{}
+	}
+	return statsOf(r.actx)
+}
+
+// Close releases the session's iterator state. Closing mid-stream is the
+// supported way to abandon a run early; Close is idempotent and returns
+// Err.
+func (r *Results) Close() error {
+	if r.closed {
+		return r.err
+	}
+	r.closed = true
+	r.recordStats()
+	r.releasePump()
+	r.queue.items = nil
+	return r.err
+}
+
+// fail ends the stream with err.
+func (r *Results) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	r.recordStats()
+	r.releasePump()
+}
+
+// finish ends the stream cleanly.
+func (r *Results) finish() {
+	r.recordStats()
+	r.releasePump()
+}
+
+func (r *Results) releasePump() {
+	if r.pump != nil {
+		r.pump.Close()
+		r.pump = nil
+	}
+}
+
+// recordStats publishes the final counters into the WithStats target. The
+// first end-of-stream event wins; later Close calls must not re-copy (the
+// algebra context is shared with nothing, but the caller may reuse the
+// Stats struct).
+func (r *Results) recordStats() {
+	if r.cfg.stats != nil && r.actx != nil {
+		*r.cfg.stats = statsOf(r.actx)
+		r.cfg.stats = nil
+	}
+}
