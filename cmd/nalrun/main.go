@@ -4,10 +4,14 @@
 //
 //	nalrun -doc bib.xml=path/to/bib.xml [-doc ...] -query query.xq [-plan grouping] [-stats]
 //	nalrun -gen 1000 -q 'let $d := doc("bib.xml") ...'
+//	nalrun -gen 1000 -var minyear=1993 -q 'declare variable $minyear external; ...'
 //
 // Documents are registered under the URI given before '='; queries reference
 // them via doc("uri"). With -gen N, the six synthetic use-case documents of
 // the paper are generated at size N instead of being loaded from disk.
+// External variables of the query ("declare variable $x external;") are
+// bound with repeatable -var name=value flags; values parse as integer,
+// then float, then string (surrounding quotes stripped).
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	nalquery "nalquery"
+	"nalquery/internal/cli"
 	"nalquery/internal/store"
 )
 
@@ -31,6 +36,7 @@ func (d *docFlags) Set(v string) error { *d = append(*d, v); return nil }
 
 func main() {
 	var docs docFlags
+	var vars docFlags
 	var (
 		queryFile = flag.String("query", "", "file containing the XQuery")
 		queryText = flag.String("q", "", "inline XQuery text")
@@ -40,6 +46,7 @@ func main() {
 		stats     = flag.Bool("stats", false, "print execution statistics to stderr")
 	)
 	flag.Var(&docs, "doc", "uri=path document registration (repeatable)")
+	flag.Var(&vars, "var", "name=value binding for an external variable (repeatable)")
 	flag.Parse()
 
 	text := *queryText
@@ -85,9 +92,20 @@ func main() {
 		f.Close()
 	}
 
-	q, err := eng.Compile(text)
+	// The prepared path: compile once, bind the -var values per run. A
+	// query without external variables prepares identically.
+	prep, err := eng.Prepare(text)
 	if err != nil {
 		fail(err)
+	}
+	opts := []nalquery.RunOption{nalquery.WithPlan(*plan)}
+	for _, v := range vars {
+		name, val, ok := strings.Cut(v, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nalrun: -var needs name=value, got %q\n", v)
+			os.Exit(2)
+		}
+		opts = append(opts, nalquery.Bind(strings.TrimPrefix(name, "$"), cli.ParseVarValue(val)))
 	}
 	// Stream the result to stdout instead of materializing it: memory stays
 	// bounded by the plan's pipeline-breaker state, and Ctrl-C cancels the
@@ -96,7 +114,7 @@ func main() {
 	defer stop()
 	var st nalquery.Stats
 	t0 := time.Now()
-	res, err := q.Run(ctx, nalquery.WithPlan(*plan), nalquery.WithStats(&st))
+	res, err := prep.Run(ctx, append(opts, nalquery.WithStats(&st))...)
 	if err != nil {
 		fail(err)
 	}

@@ -9,10 +9,19 @@
 //	                  elements (APB = authors per book, default 2)
 //	\dblp SIZE        load the DBLP-like heterogeneous document
 //	\docs             list loaded documents
+//	\set NAME VALUE   bind the external variable $NAME for later queries
+//	                  (VALUE parses as integer, then float, then string;
+//	                  bare \set lists the current bindings)
+//	\unset NAME       remove a binding
 //	\plans            show the plan alternatives of the last query
 //	\explain [NAME]   print the operator tree of a plan of the last query
 //	\plan NAME        execute a specific plan of the last query
 //	\quit             exit
+//
+// Queries are compiled through the prepared path: a query declaring
+// external variables ("declare variable $x external;") picks its bindings
+// from the \set table at each execution, with zero recompilation when
+// re-running plans of the last query.
 package main
 
 import (
@@ -21,19 +30,28 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	nalquery "nalquery"
+	"nalquery/internal/cli"
 )
 
+// shell is the interactive session state: the engine, the last prepared
+// query, and the \set binding table external variables draw from.
+type shell struct {
+	eng  *nalquery.Engine
+	last *nalquery.Prepared
+	vars map[string]any
+}
+
 func main() {
-	eng := nalquery.NewEngine()
+	sh := &shell{eng: nalquery.NewEngine(), vars: map[string]any{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
-	var last *nalquery.Query
 
 	fmt.Println("nalquery shell — terminate queries with ';', \\quit to exit")
 	prompt(buf.Len() > 0)
@@ -41,7 +59,7 @@ func main() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !command(eng, &last, trimmed) {
+			if !sh.command(trimmed) {
 				return
 			}
 			prompt(false)
@@ -49,10 +67,10 @@ func main() {
 		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
-		if strings.Contains(line, ";") {
+		if strings.Contains(stripProlog(buf.String()), ";") {
 			text := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
 			buf.Reset()
-			runQuery(eng, &last, text)
+			sh.runQuery(text)
 		}
 		prompt(buf.Len() > 0)
 	}
@@ -67,7 +85,8 @@ func prompt(continuation bool) {
 }
 
 // command executes one backslash command; it returns false on \quit.
-func command(eng *nalquery.Engine, last **nalquery.Query, line string) bool {
+func (sh *shell) command(line string) bool {
+	eng, last := sh.eng, &sh.last
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case `\quit`, `\q`:
@@ -88,6 +107,34 @@ func command(eng *nalquery.Engine, last **nalquery.Query, line string) bool {
 			return true
 		}
 		fmt.Printf("loaded %s\n", fields[1])
+	case `\set`:
+		switch len(fields) {
+		case 1:
+			if len(sh.vars) == 0 {
+				fmt.Println("no variables set")
+				return true
+			}
+			names := make([]string, 0, len(sh.vars))
+			for n := range sh.vars {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Printf("  $%s = %v\n", n, sh.vars[n])
+			}
+		case 2:
+			fmt.Println("usage: \\set NAME VALUE (bare \\set lists bindings)")
+		default:
+			name := strings.TrimPrefix(fields[1], "$")
+			sh.vars[name] = cli.ParseVarValue(strings.Join(fields[2:], " "))
+			fmt.Printf("$%s = %v\n", name, sh.vars[name])
+		}
+	case `\unset`:
+		if len(fields) != 2 {
+			fmt.Println("usage: \\unset NAME")
+			return true
+		}
+		delete(sh.vars, strings.TrimPrefix(fields[1], "$"))
 	case `\gen`:
 		if len(fields) < 2 {
 			fmt.Println("usage: \\gen SIZE [AUTHORS_PER_BOOK]")
@@ -159,32 +206,58 @@ func command(eng *nalquery.Engine, last **nalquery.Query, line string) bool {
 			fmt.Println("usage: \\plan NAME")
 			return true
 		}
-		execute(*last, strings.Join(fields[1:], " "))
+		sh.execute(*last, strings.Join(fields[1:], " "))
 	default:
 		fmt.Printf("unknown command %s\n", fields[0])
 	}
 	return true
 }
 
-func runQuery(eng *nalquery.Engine, last **nalquery.Query, text string) {
-	q, err := eng.Compile(text)
+// stripProlog drops leading "declare variable $x external;" declarations
+// so their terminating ';' does not end the query buffer early — only a
+// ';' after the body completes a query.
+func stripProlog(s string) string {
+	for {
+		t := strings.TrimSpace(s)
+		if !strings.HasPrefix(t, "declare") {
+			return t
+		}
+		i := strings.Index(t, ";")
+		if i < 0 {
+			return t
+		}
+		s = t[i+1:]
+	}
+}
+
+func (sh *shell) runQuery(text string) {
+	p, err := sh.eng.Prepare(text)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	*last = q
-	fmt.Printf("compiled; %d plan alternatives (\\plans to list)\n", len(q.Plans()))
-	execute(q, "")
+	sh.last = p
+	fmt.Printf("compiled; %d plan alternatives (\\plans to list)\n", len(p.Plans()))
+	if vars := p.Vars(); len(vars) > 0 {
+		fmt.Printf("external variables: $%s (\\set NAME VALUE to bind)\n", strings.Join(vars, ", $"))
+	}
+	sh.execute(p, "")
 }
 
-func execute(q *nalquery.Query, name string) {
+func (sh *shell) execute(q *nalquery.Prepared, name string) {
 	// Stream the result to stdout item by item instead of materializing the
 	// whole output string; Ctrl-C cancels a long-running plan mid-stream.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	var stats nalquery.Stats
 	t0 := time.Now()
-	res, err := q.Run(ctx, nalquery.WithPlan(name), nalquery.WithStats(&stats))
+	opts := []nalquery.RunOption{nalquery.WithPlan(name), nalquery.WithStats(&stats)}
+	for _, v := range q.Vars() {
+		if val, ok := sh.vars[v]; ok {
+			opts = append(opts, nalquery.Bind(v, val))
+		}
+	}
+	res, err := q.Run(ctx, opts...)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

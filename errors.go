@@ -31,6 +31,48 @@ func (e *UnknownPlanError) Error() string {
 // ErrUnknownPlan sentinel.
 func (e *UnknownPlanError) Is(target error) bool { return target == ErrUnknownPlan }
 
+// ErrUnboundVariable is the sentinel matched (via errors.Is) by the
+// *BindError returned when a Run leaves a declared external variable
+// without a binding.
+var ErrUnboundVariable = errors.New("nalquery: external variable not bound")
+
+// ErrUnknownVariable is the sentinel matched (via errors.Is) by the
+// *BindError returned when a Bind names a variable the query does not
+// declare external.
+var ErrUnknownVariable = errors.New("nalquery: no such external variable")
+
+// ErrBindValue is the sentinel matched (via errors.Is) by the *BindError
+// returned when a Bind carries a Go value the engine's data model cannot
+// represent.
+var ErrBindValue = errors.New("nalquery: unsupported binding value")
+
+// BindError reports a failed external-variable binding: an unknown or
+// unbound variable, or a value of an unsupported type. It surfaces from Run
+// (never as a panic) and matches the corresponding sentinel —
+// ErrUnboundVariable, ErrUnknownVariable or ErrBindValue — under errors.Is.
+type BindError struct {
+	// Var is the external variable's name.
+	Var string
+	// Detail describes the failure (e.g. the rejected Go type).
+	Detail string
+
+	reason error
+}
+
+func (e *BindError) Error() string {
+	msg := fmt.Sprintf("%v: $%s", e.reason, e.Var)
+	if e.Detail != "" {
+		msg += " (" + e.Detail + ")"
+	}
+	return msg
+}
+
+// Is implements the errors.Is protocol against the binding sentinels.
+func (e *BindError) Is(target error) bool { return target == e.reason }
+
+// Unwrap returns the sentinel classifying the failure.
+func (e *BindError) Unwrap() error { return e.reason }
+
 // ParseError is a query syntax error with its source position.
 type ParseError struct {
 	// Line is the 1-based line of the query text the parser stopped at.

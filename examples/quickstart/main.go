@@ -88,4 +88,28 @@ return
 	}
 	fmt.Printf("nested baseline: %d scans, %d nested-loop iterations\n",
 		nestedStats.DocAccesses, nestedStats.NestedEvals)
+
+	// Parameterized variant: declare an external variable, Prepare once,
+	// and Bind a different value per run — zero recompilation (see
+	// examples/prepared for a concurrent serving loop).
+	p, err := eng.Prepare(`
+declare variable $minyear external;
+let $d1 := doc("bib.xml")
+for $b1 in $d1//book
+where $b1/@year > $minyear
+return $b1/title`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, year := range []int{1990, 1999} {
+		res, err := p.Run(context.Background(), nalquery.Bind("minyear", year))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := res.WriteXML(&sb); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("books after %d: %s\n", year, sb.String())
+	}
 }

@@ -43,6 +43,12 @@ func compileExpr(e Expr, sc Schema, env value.Tuple) RowExpr {
 	case ConstVal:
 		return func(*Ctx, value.Row) value.Value { return w.V }
 
+	case Param:
+		// External-variable read: one slice index into the per-run binding
+		// table — the run-time twin of a constant.
+		idx := w.Idx
+		return func(ctx *Ctx, _ value.Row) value.Value { return ctx.ParamVal(idx) }
+
 	case Doc:
 		return func(ctx *Ctx, _ value.Row) value.Value { return w.Eval(ctx, nil) }
 

@@ -60,6 +60,10 @@ type Ctx struct {
 	// Cards optionally estimates operator cardinalities (nil: fall back to
 	// input-derived heuristics).
 	Cards CardEstimator
+	// Params is the per-run binding table of external variables: Param
+	// expressions read their value by slot index. The slice is fixed for
+	// the lifetime of one run (bindings never change mid-execution).
+	Params []value.Value
 
 	// done, when non-nil, is the run's cancellation signal (a
 	// context.Context Done channel). Scans and pipeline breakers poll it
@@ -87,6 +91,17 @@ func (c *Ctx) EmitValue(v value.Value) {
 		return
 	}
 	WriteValue(c.Out, v)
+}
+
+// ParamVal returns the bound value of parameter slot i; an unbound or
+// out-of-range slot reads as the empty sequence (the public API validates
+// bindings before execution, so this is a defensive default, never an
+// error path).
+func (c *Ctx) ParamVal(i int) value.Value {
+	if i < 0 || i >= len(c.Params) || c.Params[i] == nil {
+		return value.Null{}
+	}
+	return c.Params[i]
 }
 
 // SetDone wires a cancellation signal (typically ctx.Done()) into the
@@ -227,6 +242,31 @@ func (c ConstVal) String() string {
 
 // FreeVars implements Expr.
 func (ConstVal) FreeVars(map[string]bool) {}
+
+// Param is a typed parameter expression: the compiled form of an XQuery
+// external variable ("declare variable $x external;"). Its value comes
+// from the per-run binding table on Ctx, resolved by the slot index fixed
+// at prepare time — not from the tuple environment. A Param therefore has
+// no free tuple variables: to the unnesting equivalences and the slot
+// engine it behaves exactly like a constant whose value is supplied at run
+// time, so plan alternatives are chosen once and bindings only change
+// selection constants.
+type Param struct {
+	// Name is the external variable's name (for plan explanation).
+	Name string
+	// Idx is the parameter's slot in Ctx.Params, assigned in declaration
+	// order at prepare time.
+	Idx int
+}
+
+// Eval implements Expr.
+func (p Param) Eval(ctx *Ctx, _ value.Tuple) value.Value { return ctx.ParamVal(p.Idx) }
+
+func (p Param) String() string { return "$" + p.Name }
+
+// FreeVars implements Expr: a parameter reference binds outside the tuple
+// environment, so it contributes no free variables.
+func (Param) FreeVars(map[string]bool) {}
 
 // Doc resolves a stored document by URI (the doc()/document() function).
 type Doc struct{ URI string }

@@ -1,0 +1,22 @@
+// Package cli holds small helpers shared by the command-line front ends
+// (cmd/nalrun, cmd/nalsh).
+package cli
+
+import "strconv"
+
+// ParseVarValue parses an external-variable binding value given on a
+// command line — nalrun's -var name=value and nalsh's \set — with one
+// shared rule: integer, then float, then string, with surrounding quotes
+// stripped (the way to bind a numeric-looking string, e.g. "1995").
+func ParseVarValue(s string) any {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	if len(s) >= 2 && (s[0] == '"' && s[len(s)-1] == '"' || s[0] == '\'' && s[len(s)-1] == '\'') {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

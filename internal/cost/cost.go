@@ -244,6 +244,13 @@ func (m *Model) expr(e algebra.Expr) float64 {
 	switch w := e.(type) {
 	case nil:
 		return 0
+	case algebra.Param:
+		// External-variable read: one binding-table index, constant-cheap.
+		// Predicates over parameters take the same default selectivities as
+		// predicates over literals (selSelect and friends) — the binding is
+		// unknown at prepare time, so the model estimates parametrically and
+		// the plan choice holds for every run.
+		return 0.05
 	case algebra.NestedApply:
 		return nestedPenalty * m.Plan(w.Plan).Cost
 	case algebra.ExistsQ:

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"context"
+	"io"
+
+	nalquery "nalquery"
+)
+
+// The prepared benchmark family pins the compile-once/run-many story of
+// the Prepare/Bind surface: the same parameterized selection executed by
+// (a) compiling the query text on every request — the cost profile the
+// seed API forced on a serving loop, (b) preparing once and running many
+// times with per-run bindings, and (c) the cached convenience path
+// (Engine.Query with literal text), whose plan cache should amortize to
+// within a lookup of the prepared path.
+
+// preparedBenchQuery is the parameterized workload: a selective parametric
+// predicate over the bib corpus, cheap enough that compilation cost is
+// visible next to execution.
+const preparedBenchQuery = `
+declare variable $minyear external;
+let $d1 := doc("bib.xml")
+for $b1 in $d1//book
+where $b1/@year > $minyear
+return $b1/title`
+
+// preparedBenchLiteral is the same query with the binding inlined — the
+// text a caller without external variables would submit per request.
+const preparedBenchLiteral = `
+let $d1 := doc("bib.xml")
+for $b1 in $d1//book
+where $b1/@year > 1995
+return $b1/title`
+
+// PreparedBenchTargets measures compile-per-run vs prepare-once-run-many
+// vs the cached Engine.Query convenience path at each size.
+func PreparedBenchTargets(sizes []int) ([]BenchTarget, error) {
+	var out []BenchTarget
+	for _, size := range sizes {
+		eng := nalquery.NewEngine()
+		eng.LoadUseCaseDocuments(size, 2)
+		prep, err := eng.Prepare(preparedBenchQuery)
+		if err != nil {
+			return nil, err
+		}
+		// Exercise the cached path once so the steady-state measurement
+		// below sees the serving-loop profile, not the first-miss compile.
+		if _, err := eng.Query(preparedBenchLiteral); err != nil {
+			return nil, err
+		}
+		out = append(out,
+			BenchTarget{
+				Experiment: "prepared", Plan: "compile-per-run", Size: size,
+				Run: func() error {
+					p, err := eng.Prepare(preparedBenchQuery)
+					if err != nil {
+						return err
+					}
+					return drainPrepared(p, 1995)
+				},
+			},
+			BenchTarget{
+				Experiment: "prepared", Plan: "prepare-once", Size: size,
+				Run: func() error {
+					return drainPrepared(prep, 1995)
+				},
+			},
+			BenchTarget{
+				Experiment: "prepared", Plan: "cached-query", Size: size,
+				Run: func() error {
+					res, err := eng.RunText(context.Background(), preparedBenchLiteral)
+					if err != nil {
+						return err
+					}
+					if err := res.WriteXML(io.Discard); err != nil {
+						return err
+					}
+					return res.Close()
+				},
+			},
+		)
+	}
+	return out, nil
+}
+
+func drainPrepared(p *nalquery.Prepared, minyear int) error {
+	res, err := p.Run(context.Background(), nalquery.Bind("minyear", minyear))
+	if err != nil {
+		return err
+	}
+	if err := res.WriteXML(io.Discard); err != nil {
+		return err
+	}
+	return res.Close()
+}

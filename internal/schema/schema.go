@@ -52,6 +52,40 @@ func (c *Catalog) Doc(uri string) *DocFacts {
 	return f
 }
 
+// Clone deep-copies the catalog. The engine's copy-on-write snapshot
+// scheme hands mutation a fresh copy so catalogs already captured by
+// compiled queries — and snapshots concurrent compilations are reading —
+// stay immutable.
+func (c *Catalog) Clone() *Catalog {
+	out := &Catalog{docs: make(map[string]*DocFacts, len(c.docs))}
+	for uri, f := range c.docs {
+		nf := &DocFacts{
+			parents:      make(map[string]map[string]bool, len(f.parents)),
+			singleton:    make(map[string]bool, len(f.singleton)),
+			required:     make(map[string]bool, len(f.required)),
+			requiredAttr: make(map[string]bool, len(f.requiredAttr)),
+		}
+		for child, ps := range f.parents {
+			np := make(map[string]bool, len(ps))
+			for k, v := range ps {
+				np[k] = v
+			}
+			nf.parents[child] = np
+		}
+		for k, v := range f.singleton {
+			nf.singleton[k] = v
+		}
+		for k, v := range f.required {
+			nf.required[k] = v
+		}
+		for k, v := range f.requiredAttr {
+			nf.requiredAttr[k] = v
+		}
+		out.docs[uri] = nf
+	}
+	return out
+}
+
 // Has reports whether facts are registered for the URI.
 func (c *Catalog) Has(uri string) bool {
 	_, ok := c.docs[uri]

@@ -58,18 +58,35 @@ type Result struct {
 type Translator struct {
 	cat  *schema.Catalog
 	prov map[string]Prov
+	// params maps external variable names to parameter slots; bound tracks
+	// the clause bindings currently in scope (unlike prov, which
+	// accumulates across the whole query for the rewriter's side-condition
+	// checks), so externals are shadowed exactly while a same-named binding
+	// is in scope.
+	params map[string]int
+	bound  map[string]bool
 }
 
 // New creates a Translator using the given schema catalog (may be nil; then
 // all paths are treated as potentially sequence-valued, which is always
 // safe).
 func New(cat *schema.Catalog) *Translator {
-	return &Translator{cat: cat, prov: map[string]Prov{}}
+	return &Translator{cat: cat, prov: map[string]Prov{}, bound: map[string]bool{}}
 }
 
 // Translate translates a normalized query into an algebra plan.
 func Translate(q xquery.Expr, cat *schema.Catalog) (*Result, error) {
+	return TranslateParams(q, cat, nil)
+}
+
+// TranslateParams translates a normalized query whose free variables named
+// in params are external: references to them become typed algebra.Param
+// expressions reading the per-run binding table at the given slot index,
+// instead of tuple-attribute reads. A clause binding of the same name
+// shadows the parameter from that point on, matching XQuery scoping.
+func TranslateParams(q xquery.Expr, cat *schema.Catalog, params map[string]int) (*Result, error) {
 	tr := New(cat)
+	tr.params = params
 	f, ok := q.(xquery.FLWR)
 	if !ok {
 		return nil, fmt.Errorf("translate: top-level expression must be a FLWR expression, got %T", q)
@@ -97,9 +114,9 @@ func (tr *Translator) flwrPipeline(clauses []xquery.Clause, in algebra.Op) (alge
 				if err != nil {
 					return nil, err
 				}
-				tr.prov[b.Var] = p
+				tr.bind(b.Var, p)
 				if b.Pos != "" {
-					tr.prov[b.Pos] = Prov{}
+					tr.bind(b.Pos, Prov{})
 				}
 				plan = algebra.UnnestMap{In: plan, Attr: b.Var, E: e, PosAttr: b.Pos}
 			}
@@ -109,7 +126,7 @@ func (tr *Translator) flwrPipeline(clauses []xquery.Clause, in algebra.Op) (alge
 				if err != nil {
 					return nil, err
 				}
-				tr.prov[b.Var] = p
+				tr.bind(b.Var, p)
 				plan = algebra.Map{In: plan, Attr: b.Var, E: e}
 			}
 		case xquery.WhereClause:
@@ -130,7 +147,7 @@ func (tr *Translator) flwrPipeline(clauses []xquery.Clause, in algebra.Op) (alge
 					return nil, err
 				}
 				attr := fmt.Sprintf("#ob%d", len(tr.prov))
-				tr.prov[attr] = Prov{}
+				tr.bind(attr, Prov{})
 				plan = algebra.Map{In: plan, Attr: attr, E: e}
 				keys = append(keys, attr)
 				dirs = append(dirs, s.Descending)
@@ -173,11 +190,45 @@ func (tr *Translator) rangeExpr(e xquery.Expr) (algebra.Expr, Prov, error) {
 		ex, err := tr.expr(e)
 		return ex, Prov{}, err
 	case xquery.VarRef:
+		if idx, ok := tr.paramIdx(w.Name); ok {
+			return algebra.Param{Name: w.Name, Idx: idx}, Prov{}, nil
+		}
 		return algebra.Var{Name: w.Name}, tr.prov[w.Name], nil
 	default:
 		ex, err := tr.expr(e)
 		return ex, Prov{}, err
 	}
+}
+
+// bind records one clause binding: provenance accumulates for the
+// rewriter, and the name enters the current shadowing scope.
+func (tr *Translator) bind(name string, p Prov) {
+	tr.prov[name] = p
+	tr.bound[name] = true
+}
+
+// paramIdx resolves a variable reference to its external-parameter slot.
+// Clause bindings currently in scope (for/let variables, positional and
+// quantifier variables, sort attributes) shadow a same-named external.
+func (tr *Translator) paramIdx(name string) (int, bool) {
+	if len(tr.params) == 0 || tr.bound[name] {
+		return 0, false
+	}
+	idx, ok := tr.params[name]
+	return idx, ok
+}
+
+// scope opens a shadowing scope; calling the returned function ends it,
+// dropping bindings made inside. Nested FLWR blocks and quantifiers
+// restore on exit so a binding that shadows an external variable stops
+// shadowing where its XQuery scope ends — a reference after the scope
+// resolves to the external again, not to an unbound tuple attribute.
+func (tr *Translator) scope() func() {
+	saved := make(map[string]bool, len(tr.bound))
+	for k := range tr.bound {
+		saved[k] = true
+	}
+	return func() { tr.bound = saved }
 }
 
 // letExpr translates a let-binding. Nested FLWR expressions become nested
@@ -232,6 +283,7 @@ func (tr *Translator) nestedQuery(f xquery.FLWR, _ algebra.SeqFunc) (algebra.Exp
 	if !ok {
 		return nil, Prov{}, fmt.Errorf("translate: nested query must return a variable after normalization, got %s", f.Return)
 	}
+	defer tr.scope()()
 	plan, err := tr.flwrPipeline(f.Clauses, algebra.Singleton{})
 	if err != nil {
 		return nil, Prov{}, err
@@ -248,6 +300,7 @@ func (tr *Translator) nestedAgg(f xquery.FLWR, fn string) (algebra.Expr, Prov, e
 	if !ok {
 		return nil, Prov{}, fmt.Errorf("translate: aggregated nested query must return a variable, got %s", f.Return)
 	}
+	defer tr.scope()()
 	plan, err := tr.flwrPipeline(f.Clauses, algebra.Singleton{})
 	if err != nil {
 		return nil, Prov{}, err
@@ -284,6 +337,9 @@ func docURI(c xquery.Call) (string, error) {
 func (tr *Translator) expr(e xquery.Expr) (algebra.Expr, error) {
 	switch w := e.(type) {
 	case xquery.VarRef:
+		if idx, ok := tr.paramIdx(w.Name); ok {
+			return algebra.Param{Name: w.Name, Idx: idx}, nil
+		}
 		return algebra.Var{Name: w.Name}, nil
 	case xquery.StrLit:
 		return algebra.ConstVal{V: value.Str(w.V)}, nil
@@ -432,13 +488,16 @@ func (tr *Translator) quant(q xquery.Quant) (algebra.Expr, error) {
 	if !ok {
 		return nil, fmt.Errorf("translate: quantifier range must return a variable")
 	}
+	// The range bindings and the quantifier variable scope over the
+	// satisfies predicate only.
+	defer tr.scope()()
 	plan, err := tr.flwrPipeline(rng.Clauses, algebra.Singleton{})
 	if err != nil {
 		return nil, err
 	}
 	rangeOp := algebra.Project{In: plan, Names: []string{rv.Name}}
 	// The quantifier variable inherits the provenance of the range items.
-	tr.prov[q.Var] = tr.prov[rv.Name]
+	tr.bind(q.Var, tr.prov[rv.Name])
 	pred, err := tr.expr(q.Sat)
 	if err != nil {
 		return nil, err

@@ -17,6 +17,27 @@ type Expr interface {
 	String() string
 }
 
+// Module is a parsed query module: the prolog's external-variable
+// declarations plus the body expression. External variables
+// ("declare variable $x external;") have no value at compile time — they
+// are the parameters of a prepared query, bound per execution.
+type Module struct {
+	// Externals lists the declared external variable names in declaration
+	// order (the order that fixes their parameter slots).
+	Externals []string
+	// Body is the query expression after the prolog.
+	Body Expr
+}
+
+func (m *Module) String() string {
+	var sb strings.Builder
+	for _, v := range m.Externals {
+		fmt.Fprintf(&sb, "declare variable $%s external; ", v)
+	}
+	sb.WriteString(m.Body.String())
+	return sb.String()
+}
+
 // FLWR is a for-let-where-return expression.
 type FLWR struct {
 	Clauses []Clause

@@ -20,9 +20,34 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("xquery: line %d: %s", e.Line, e.Msg)
 }
 
-// ParseQuery parses an XQuery-subset query into its AST.
+// ParseQuery parses an XQuery-subset query into its AST. A prolog of
+// external-variable declarations is accepted and discarded; use ParseModule
+// to retain it.
 func ParseQuery(src string) (Expr, error) {
+	m, err := ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	return m.Body, nil
+}
+
+// ParseModule parses a query module: an optional prolog of
+// "declare variable $x external;" declarations followed by the query body.
+func ParseModule(src string) (*Module, error) {
 	p := &parser{src: src}
+	m := &Module{}
+	for p.peekDecl() {
+		name, err := p.parseExternalDecl()
+		if err != nil {
+			return nil, err
+		}
+		for _, have := range m.Externals {
+			if have == name {
+				return nil, p.errf("external variable $%s declared twice", name)
+			}
+		}
+		m.Externals = append(m.Externals, name)
+	}
 	e, err := p.parseExprSingle()
 	if err != nil {
 		return nil, err
@@ -31,7 +56,47 @@ func ParseQuery(src string) (Expr, error) {
 	if p.pos < len(p.src) {
 		return nil, p.errf("unexpected trailing input %q", p.remainder(20))
 	}
-	return e, nil
+	m.Body = e
+	return m, nil
+}
+
+// peekDecl reports whether a prolog declaration starts at the cursor: the
+// keyword "declare" followed by "variable" (which distinguishes it from a
+// relative path over an element named declare).
+func (p *parser) peekDecl() bool {
+	if !p.peekKeyword("declare") {
+		return false
+	}
+	save := p.pos
+	p.takeKeyword("declare")
+	ok := p.peekKeyword("variable")
+	p.pos = save
+	return ok
+}
+
+// parseExternalDecl parses one prolog declaration
+// "declare variable $name external;". The cursor is at the keyword
+// "declare"; only external variables are supported (initialized variables
+// belong in a let clause).
+func (p *parser) parseExternalDecl() (string, error) {
+	p.takeKeyword("declare")
+	if !p.takeKeyword("variable") {
+		return "", p.errf("expected 'variable' after 'declare' (only external variable declarations are supported)")
+	}
+	if err := p.expectSym("$"); err != nil {
+		return "", err
+	}
+	name := p.takeName()
+	if name == "" {
+		return "", p.errf("expected variable name after $")
+	}
+	if !p.takeKeyword("external") {
+		return "", p.errf("expected 'external' in declaration of $%s (initialized variables belong in a let clause)", name)
+	}
+	if err := p.expectSym(";"); err != nil {
+		return "", err
+	}
+	return name, nil
 }
 
 // MustParse parses a query and panics on error. For tests and examples.

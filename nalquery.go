@@ -27,8 +27,28 @@
 // A compiled Query is immutable and safe for any number of concurrent Run
 // sessions; each Results is a pull iterator over typed items that can be
 // cancelled through its context, closed early, or serialized with
-// Results.WriteXML. See docs/API.md for the full surface and the migration
-// table from the deprecated Execute family.
+// Results.WriteXML.
+//
+// # Prepared queries
+//
+// A serving loop compiles once and runs many times: declare external
+// variables in the query prolog, Prepare it, and Bind values per run —
+// zero recompilation, identical results to compiling the literal text:
+//
+//	p, _ := eng.Prepare(`
+//	    declare variable $minyear external;
+//	    let $d1 := doc("bib.xml")
+//	    for $b1 in $d1//book
+//	    where $b1/@year > $minyear
+//	    return $b1/title`)
+//	res, _ := p.Run(ctx, nalquery.Bind("minyear", 1993))
+//
+// The engine core is race-safe: documents live behind copy-on-write
+// snapshots, so LoadXML may race Prepare, Query and any number of Runs.
+// The convenience paths Engine.Query and Engine.RunText go through a
+// bounded LRU plan cache keyed by query text and catalog generation, so
+// repeated traffic is compile-once there too. See docs/API.md for the full
+// surface and the migration table from the deprecated Execute family.
 package nalquery
 
 import (
@@ -37,6 +57,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"nalquery/internal/algebra"
 	"nalquery/internal/core"
@@ -49,20 +71,61 @@ import (
 	"nalquery/internal/xquery"
 )
 
-// Engine holds documents and schema facts and compiles queries. Loading and
-// compiling are not synchronized — load documents first, then compile;
-// compiled queries snapshot the document set and may Run concurrently while
-// the engine keeps loading for future compilations.
-type Engine struct {
+// engineState is one immutable snapshot of an Engine's documents and schema
+// catalog. Writers never mutate a published state: they clone, apply, and
+// swap the pointer (copy-on-write), so readers — Compile, Prepare, the plan
+// cache, concurrent Runs — work from a consistent snapshot without locks.
+type engineState struct {
 	docs map[string]*dom.Document
 	cat  *schema.Catalog
+	// gen counts state transitions; it keys the plan cache, so a document
+	// load or catalog edit invalidates cached plans for the old state.
+	gen uint64
+}
+
+// Engine holds documents and schema facts and compiles queries. The engine
+// core is safe for concurrent use: loading documents may race Compile,
+// Prepare, Query, RunText and any number of Runs — each compilation works
+// from the copy-on-write snapshot current when it started, and compiled
+// queries keep their snapshot for their whole lifetime.
+type Engine struct {
+	mu    sync.Mutex // serializes writers; readers load the state pointer
+	state atomic.Pointer[engineState]
+
+	cache    planCache
+	compiles atomic.Int64 // full compile passes, pinned by the zero-recompile tests
 }
 
 // NewEngine creates an Engine pre-loaded with the DTD facts of the paper's
 // use-case documents (Fig. 5). Additional facts can be registered through
 // Catalog().
 func NewEngine() *Engine {
-	return &Engine{docs: map[string]*dom.Document{}, cat: schema.UseCases()}
+	e := &Engine{}
+	e.state.Store(&engineState{docs: map[string]*dom.Document{}, cat: schema.UseCases()})
+	e.cache.cap = DefaultPlanCacheSize
+	return e
+}
+
+// snapshot returns the current immutable state.
+func (e *Engine) snapshot() *engineState { return e.state.Load() }
+
+// mutate applies one state transition under the writer lock: clone the
+// current snapshot's document map, let mut edit the clone, publish the next
+// generation. The catalog pointer is carried over unless mut replaces it.
+func (e *Engine) mutate(mut func(st *engineState)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.state.Load()
+	next := &engineState{
+		docs: make(map[string]*dom.Document, len(cur.docs)+1),
+		cat:  cur.cat,
+		gen:  cur.gen + 1,
+	}
+	for uri, d := range cur.docs {
+		next.docs[uri] = d
+	}
+	mut(next)
+	e.state.Store(next)
 }
 
 // LoadXML parses and registers a document under the given URI.
@@ -71,7 +134,7 @@ func (e *Engine) LoadXML(uri string, r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	e.docs[uri] = d
+	e.mutate(func(st *engineState) { st.docs[uri] = d })
 	return nil
 }
 
@@ -83,7 +146,7 @@ func (e *Engine) LoadXMLString(uri, s string) error {
 // LoadDocument registers an already-built document (e.g. from the synthetic
 // generators of internal/xmlgen).
 func (e *Engine) LoadDocument(d *dom.Document) {
-	e.docs[d.URI] = d
+	e.mutate(func(st *engineState) { st.docs[d.URI] = d })
 }
 
 // LoadStoreFile loads a document from a binary store file (the .nalb format
@@ -94,26 +157,46 @@ func (e *Engine) LoadStoreFile(uri, path string) error {
 		return err
 	}
 	d.URI = uri
-	e.docs[uri] = d
+	e.mutate(func(st *engineState) { st.docs[uri] = d })
 	return nil
 }
 
 // Document returns a registered document, or nil.
-func (e *Engine) Document(uri string) *dom.Document { return e.docs[uri] }
+func (e *Engine) Document(uri string) *dom.Document { return e.snapshot().docs[uri] }
 
 // DocumentURIs lists the URIs of the registered documents, sorted.
 func (e *Engine) DocumentURIs() []string {
-	uris := make([]string, 0, len(e.docs))
-	for uri := range e.docs {
+	docs := e.snapshot().docs
+	uris := make([]string, 0, len(docs))
+	for uri := range docs {
 		uris = append(uris, uri)
 	}
 	sort.Strings(uris)
 	return uris
 }
 
-// Catalog exposes the schema-fact catalog used to verify the side conditions
-// of the condition-bearing equivalences (3, 5, 8, 9).
-func (e *Engine) Catalog() *schema.Catalog { return e.cat }
+// Catalog returns the current schema-fact catalog used to verify the side
+// conditions of the condition-bearing equivalences (3, 5, 8, 9). Fact
+// lookups through it (Has, SingletonPath, SameNodeSet, …) are cheap and
+// safe alongside concurrent compilations. Beware that Doc is get-or-create:
+// on an unregistered URI it mutates the live snapshot, as does registering
+// facts through the handle — fine for single-threaded setup (the
+// historical pattern), but it may race concurrent compilations and does
+// not invalidate cached plans. Use EditCatalog for the race-safe,
+// cache-coherent edit path.
+func (e *Engine) Catalog() *schema.Catalog { return e.snapshot().cat }
+
+// EditCatalog applies edit to a copy-on-write clone of the catalog and
+// installs the clone as the engine's current catalog. In-flight
+// compilations keep reading the old snapshot (edits may race Prepare, Query
+// and Runs cleanly), and the generation moves, so the plan cache drops
+// plans derived under the old facts.
+func (e *Engine) EditCatalog(edit func(*schema.Catalog)) {
+	e.mutate(func(st *engineState) {
+		st.cat = st.cat.Clone()
+		edit(st.cat)
+	})
+}
 
 // Stats reports execution counters of one plan run.
 type Stats struct {
@@ -167,9 +250,17 @@ type Query struct {
 	// offered in addition to the order-preserving ones.
 	OrderIrrelevant bool
 
-	docs  map[string]*dom.Document // immutable snapshot taken at Compile
-	model *cost.Model
-	plans []Plan
+	docs   map[string]*dom.Document // immutable snapshot taken at Compile
+	model  *cost.Model
+	plans  []Plan
+	params []string // external variable names, in parameter-slot order
+}
+
+// Vars returns the names of the query's external variables
+// ("declare variable $x external;") in declaration order. Every one of them
+// must be bound with Bind on each Run.
+func (q *Query) Vars() []string {
+	return append([]string(nil), q.params...)
 }
 
 func statsOf(ctx *algebra.Ctx) Stats {
@@ -207,23 +298,44 @@ func WithCostModel(m *cost.Model) CompileOption {
 // Compile parses, normalizes, translates and unnests a query, producing all
 // plan alternatives. The returned Query snapshots the engine's current
 // document set and catalog; later Load calls do not affect it. Syntax
-// errors are *ParseError values carrying the source line.
+// errors are *ParseError values carrying the source line. A query may
+// declare external variables ("declare variable $x external;"); they
+// compile into typed parameter expressions bound per Run — Prepare is the
+// intent-bearing wrapper for that compile-once/run-many use.
 func (e *Engine) Compile(text string, opts ...CompileOption) (*Query, error) {
 	var cfg compileConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return e.compileState(e.snapshot(), text, cfg)
+}
+
+// compileState runs the full compilation pipeline against one immutable
+// engine snapshot.
+func (e *Engine) compileState(st *engineState, text string, cfg compileConfig) (*Query, error) {
+	e.compiles.Add(1)
 	cat := cfg.cat
 	if cat == nil {
-		cat = e.cat
+		cat = st.cat
 	}
-	ast, err := xquery.ParseQuery(text)
+	mod, err := xquery.ParseModule(text)
 	if err != nil {
 		var pe *xquery.ParseError
 		if errors.As(err, &pe) {
 			return nil, &ParseError{Line: pe.Line, Msg: pe.Msg}
 		}
 		return nil, err
+	}
+	ast := mod.Body
+	// External variables get their parameter slots in declaration order;
+	// translation compiles references to them into algebra.Param reads of
+	// the per-run binding table.
+	var params map[string]int
+	if len(mod.Externals) > 0 {
+		params = make(map[string]int, len(mod.Externals))
+		for i, name := range mod.Externals {
+			params[name] = i
+		}
 	}
 	// A top-level unordered(FLWR) wrapper releases the order requirement
 	// (Sec. 1). The wrapper is stripped before normalization; the flag
@@ -236,23 +348,23 @@ func (e *Engine) Compile(text string, opts ...CompileOption) (*Query, error) {
 		}
 	}
 	norm := normalize.NormalizeWithCatalog(ast, cat)
-	res, err := translate.Translate(norm, cat)
+	res, err := translate.TranslateParams(norm, cat, params)
 	if err != nil {
 		return nil, err
 	}
 	rw := core.NewRewriter(res, cat)
 	alts := rw.Alternatives(res.Plan)
-	// The immutable per-query snapshot: concurrent Run sessions read these
-	// maps; the engine may keep loading documents for future compilations.
-	docs := make(map[string]*dom.Document, len(e.docs))
-	for uri, d := range e.docs {
-		docs[uri] = d
-	}
+	// The per-query snapshot: the state's document map is copy-on-write and
+	// never mutated after publication, so the query references it directly —
+	// concurrent Run sessions read it while the engine keeps loading into
+	// future snapshots.
+	docs := st.docs
 	model := cfg.model
 	if model == nil {
 		model = cost.NewModel(docs)
 	}
-	q := &Query{Text: text, Normalized: norm.String(), docs: docs, model: model, OrderIrrelevant: orderIrrelevant}
+	q := &Query{Text: text, Normalized: norm.String(), docs: docs, model: model,
+		OrderIrrelevant: orderIrrelevant, params: mod.Externals}
 	for _, a := range alts {
 		est := model.Plan(a.Op)
 		q.plans = append(q.plans, Plan{
@@ -380,13 +492,46 @@ func (q *Query) ExecuteTo(w io.Writer, name string) (Stats, error) {
 	return st, nil
 }
 
+// cachedCompile resolves text through the bounded LRU plan cache, keyed by
+// the query text and the catalog/document generation of the current
+// snapshot: repeated traffic for the same text compiles once per engine
+// state, and any Load or Catalog edit invalidates by moving the generation.
+func (e *Engine) cachedCompile(text string) (*Query, error) {
+	st := e.snapshot()
+	if q, ok := e.cache.get(text, st.gen); ok {
+		return q, nil
+	}
+	q, err := e.compileState(st, text, compileConfig{})
+	if err != nil {
+		return nil, err
+	}
+	e.cache.put(text, st.gen, q)
+	return q, nil
+}
+
 // Query is the one-shot convenience API: compile and execute with the most
-// optimized plan.
+// optimized plan. Compilation goes through the engine's plan cache, so
+// repeated calls with the same text under an unchanged document set and
+// catalog pay for parsing, unnesting and costing only once.
 func (e *Engine) Query(text string) (string, error) {
-	q, err := e.Compile(text)
+	q, err := e.cachedCompile(text)
 	if err != nil {
 		return "", err
 	}
 	out, _, err := q.Execute("")
 	return out, err
+}
+
+// RunText compiles text through the plan cache and starts one Run session
+// with the given options — the convenience twin of Prepare for callers that
+// hold query text per request: under repeated traffic the compile amortizes
+// exactly like a Prepared, including external-variable queries (pass Bind
+// options). The Results session has the usual semantics (typed items,
+// WriteXML, cancellation through ctx).
+func (e *Engine) RunText(ctx context.Context, text string, opts ...RunOption) (*Results, error) {
+	q, err := e.cachedCompile(text)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run(ctx, opts...)
 }

@@ -19,6 +19,8 @@ type runConfig struct {
 	plan      string
 	reference bool
 	stats     *Stats
+	binds     []binding
+	params    []value.Value // resolved binding table, indexed by parameter slot
 }
 
 // WithPlan selects the plan alternative to run by its paper row label
@@ -54,8 +56,10 @@ func WithStats(st *Stats) RunOption {
 // Opening is lazy. The first Next/Seq call fixes the session into typed
 // item consumption; calling WriteXML first instead serializes straight
 // into the writer with no per-item overhead (the Execute compatibility
-// path). Run itself only selects the plan, so an unknown plan name
-// surfaces here as *UnknownPlanError (ErrNoPlan for a planless query).
+// path). Run itself only selects the plan and resolves bindings, so an
+// unknown plan name surfaces here as *UnknownPlanError (ErrNoPlan for a
+// planless query), and a missing, unknown or ill-typed Bind of an external
+// variable as *BindError.
 func (q *Query) Run(ctx context.Context, opts ...RunOption) (*Results, error) {
 	var cfg runConfig
 	for _, o := range opts {
@@ -71,6 +75,10 @@ func (q *Query) run(ctx context.Context, cfg runConfig) (*Results, error) {
 		ctx = context.Background()
 	}
 	p, err := q.Plan(cfg.plan)
+	if err != nil {
+		return nil, err
+	}
+	cfg.params, err = q.bindParams(cfg.binds)
 	if err != nil {
 		return nil, err
 	}
@@ -121,6 +129,7 @@ func (r *Results) newAlgebraCtx(out algebra.StringWriter) *algebra.Ctx {
 	if !r.cfg.reference {
 		ctx.Cards = r.q.model
 	}
+	ctx.Params = r.cfg.params
 	ctx.SetDone(r.ctx.Done())
 	return ctx
 }

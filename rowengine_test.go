@@ -48,9 +48,9 @@ func TestSlotEngineMatchesMapEngine(t *testing.T) {
 				t.Fatalf("%s: %v", name, err)
 			}
 			for _, p := range cq.Plans() {
-				ctxM := algebra.NewCtx(e.docs)
+				ctxM := algebra.NewCtx(e.snapshot().docs)
 				want := p.op.Eval(ctxM, nil)
-				ctxR := algebra.NewCtx(e.docs)
+				ctxR := algebra.NewCtx(e.snapshot().docs)
 				got := algebra.RunIter(p.op, ctxR, nil)
 
 				if !value.TupleSeqEqual(want, got) {
@@ -122,7 +122,7 @@ func TestPaperPlansMapFree(t *testing.T) {
 				t.Fatalf("%s: %v", name, err)
 			}
 			for _, p := range cq.Plans() {
-				ctx := algebra.NewCtx(e.docs)
+				ctx := algebra.NewCtx(e.snapshot().docs)
 				algebra.DrainIter(p.op, ctx, nil)
 				if ctx.Stats.MapTuples != 0 {
 					t.Errorf("%s/%s: %d map tuples materialized on the slot engine's data path",
@@ -181,7 +181,7 @@ func TestPartitionedPlansResolveNatively(t *testing.T) {
 			if !strings.HasPrefix(p.Name, "unordered ") {
 				continue
 			}
-			assertFullyNative(t, id+"/"+p.Name, p.op, e.docs)
+			assertFullyNative(t, id+"/"+p.Name, p.op, e.snapshot().docs)
 			checked++
 		}
 	}
