@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet test race-test bench-smoke bench-json bench-diff ci
+.PHONY: tier1 vet test race-test bench-smoke bench-json bench-diff serve load-smoke ci
 
 tier1:
 	$(GO) build ./...
@@ -47,5 +47,29 @@ bench-diff:
 	@git show $(BENCH_BASE):BENCH_results.json > .bench-base.json
 	@$(GO) run ./cmd/nalbench -diff .bench-base.json -threshold $(BENCH_DIFF_PCT); \
 		rc=$$?; rm -f .bench-base.json; exit $$rc
+
+# serve runs a local nalserved over the synthetic corpus — the quickest
+# way to poke the HTTP surface by hand (see docs/SERVER.md).
+SERVE_ADDR ?= 127.0.0.1:8080
+SERVE_GEN ?= 1000
+serve:
+	$(GO) run ./cmd/nalserved -addr $(SERVE_ADDR) -gen $(SERVE_GEN)
+
+# load-smoke exercises the full service lifecycle end to end: start a
+# daemon on a private port, wait for /readyz, drive a short nalload sweep
+# (including an overload step), SIGTERM the daemon and require a clean
+# drain. It catches rot in the daemon wiring that the in-process e2e suite
+# cannot see (flag parsing, signal handling, real sockets).
+LOAD_ADDR ?= 127.0.0.1:18730
+load-smoke:
+	@mkdir -p .bin
+	$(GO) build -o .bin/nalserved ./cmd/nalserved
+	$(GO) build -o .bin/nalload ./cmd/nalload
+	@./.bin/nalserved -addr $(LOAD_ADDR) -gen 200 -max-inflight 2 -max-queue 2 & \
+		pid=$$!; \
+		./.bin/nalload -addr http://$(LOAD_ADDR) -wait 10s -warmup 200ms \
+			-concurrency 1,8 -duration 1s; rc=$$?; \
+		kill -TERM $$pid; wait $$pid; drc=$$?; \
+		[ $$rc -eq 0 ] && [ $$drc -eq 0 ]
 
 ci: tier1 race-test bench-diff

@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		expID     = flag.String("exp", "all", "experiment id (q1, q1dblp, q2..q6, joins, unorderedq1, grouping, resultiter, prepared, fig6, ablations, all)")
+		expID     = flag.String("exp", "all", "experiment id (q1, q1dblp, q2..q6, joins, unorderedq1, grouping, resultiter, prepared, server, fig6, ablations, all)")
 		sizes     = flag.String("sizes", "", "comma-separated document sizes (default: the paper's 100,1000,10000)")
 		full      = flag.Bool("full", false, "run the quadratic nested plans at every size")
 		repeat    = flag.Int("repeat", 1, "average over this many runs")
@@ -115,13 +115,13 @@ func runJSON(path, expID string, opts experiments.Options) error {
 	exps := experiments.All()
 	switch expID {
 	case "all":
-	case "joins", "unorderedq1", "grouping", "resultiter", "prepared":
+	case "joins", "unorderedq1", "grouping", "resultiter", "prepared", "server":
 		exps = nil // physical-operator / API-surface family only
 	default:
 		exp, ok := experiments.Find(expID)
 		if !ok {
 			// fig6 and the ablations have no per-plan Execute benchmarks.
-			return fmt.Errorf("-json measures query plans only (q1, q1dblp, q2..q6, joins, unorderedq1, grouping, resultiter, prepared, all); %q has no plan benchmarks", expID)
+			return fmt.Errorf("-json measures query plans only (q1, q1dblp, q2..q6, joins, unorderedq1, grouping, resultiter, prepared, server, all); %q has no plan benchmarks", expID)
 		}
 		exps = []experiments.Experiment{exp}
 	}
@@ -213,6 +213,15 @@ func runJSON(path, expID string, opts experiments.Options) error {
 		ts, err := experiments.PreparedBenchTargets(sizes)
 		if err != nil {
 			return fmt.Errorf("prepared: %w", err)
+		}
+		targets = append(targets, ts...)
+	}
+	// The server family: the HTTP serving pipeline (handler + admission +
+	// deadline plumbing + streaming) over ad-hoc and prepared requests.
+	if expID == "all" || expID == "server" {
+		ts, err := experiments.ServerBenchTargets(sizes)
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
 		}
 		targets = append(targets, ts...)
 	}

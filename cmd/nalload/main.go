@@ -1,0 +1,244 @@
+// Command nalload load-tests a running nalserved, measuring latency
+// percentiles and throughput under increasing concurrency — including
+// overload steps that demonstrate graceful degradation (prompt 429 shedding
+// instead of collapse).
+//
+// Usage:
+//
+//	nalload -addr http://127.0.0.1:8080 -concurrency 1,4,16,64 -duration 3s
+//	nalload -q 'let $d := doc("bib.xml") ...' -plan nested -timeout 2s
+//	nalload -json > load.json
+//
+// For each concurrency step, C workers issue back-to-back POST /query
+// requests for the step duration. The report shows queries/sec of
+// successful runs, p50/p95/p99/max latency, and the shed (429), timeout
+// (504) and error counts — under overload the shed column grows while
+// successful-run p99 stays bounded by the server's deadline: that curve is
+// the service's robustness story.
+//
+// With -wait the tool first polls /readyz until the server is up (used by
+// `make load-smoke` to avoid start-up races).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// defaultQuery streams book titles from the synthetic corpus a
+// `nalserved -gen N` deployment always carries.
+const defaultQuery = `
+let $d1 := doc("bib.xml")
+for $t1 in $d1//book/title
+return <t>{ $t1 }</t>`
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the nalserved instance")
+		queryStr = flag.String("q", "", "inline XQuery text (default: a title scan over the -gen corpus)")
+		queryF   = flag.String("query", "", "file containing the XQuery")
+		plan     = flag.String("plan", "", "plan alternative (?plan=)")
+		timeout  = flag.Duration("timeout", 0, "per-request deadline sent to the server (?timeout=)")
+		steps    = flag.String("concurrency", "1,4,16,64", "comma-separated concurrency steps")
+		duration = flag.Duration("duration", 3*time.Second, "measurement duration per step")
+		warmup   = flag.Duration("warmup", 500*time.Millisecond, "warmup before the first step")
+		wait     = flag.Duration("wait", 0, "poll /readyz for up to this long before starting")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON on stdout")
+	)
+	flag.Parse()
+
+	query := *queryStr
+	if *queryF != "" {
+		b, err := os.ReadFile(*queryF)
+		if err != nil {
+			fail(err)
+		}
+		query = string(b)
+	}
+	if query == "" {
+		query = defaultQuery
+	}
+
+	target := strings.TrimSuffix(*addr, "/") + "/query"
+	sep := "?"
+	if *plan != "" {
+		target += sep + "plan=" + *plan
+		sep = "&"
+	}
+	if *timeout > 0 {
+		target += sep + "timeout=" + timeout.String()
+	}
+
+	var concs []int
+	for _, s := range strings.Split(*steps, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fail(fmt.Errorf("bad concurrency step %q", s))
+		}
+		concs = append(concs, n)
+	}
+
+	client := &http.Client{}
+	if *wait > 0 {
+		if err := waitReady(client, strings.TrimSuffix(*addr, "/")+"/readyz", *wait); err != nil {
+			fail(err)
+		}
+	}
+	if *warmup > 0 {
+		runStep(client, target, query, 1, *warmup)
+	}
+
+	var report []stepResult
+	for _, c := range concs {
+		report = append(report, runStep(client, target, query, c, *duration))
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(report)
+		return
+	}
+	fmt.Printf("%6s %8s %8s %8s %8s %6s %6s %6s   %9s %9s %9s %9s\n",
+		"conc", "reqs", "ok", "shed", "timeout", "5xx", "4xx", "neterr", "qps", "p50", "p95", "p99")
+	for _, r := range report {
+		fmt.Printf("%6d %8d %8d %8d %8d %6d %6d %6d   %9.1f %9s %9s %9s\n",
+			r.Concurrency, r.Requests, r.OK, r.Shed, r.Timeout, r.Err5xx, r.Err4xx, r.NetErr,
+			r.QPS, fmtDur(r.P50), fmtDur(r.P95), fmtDur(r.P99))
+	}
+}
+
+// stepResult is one concurrency step of the report. Latencies cover
+// successful (200) runs only; shed requests are counted, not timed — their
+// promptness shows up as the step's request total staying high.
+type stepResult struct {
+	Concurrency int           `json:"concurrency"`
+	Requests    int           `json:"requests"`
+	OK          int           `json:"ok"`
+	Shed        int           `json:"shed"`
+	Timeout     int           `json:"timeout"`
+	Err4xx      int           `json:"err_4xx"`
+	Err5xx      int           `json:"err_5xx"`
+	NetErr      int           `json:"net_err"`
+	QPS         float64       `json:"qps"`
+	P50         time.Duration `json:"p50_ns"`
+	P95         time.Duration `json:"p95_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	Max         time.Duration `json:"max_ns"`
+}
+
+// runStep drives C workers against the target for the step duration.
+func runStep(client *http.Client, target, query string, conc int, d time.Duration) stepResult {
+	type obs struct {
+		code    int
+		latency time.Duration
+		netErr  bool
+	}
+	var mu sync.Mutex
+	var all []obs
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []obs
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				resp, err := client.Post(target, "application/xquery", strings.NewReader(query))
+				if err != nil {
+					local = append(local, obs{netErr: true})
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				local = append(local, obs{code: resp.StatusCode, latency: time.Since(t0)})
+			}
+			mu.Lock()
+			all = append(all, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	r := stepResult{Concurrency: conc, Requests: len(all)}
+	var okLat []time.Duration
+	for _, o := range all {
+		switch {
+		case o.netErr:
+			r.NetErr++
+		case o.code == http.StatusOK:
+			r.OK++
+			okLat = append(okLat, o.latency)
+		case o.code == http.StatusTooManyRequests:
+			r.Shed++
+		case o.code == http.StatusGatewayTimeout:
+			r.Timeout++
+		case o.code >= 500:
+			r.Err5xx++
+		default:
+			r.Err4xx++
+		}
+	}
+	r.QPS = float64(r.OK) / d.Seconds()
+	if len(okLat) > 0 {
+		sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+		r.P50 = percentile(okLat, 50)
+		r.P95 = percentile(okLat, 95)
+		r.P99 = percentile(okLat, 99)
+		r.Max = okLat[len(okLat)-1]
+	}
+	return r
+}
+
+// percentile reads the p-th percentile from a sorted latency slice.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+func fmtDur(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return d.Round(100 * time.Microsecond).String()
+}
+
+// waitReady polls /readyz until it answers 200 or the budget expires.
+func waitReady(client *http.Client, url string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %v (last: %v)", url, budget, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "nalload: %v\n", err)
+	os.Exit(1)
+}

@@ -5,6 +5,7 @@
 //	nalrun -doc bib.xml=path/to/bib.xml [-doc ...] -query query.xq [-plan grouping] [-stats]
 //	nalrun -gen 1000 -q 'let $d := doc("bib.xml") ...'
 //	nalrun -gen 1000 -var minyear=1993 -q 'declare variable $minyear external; ...'
+//	nalrun -gen 5000 -timeout 2s -query heavy.xq
 //
 // Documents are registered under the URI given before '='; queries reference
 // them via doc("uri"). With -gen N, the six synthetic use-case documents of
@@ -44,6 +45,7 @@ func main() {
 		gen       = flag.Int("gen", 0, "generate the synthetic use-case documents at this size instead of loading files")
 		apb       = flag.Int("authors", 2, "authors per book for -gen")
 		stats     = flag.Bool("stats", false, "print execution statistics to stderr")
+		timeout   = flag.Duration("timeout", 0, "cancel the run after this long (0 = no deadline)")
 	)
 	flag.Var(&docs, "doc", "uri=path document registration (repeatable)")
 	flag.Var(&vars, "var", "name=value binding for an external variable (repeatable)")
@@ -112,6 +114,11 @@ func main() {
 	// run mid-stream through the context.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	var st nalquery.Stats
 	t0 := time.Now()
 	res, err := prep.Run(ctx, append(opts, nalquery.WithStats(&st))...)

@@ -13,6 +13,8 @@
 //	                  (VALUE parses as integer, then float, then string;
 //	                  bare \set lists the current bindings)
 //	\unset NAME       remove a binding
+//	\timeout DUR      cancel runs exceeding DUR (e.g. 2s; 0 or "off" clears;
+//	                  bare \timeout shows the current deadline)
 //	\plans            show the plan alternatives of the last query
 //	\explain [NAME]   print the operator tree of a plan of the last query
 //	\plan NAME        execute a specific plan of the last query
@@ -42,9 +44,10 @@ import (
 // shell is the interactive session state: the engine, the last prepared
 // query, and the \set binding table external variables draw from.
 type shell struct {
-	eng  *nalquery.Engine
-	last *nalquery.Prepared
-	vars map[string]any
+	eng     *nalquery.Engine
+	last    *nalquery.Prepared
+	vars    map[string]any
+	timeout time.Duration // per-run deadline set by \timeout; 0 = none
 }
 
 func main() {
@@ -135,6 +138,26 @@ func (sh *shell) command(line string) bool {
 			return true
 		}
 		delete(sh.vars, strings.TrimPrefix(fields[1], "$"))
+	case `\timeout`:
+		switch {
+		case len(fields) == 1:
+			if sh.timeout == 0 {
+				fmt.Println("no timeout set")
+			} else {
+				fmt.Printf("timeout = %v\n", sh.timeout)
+			}
+		case fields[1] == "off" || fields[1] == "0":
+			sh.timeout = 0
+			fmt.Println("timeout cleared")
+		default:
+			d, err := time.ParseDuration(fields[1])
+			if err != nil || d < 0 {
+				fmt.Println("usage: \\timeout DURATION (e.g. 2s, 500ms; 0 or off clears)")
+				return true
+			}
+			sh.timeout = d
+			fmt.Printf("timeout = %v\n", d)
+		}
 	case `\gen`:
 		if len(fields) < 2 {
 			fmt.Println("usage: \\gen SIZE [AUTHORS_PER_BOOK]")
@@ -249,6 +272,11 @@ func (sh *shell) execute(q *nalquery.Prepared, name string) {
 	// whole output string; Ctrl-C cancels a long-running plan mid-stream.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if sh.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sh.timeout)
+		defer cancel()
+	}
 	var stats nalquery.Stats
 	t0 := time.Now()
 	opts := []nalquery.RunOption{nalquery.WithPlan(name), nalquery.WithStats(&stats)}

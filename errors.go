@@ -73,6 +73,50 @@ func (e *BindError) Is(target error) bool { return target == e.reason }
 // Unwrap returns the sentinel classifying the failure.
 func (e *BindError) Unwrap() error { return e.reason }
 
+// ErrInternal is the sentinel matched (via errors.Is) by the
+// *InternalError produced when query evaluation panics. The panic is
+// recovered at the public Run/Results boundary — one poison query fails
+// its own run instead of taking the process down.
+var ErrInternal = errors.New("nalquery: internal error")
+
+// InternalError reports an evaluator panic recovered at the Run/Results
+// boundary: Query.Run, Prepared.Run, Results.Next/WriteXML and the
+// deprecated Execute wrappers all convert a panicking plan into this error
+// instead of propagating the panic. It matches ErrInternal under errors.Is
+// and carries everything a serving layer needs to log the poison query.
+type InternalError struct {
+	// Query is the text of the query whose evaluation panicked.
+	Query string
+	// Plan is the plan alternative that was running ("" if the panic
+	// happened before plan selection).
+	Plan string
+	// Panic is the recovered panic value.
+	Panic any
+	// Stack is the goroutine stack captured at the recovery point; it
+	// includes the panic origin.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	if e.Plan == "" {
+		return fmt.Sprintf("nalquery: internal error: %v", e.Panic)
+	}
+	return fmt.Sprintf("nalquery: internal error evaluating plan %q: %v", e.Plan, e.Panic)
+}
+
+// Is implements the errors.Is protocol: every InternalError matches the
+// ErrInternal sentinel.
+func (e *InternalError) Is(target error) bool { return target == ErrInternal }
+
+// Unwrap exposes the panic value when it is itself an error, so callers can
+// errors.Is/As through to a typed cause (panic(err) inside an evaluator).
+func (e *InternalError) Unwrap() error {
+	if err, ok := e.Panic.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // ParseError is a query syntax error with its source position.
 type ParseError struct {
 	// Line is the 1-based line of the query text the parser stopped at.

@@ -1,0 +1,216 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAcquireUpToCap(t *testing.T) {
+	c := New(3, 0)
+	var rels []func()
+	for i := 0; i < 3; i++ {
+		rel, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		rels = append(rels, rel)
+	}
+	if got := c.Counters(); got.Active != 3 || got.Admitted != 3 {
+		t.Fatalf("counters = %+v, want 3 active / 3 admitted", got)
+	}
+	// Queue bound 0: the fourth request sheds immediately.
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("over-cap acquire = %v, want ErrShed", err)
+	}
+	if got := c.Counters().Shed; got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+	rels[0]()
+	if _, err := c.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	c := New(1, 0)
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // double release must not free a phantom slot
+	rel2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel2()
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("second acquire = %v, want ErrShed (slot still held)", err)
+	}
+	if got := c.Counters().Active; got != 1 {
+		t.Fatalf("active = %d, want 1", got)
+	}
+}
+
+func TestQueueAdmitsWhenSlotFrees(t *testing.T) {
+	c := New(1, 2)
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		rel2, err := c.Acquire(context.Background())
+		if err == nil {
+			defer rel2()
+		}
+		got <- err
+	}()
+	// The waiter is queued, not shed.
+	deadline := time.After(2 * time.Second)
+	for c.Counters().Queued == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	rel()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire = %v, want admission after release", err)
+	}
+}
+
+func TestQueueBoundSheds(t *testing.T) {
+	c := New(1, 1)
+	rel, _ := c.Acquire(context.Background())
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx)
+		queuedErr <- err
+	}()
+	for c.Counters().Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Queue is now full: the next request sheds at once.
+	start := time.Now()
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("acquire with full queue = %v, want ErrShed", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("shed took %v, want prompt rejection", d)
+	}
+	cancel()
+	if err := <-queuedErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter = %v, want context.Canceled", err)
+	}
+	if got := c.Counters().Expired; got != 1 {
+		t.Fatalf("expired counter = %d, want 1", got)
+	}
+}
+
+func TestQueuedWaiterDeadline(t *testing.T) {
+	c := New(1, 4)
+	rel, _ := c.Acquire(context.Background())
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := c.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired waiter = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestDrainRefusesAndUnblocksWaiters(t *testing.T) {
+	c := New(1, 4)
+	rel, _ := c.Acquire(context.Background())
+	waiter := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(context.Background())
+		waiter <- err
+	}()
+	for c.Counters().Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Drain()
+	c.Drain() // idempotent
+	if err := <-waiter; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter after Drain = %v, want ErrDraining", err)
+	}
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("fresh acquire after Drain = %v, want ErrDraining", err)
+	}
+	// The in-flight holder still drains out; Wait observes it.
+	wctx, wcancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer wcancel()
+	if err := c.Wait(wctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait with a holder = %v, want DeadlineExceeded", err)
+	}
+	rel()
+	if err := c.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait after release = %v", err)
+	}
+}
+
+// TestConcurrentStress hammers the controller from many goroutines and
+// checks the books balance: the in-flight bound is never exceeded and
+// every decision is counted exactly once. Run under -race this is the
+// package's data-race gate.
+func TestConcurrentStress(t *testing.T) {
+	const cap, queue, workers, rounds = 4, 8, 32, 50
+	c := New(cap, queue)
+	var inFlight, maxSeen atomic.Int64
+	var ok, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				rel, err := c.Acquire(ctx)
+				if err != nil {
+					rejected.Add(1)
+					cancel()
+					continue
+				}
+				n := inFlight.Add(1)
+				for {
+					m := maxSeen.Load()
+					if n <= m || maxSeen.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				time.Sleep(time.Duration(i%3) * 100 * time.Microsecond)
+				inFlight.Add(-1)
+				rel()
+				ok.Add(1)
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := maxSeen.Load(); got > cap {
+		t.Fatalf("observed %d concurrent holders, cap is %d", got, cap)
+	}
+	cnt := c.Counters()
+	if cnt.Active != 0 || cnt.Queued != 0 {
+		t.Fatalf("counters not drained: %+v", cnt)
+	}
+	if cnt.Admitted != ok.Load() {
+		t.Fatalf("admitted = %d, released OK = %d", cnt.Admitted, ok.Load())
+	}
+	if cnt.Shed+cnt.Expired != rejected.Load() {
+		t.Fatalf("shed %d + expired %d != rejections %d", cnt.Shed, cnt.Expired, rejected.Load())
+	}
+	if total := cnt.Admitted + cnt.Shed + cnt.Expired; total != workers*rounds {
+		t.Fatalf("decisions %d != requests %d", total, workers*rounds)
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	nalquery "nalquery"
+	"nalquery/internal/server"
+)
+
+// The server benchmark family measures the full HTTP serving stack —
+// handler dispatch, admission control, deadline plumbing, engine run and
+// response streaming — without sockets, via the in-process handler. Two
+// shapes bracket the serving cost: ad-hoc text on /query (plan-cache hit
+// per request) and a named statement on /prepared/{name} (bind-and-run,
+// the steady-state serving-loop profile).
+
+// serverBenchQuery streams titles from the bib corpus: cheap enough that
+// the per-request HTTP and admission overhead is visible in the profile.
+const serverBenchQuery = `
+let $d1 := doc("bib.xml")
+for $t1 in $d1//book/title
+return <t>{ $t1 }</t>`
+
+// ServerBenchTargets measures the HTTP serving pipeline at each size.
+func ServerBenchTargets(sizes []int) ([]BenchTarget, error) {
+	var out []BenchTarget
+	for _, size := range sizes {
+		eng := nalquery.NewEngine()
+		eng.LoadUseCaseDocuments(size, 2)
+		srv := server.New(eng, server.Config{MaxInFlight: 8, MaxQueue: 64}, log.New(io.Discard, "", 0))
+		if err := srv.RegisterPrepared("titles", serverBenchQuery); err != nil {
+			return nil, err
+		}
+		h := srv.Handler()
+		do := func(target, body string) error {
+			req := httptest.NewRequest(http.MethodPost, target, strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				return fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
+			}
+			return nil
+		}
+		out = append(out,
+			BenchTarget{
+				Experiment: "server", Plan: "http-query", Size: size,
+				Run: func() error { return do("/query", serverBenchQuery) },
+			},
+			BenchTarget{
+				Experiment: "server", Plan: "http-prepared", Size: size,
+				Run: func() error { return do("/prepared/titles", "") },
+			},
+		)
+	}
+	return out, nil
+}

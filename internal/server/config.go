@@ -1,0 +1,76 @@
+package server
+
+import (
+	"runtime"
+	"time"
+)
+
+// Config are the robustness knobs of the query service. The zero value is
+// usable: New applies the defaults below, chosen so a default deployment
+// degrades gracefully instead of collapsing under overload.
+type Config struct {
+	// MaxInFlight bounds concurrent query runs (default: GOMAXPROCS).
+	// Everything beyond it waits in the bounded queue.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a slot (default: 4×MaxInFlight;
+	// negative = no queue, shed as soon as all slots are busy). A request
+	// arriving with the queue full is shed with 429/Retry-After.
+	MaxQueue int
+	// DefaultTimeout is the per-request run deadline applied when the
+	// client sends none (default: 10s). It covers queue wait + execution.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default: 60s): a slow
+	// query can cost one slot for at most this long.
+	MaxTimeout time.Duration
+	// DrainTimeout is the graceful-shutdown budget (default: 10s): after
+	// it, still-running queries are cancelled through their contexts.
+	DrainTimeout time.Duration
+	// RetryAfter is the client backoff hint sent with 429 responses
+	// (default: 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes caps request bodies — query texts and document uploads
+	// (default: 16 MiB).
+	MaxBodyBytes int64
+	// SpillBytes is the response-buffer threshold (default: 64 KiB). A run
+	// failing before producing this much output still gets a proper error
+	// status and JSON body; beyond it the response commits to streaming, so
+	// large results never buffer whole.
+	SpillBytes int
+	// Debug mounts the /debug endpoints (the panic probe used by the e2e
+	// suite to prove panic isolation end to end).
+	Debug bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	} else if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.DefaultTimeout > c.MaxTimeout {
+		c.DefaultTimeout = c.MaxTimeout
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.SpillBytes <= 0 {
+		c.SpillBytes = 64 << 10
+	}
+	return c
+}

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	nalquery "nalquery"
+	"nalquery/internal/admission"
+)
+
+// errorBody is the JSON error envelope of every non-2xx answer. Kind is a
+// stable machine-checkable discriminator ("parse", "bind", "plan",
+// "timeout", "shed", "draining", "internal", "request", "cancelled",
+// "error").
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// writeError answers one JSON error body. It must only be called before
+// the response is committed (on a committed stream the header write is a
+// no-op and the payload would corrupt the stream — stream enders handle
+// that case themselves).
+func writeError(w http.ResponseWriter, status int, kind, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: msg, Kind: kind})
+}
+
+// errorStatus maps the library's and the admission layer's typed errors
+// onto HTTP status codes and error kinds.
+func errorStatus(err error) (status int, kind string) {
+	var pe *nalquery.ParseError
+	var be *nalquery.BindError
+	switch {
+	case errors.Is(err, nalquery.ErrInternal):
+		return http.StatusInternalServerError, "internal"
+	case errors.As(err, &pe):
+		return http.StatusBadRequest, "parse"
+	case errors.As(err, &be):
+		return http.StatusBadRequest, "bind"
+	case errors.Is(err, nalquery.ErrUnknownPlan), errors.Is(err, nalquery.ErrNoPlan):
+		return http.StatusBadRequest, "plan"
+	case errors.Is(err, admission.ErrShed):
+		return http.StatusTooManyRequests, "shed"
+	case errors.Is(err, admission.ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "cancelled"
+	default:
+		return http.StatusInternalServerError, "error"
+	}
+}
+
+// spillWriter defers the response status until either the run produced
+// `limit` bytes (commit to 200 and stream from then on) or it finished.
+// A run that fails before the threshold can therefore still answer with a
+// proper error status and body; a larger result streams without ever
+// buffering whole.
+type spillWriter struct {
+	w           http.ResponseWriter
+	limit       int
+	status      int
+	contentType string
+
+	buf       bytes.Buffer
+	committed bool
+}
+
+func (sp *spillWriter) Write(p []byte) (int, error) {
+	if sp.committed {
+		return sp.w.Write(p)
+	}
+	sp.buf.Write(p)
+	if sp.buf.Len() >= sp.limit {
+		sp.commit()
+	}
+	return len(p), nil
+}
+
+// commit writes the header and the buffered prefix; later writes stream.
+func (sp *spillWriter) commit() {
+	sp.committed = true
+	sp.w.Header().Set("Content-Type", sp.contentType)
+	sp.w.WriteHeader(sp.status)
+	sp.w.Write(sp.buf.Bytes())
+	sp.buf.Reset()
+}
+
+// finish flushes a small (never-committed) response in one piece.
+func (sp *spillWriter) finish() {
+	if !sp.committed {
+		sp.commit()
+	}
+	if f, ok := sp.w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// streamResults writes a run's result in the requested format. The
+// response status depends on how the run ends, which the spill buffer
+// makes possible without materializing large results.
+func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, res *nalquery.Results) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "xml":
+		s.streamXML(w, res)
+	case "json":
+		s.streamNDJSON(w, res)
+	default:
+		writeError(w, http.StatusBadRequest, "request",
+			"unknown format "+format+" (want xml or json)")
+	}
+}
+
+// streamXML serializes the run as the query's constructed XML document.
+// A failure before the spill threshold answers with the mapped error
+// status; after commitment the connection is aborted so the client
+// reliably observes truncation instead of a silently short 200.
+func (s *Server) streamXML(w http.ResponseWriter, res *nalquery.Results) {
+	sp := &spillWriter{w: w, limit: s.cfg.SpillBytes, status: http.StatusOK,
+		contentType: "application/xml; charset=utf-8"}
+	err := res.WriteXML(sp)
+	if err != nil {
+		s.countRunError(err)
+		if !sp.committed {
+			status, kind := errorStatus(err)
+			writeError(w, status, kind, err.Error())
+			return
+		}
+		s.log.Printf("aborting committed stream: %v", err)
+		panic(http.ErrAbortHandler)
+	}
+	sp.finish()
+}
+
+// jsonItem is one NDJSON line of a ?format=json response: a literal
+// markup fragment or a typed value with its serialized form. A run that
+// fails mid-stream ends with a final {"error","kind"} line instead of
+// silent truncation.
+type jsonItem struct {
+	Kind  string `json:"kind"` // "markup" or "value"
+	Type  string `json:"type,omitempty"`
+	Value string `json:"value,omitempty"`
+	XML   string `json:"xml"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) streamNDJSON(w http.ResponseWriter, res *nalquery.Results) {
+	sp := &spillWriter{w: w, limit: s.cfg.SpillBytes, status: http.StatusOK,
+		contentType: "application/x-ndjson"}
+	enc := json.NewEncoder(sp)
+	for item := range res.Seq() {
+		line := jsonItem{Kind: "markup", XML: item.XML()}
+		if item.IsValue() {
+			v := item.Value()
+			line = jsonItem{Kind: "value", Type: v.Kind().String(), Value: v.String(), XML: item.XML()}
+		}
+		enc.Encode(line)
+	}
+	if err := res.Err(); err != nil {
+		s.countRunError(err)
+		if !sp.committed {
+			status, kind := errorStatus(err)
+			writeError(w, status, kind, err.Error())
+			return
+		}
+		_, kind := errorStatus(err)
+		enc.Encode(jsonItem{Kind: "error", Error: err.Error(), Type: kind})
+	}
+	sp.finish()
+}

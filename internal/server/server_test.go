@@ -1,0 +1,132 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	nalquery "nalquery"
+	"nalquery/internal/admission"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.MaxInFlight < 1 || c.MaxQueue != 4*c.MaxInFlight {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.DefaultTimeout <= 0 || c.MaxTimeout < c.DefaultTimeout || c.SpillBytes <= 0 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	// A default timeout above the cap is clamped to it.
+	c = Config{DefaultTimeout: time.Hour, MaxTimeout: time.Minute}.withDefaults()
+	if c.DefaultTimeout != time.Minute {
+		t.Fatalf("DefaultTimeout not clamped: %v", c.DefaultTimeout)
+	}
+	// MaxQueue: negative means "no queue", zero means the default.
+	if c := (Config{MaxQueue: -1}).withDefaults(); c.MaxQueue != 0 {
+		t.Fatalf("negative MaxQueue = %d, want 0", c.MaxQueue)
+	}
+}
+
+func TestRequestTimeoutResolution(t *testing.T) {
+	s := New(nalquery.NewEngine(), Config{DefaultTimeout: 5 * time.Second, MaxTimeout: 10 * time.Second}, nil)
+	cases := []struct {
+		header, param string
+		want          time.Duration
+		wantErr       bool
+	}{
+		{"", "", 5 * time.Second, false},
+		{"250ms", "", 250 * time.Millisecond, false},
+		{"", "2s", 2 * time.Second, false},
+		{"1s", "2s", 2 * time.Second, false}, // the query param wins
+		{"", "99h", 10 * time.Second, false}, // capped server-side
+		{"", "-1s", 0, true},
+		{"soon", "", 0, true},
+	}
+	for _, c := range cases {
+		url := "/query"
+		if c.param != "" {
+			url += "?timeout=" + c.param
+		}
+		r := httptest.NewRequest(http.MethodPost, url, nil)
+		if c.header != "" {
+			r.Header.Set("X-Nalquery-Timeout", c.header)
+		}
+		got, err := s.requestTimeout(r)
+		if (err != nil) != c.wantErr || (err == nil && got != c.want) {
+			t.Errorf("header=%q param=%q: got %v/%v, want %v (err %v)",
+				c.header, c.param, got, err, c.want, c.wantErr)
+		}
+	}
+}
+
+func TestErrorStatusMapping(t *testing.T) {
+	cases := []struct {
+		err        error
+		wantStatus int
+		wantKind   string
+	}{
+		{&nalquery.InternalError{Panic: "x"}, 500, "internal"},
+		{&nalquery.ParseError{Line: 1, Msg: "bad"}, 400, "parse"},
+		{nalquery.ErrNoPlan, 400, "plan"},
+		{admission.ErrShed, 429, "shed"},
+		{admission.ErrDraining, 503, "draining"},
+		{context.DeadlineExceeded, 504, "timeout"},
+		{context.Canceled, 503, "cancelled"},
+		{errors.New("mystery"), 500, "error"},
+	}
+	for _, c := range cases {
+		status, kind := errorStatus(c.err)
+		if status != c.wantStatus || kind != c.wantKind {
+			t.Errorf("errorStatus(%v) = %d/%s, want %d/%s", c.err, status, kind, c.wantStatus, c.wantKind)
+		}
+	}
+}
+
+func TestSpillWriterCommitBoundary(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sp := &spillWriter{w: rec, limit: 10, status: 200, contentType: "text/plain"}
+	sp.Write([]byte("12345"))
+	if sp.committed {
+		t.Fatal("committed below the threshold")
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatal("bytes leaked to the response before commit")
+	}
+	sp.Write([]byte("67890X")) // crosses the threshold
+	if !sp.committed {
+		t.Fatal("did not commit at the threshold")
+	}
+	sp.Write([]byte("tail"))
+	sp.finish()
+	if got := rec.Body.String(); got != "1234567890Xtail" {
+		t.Fatalf("streamed body %q", got)
+	}
+	if got := rec.Header().Get("Content-Type"); got != "text/plain" {
+		t.Fatalf("content-type %q", got)
+	}
+
+	// A small response commits only at finish, in one piece.
+	rec = httptest.NewRecorder()
+	sp = &spillWriter{w: rec, limit: 100, status: 201, contentType: "text/plain"}
+	sp.Write([]byte("tiny"))
+	sp.finish()
+	if rec.Code != 201 || rec.Body.String() != "tiny" {
+		t.Fatalf("small response: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestRunOptionsVarParsing(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/query?var=a=1&var=$b=x&plan=nested", nil)
+	opts, err := runOptions(r)
+	if err != nil || len(opts) != 3 {
+		t.Fatalf("opts = %d, err %v", len(opts), err)
+	}
+	r = httptest.NewRequest(http.MethodPost, "/query?var=novalue", nil)
+	if _, err := runOptions(r); err == nil {
+		t.Fatal("malformed var accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"context"
 	"io"
 	"iter"
+	"runtime/debug"
 	"strings"
 
 	"nalquery/internal/algebra"
@@ -60,6 +61,12 @@ func WithStats(st *Stats) RunOption {
 // unknown plan name surfaces here as *UnknownPlanError (ErrNoPlan for a
 // planless query), and a missing, unknown or ill-typed Bind of an external
 // variable as *BindError.
+//
+// Run and the Results consumption methods are a panic-recovery boundary:
+// an evaluator panic never escapes to the caller — it surfaces as a typed
+// *InternalError (errors.Is-matchable against ErrInternal) carrying the
+// query text and the captured stack, so a serving process survives a
+// poison query.
 func (q *Query) Run(ctx context.Context, opts ...RunOption) (*Results, error) {
 	var cfg runConfig
 	for _, o := range opts {
@@ -69,8 +76,15 @@ func (q *Query) Run(ctx context.Context, opts ...RunOption) (*Results, error) {
 }
 
 // run is the shared session constructor behind Run and the deprecated
-// Execute wrappers (which bypass the options slice on the hot path).
-func (q *Query) run(ctx context.Context, cfg runConfig) (*Results, error) {
+// Execute wrappers (which bypass the options slice on the hot path). Like
+// the Results consumption methods it is a panic-recovery boundary: any
+// panic below it surfaces as a typed *InternalError, never as a crash.
+func (q *Query) run(ctx context.Context, cfg runConfig) (res *Results, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, &InternalError{Query: q.Text, Plan: cfg.plan, Panic: p, Stack: debug.Stack()}
+		}
+	}()
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -148,10 +162,24 @@ func (r *Results) openTyped() {
 	r.pump = algebra.OpenPump(r.plan.op, r.actx, nil)
 }
 
+// internalError wraps a recovered evaluator panic into the session's typed
+// *InternalError. It must be called from the recovering deferred function,
+// where the stack still includes the panic origin.
+func (r *Results) internalError(p any) *InternalError {
+	return &InternalError{Query: r.q.Text, Plan: r.plan.Name, Panic: p, Stack: debug.Stack()}
+}
+
 // Next returns the next result item; ok is false when the stream ends —
-// because the plan is exhausted, the context was cancelled (check Err), or
+// because the plan is exhausted, the context was cancelled (check Err), a
+// panicking evaluator was recovered into an *InternalError (check Err), or
 // the session was closed.
 func (r *Results) Next() (item Item, ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.fail(r.internalError(p))
+			item, ok = Item{}, false
+		}
+	}()
 	if r.closed || r.err != nil {
 		return Item{}, false
 	}
@@ -231,17 +259,28 @@ func (r *Results) WriteXML(w io.Writer) error {
 
 // drainTo is the serialize-while-executing fast path: no sink, no item
 // queue — the exact execution profile of the historical Execute/ExecuteTo.
+// An evaluator panic is recovered into the session's *InternalError.
 func (r *Results) drainTo(w io.Writer) error {
 	r.opened = true
 	sw, flush := writerSink(w)
 	r.actx = r.newAlgebraCtx(sw)
-	if r.cfg.reference {
-		r.plan.op.Eval(r.actx, nil)
-	} else {
-		algebra.DrainIter(r.plan.op, r.actx, nil)
-	}
+	perr := func() (perr error) {
+		defer func() {
+			if p := recover(); p != nil {
+				perr = r.internalError(p)
+			}
+		}()
+		if r.cfg.reference {
+			r.plan.op.Eval(r.actx, nil)
+		} else {
+			algebra.DrainIter(r.plan.op, r.actx, nil)
+		}
+		return nil
+	}()
 	r.done = true
-	if err := context.Cause(r.ctx); err != nil {
+	if perr != nil {
+		r.fail(perr)
+	} else if err := context.Cause(r.ctx); err != nil {
 		r.fail(err)
 	} else {
 		r.finish()
@@ -316,11 +355,22 @@ func (r *Results) finish() {
 	r.releasePump()
 }
 
+// releasePump closes the iterator tree. A plan whose evaluation panicked
+// may hold half-open iterator state, so Close itself runs under the
+// recovery boundary too: a panic during release is converted (or, after an
+// earlier failure, subsumed) instead of escaping through fail/Close.
 func (r *Results) releasePump() {
-	if r.pump != nil {
-		r.pump.Close()
-		r.pump = nil
+	if r.pump == nil {
+		return
 	}
+	p := r.pump
+	r.pump = nil
+	defer func() {
+		if v := recover(); v != nil && r.err == nil {
+			r.err = r.internalError(v)
+		}
+	}()
+	p.Close()
 }
 
 // recordStats publishes the final counters into the WithStats target. The
