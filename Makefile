@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet test race-test bench-smoke bench-json bench-diff serve load-smoke ci
+.PHONY: tier1 vet test race-test faults bench-smoke bench-json bench-diff serve load-smoke ci
 
 tier1:
 	$(GO) build ./...
@@ -23,6 +23,14 @@ test:
 race-test:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# faults runs the resource-governance fault-injection sweep under the race
+# detector: every paper plan on both engines, tripped at every operator
+# boundary the run crosses (faults_test.go), plus the budget-exhaustion
+# paths of the HTTP tier. Uncached (-count=1) so CI always re-executes it.
+faults:
+	$(GO) test -race -count=1 -run 'TestFault|TestWithMax|TestBudget|TestConcurrentBudget' .
+	$(GO) test -race -count=1 -run 'TestResource|TestRequestBodyBounds' ./internal/server/
 
 bench-smoke: vet
 	$(GO) build ./...

@@ -48,6 +48,7 @@ func main() {
 		queryF   = flag.String("query", "", "file containing the XQuery")
 		plan     = flag.String("plan", "", "plan alternative (?plan=)")
 		timeout  = flag.Duration("timeout", 0, "per-request deadline sent to the server (?timeout=)")
+		maxMem   = flag.String("max-memory", "", "per-request memory budget sent to the server (?max-memory=)")
 		steps    = flag.String("concurrency", "1,4,16,64", "comma-separated concurrency steps")
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration per step")
 		warmup   = flag.Duration("warmup", 500*time.Millisecond, "warmup before the first step")
@@ -76,6 +77,10 @@ func main() {
 	}
 	if *timeout > 0 {
 		target += sep + "timeout=" + timeout.String()
+		sep = "&"
+	}
+	if *maxMem != "" {
+		target += sep + "max-memory=" + *maxMem
 	}
 
 	var concs []int
@@ -108,11 +113,11 @@ func main() {
 		enc.Encode(report)
 		return
 	}
-	fmt.Printf("%6s %8s %8s %8s %8s %6s %6s %6s   %9s %9s %9s %9s\n",
-		"conc", "reqs", "ok", "shed", "timeout", "5xx", "4xx", "neterr", "qps", "p50", "p95", "p99")
+	fmt.Printf("%6s %8s %8s %8s %8s %8s %6s %6s %6s   %9s %9s %9s %9s\n",
+		"conc", "reqs", "ok", "shed", "timeout", "resrc", "5xx", "4xx", "neterr", "qps", "p50", "p95", "p99")
 	for _, r := range report {
-		fmt.Printf("%6d %8d %8d %8d %8d %6d %6d %6d   %9.1f %9s %9s %9s\n",
-			r.Concurrency, r.Requests, r.OK, r.Shed, r.Timeout, r.Err5xx, r.Err4xx, r.NetErr,
+		fmt.Printf("%6d %8d %8d %8d %8d %8d %6d %6d %6d   %9.1f %9s %9s %9s\n",
+			r.Concurrency, r.Requests, r.OK, r.Shed, r.Timeout, r.Resource, r.Err5xx, r.Err4xx, r.NetErr,
 			r.QPS, fmtDur(r.P50), fmtDur(r.P95), fmtDur(r.P99))
 	}
 }
@@ -126,6 +131,7 @@ type stepResult struct {
 	OK          int           `json:"ok"`
 	Shed        int           `json:"shed"`
 	Timeout     int           `json:"timeout"`
+	Resource    int           `json:"resource"`
 	Err4xx      int           `json:"err_4xx"`
 	Err5xx      int           `json:"err_5xx"`
 	NetErr      int           `json:"net_err"`
@@ -183,6 +189,8 @@ func runStep(client *http.Client, target, query string, conc int, d time.Duratio
 			r.Shed++
 		case o.code == http.StatusGatewayTimeout:
 			r.Timeout++
+		case o.code == http.StatusRequestEntityTooLarge:
+			r.Resource++
 		case o.code >= 500:
 			r.Err5xx++
 		default:

@@ -46,6 +46,7 @@ func main() {
 		apb       = flag.Int("authors", 2, "authors per book for -gen")
 		stats     = flag.Bool("stats", false, "print execution statistics to stderr")
 		timeout   = flag.Duration("timeout", 0, "cancel the run after this long (0 = no deadline)")
+		maxMemory = flag.String("max-memory", "0", "abort the run past this memory budget (bytes, k/m/g suffix; 0 = unlimited)")
 	)
 	flag.Var(&docs, "doc", "uri=path document registration (repeatable)")
 	flag.Var(&vars, "var", "name=value binding for an external variable (repeatable)")
@@ -101,6 +102,12 @@ func main() {
 		fail(err)
 	}
 	opts := []nalquery.RunOption{nalquery.WithPlan(*plan)}
+	if budget, err := cli.ParseBytes(*maxMemory); err != nil {
+		fmt.Fprintf(os.Stderr, "nalrun: -max-memory: %v\n", err)
+		os.Exit(2)
+	} else if budget > 0 {
+		opts = append(opts, nalquery.WithMaxMemory(budget))
+	}
 	for _, v := range vars {
 		name, val, ok := strings.Cut(v, "=")
 		if !ok {

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	nalquery "nalquery"
+	"nalquery/internal/cli"
 	"nalquery/internal/server"
 	"nalquery/internal/store"
 )
@@ -62,6 +63,8 @@ func main() {
 		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget before in-flight runs are cancelled")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		maxBody     = flag.Int64("max-body", 16<<20, "request body cap in bytes")
+		maxMemory   = flag.String("max-memory", "0", "default per-run memory budget (bytes, k/m/g suffix; 0 = unlimited)")
+		maxMemCap   = flag.String("max-memory-cap", "1g", "cap on client-requested memory budgets")
 		debug       = flag.Bool("debug", false, "mount the /debug endpoints (panic probe)")
 	)
 	flag.Var(&docs, "doc", "uri=path document registration (repeatable; .nalb store files supported)")
@@ -69,6 +72,15 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "nalserved: ", log.LstdFlags|log.Lmsgprefix)
+
+	defMem, err := cli.ParseBytes(*maxMemory)
+	if err != nil {
+		logger.Fatalf("-max-memory: %v", err)
+	}
+	memCap, err := cli.ParseBytes(*maxMemCap)
+	if err != nil {
+		logger.Fatalf("-max-memory-cap: %v", err)
+	}
 
 	eng := nalquery.NewEngine()
 	if *gen > 0 {
@@ -88,14 +100,16 @@ func main() {
 	}
 
 	srv := server.New(eng, server.Config{
-		MaxInFlight:    *maxInFlight,
-		MaxQueue:       *maxQueue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		DrainTimeout:   *drain,
-		RetryAfter:     *retryAfter,
-		MaxBodyBytes:   *maxBody,
-		Debug:          *debug,
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		DrainTimeout:     *drain,
+		RetryAfter:       *retryAfter,
+		MaxBodyBytes:     *maxBody,
+		DefaultMaxMemory: defMem,
+		MaxMemoryCap:     memCap,
+		Debug:            *debug,
 	}, logger)
 
 	for _, p := range prepares {

@@ -15,6 +15,8 @@
 //	\unset NAME       remove a binding
 //	\timeout DUR      cancel runs exceeding DUR (e.g. 2s; 0 or "off" clears;
 //	                  bare \timeout shows the current deadline)
+//	\limit BYTES      abort runs past this memory budget (e.g. 64k, 16m;
+//	                  0 or "off" clears; bare \limit shows the current limit)
 //	\plans            show the plan alternatives of the last query
 //	\explain [NAME]   print the operator tree of a plan of the last query
 //	\plan NAME        execute a specific plan of the last query
@@ -48,6 +50,7 @@ type shell struct {
 	last    *nalquery.Prepared
 	vars    map[string]any
 	timeout time.Duration // per-run deadline set by \timeout; 0 = none
+	limit   int64         // per-run memory budget set by \limit; 0 = none
 }
 
 func main() {
@@ -157,6 +160,26 @@ func (sh *shell) command(line string) bool {
 			}
 			sh.timeout = d
 			fmt.Printf("timeout = %v\n", d)
+		}
+	case `\limit`:
+		switch {
+		case len(fields) == 1:
+			if sh.limit == 0 {
+				fmt.Println("no memory limit set")
+			} else {
+				fmt.Printf("limit = %d bytes\n", sh.limit)
+			}
+		case fields[1] == "off" || fields[1] == "0":
+			sh.limit = 0
+			fmt.Println("memory limit cleared")
+		default:
+			n, err := cli.ParseBytes(fields[1])
+			if err != nil {
+				fmt.Println("usage: \\limit BYTES (e.g. 65536, 64k, 16m; 0 or off clears)")
+				return true
+			}
+			sh.limit = n
+			fmt.Printf("limit = %d bytes\n", n)
 		}
 	case `\gen`:
 		if len(fields) < 2 {
@@ -280,6 +303,9 @@ func (sh *shell) execute(q *nalquery.Prepared, name string) {
 	var stats nalquery.Stats
 	t0 := time.Now()
 	opts := []nalquery.RunOption{nalquery.WithPlan(name), nalquery.WithStats(&stats)}
+	if sh.limit > 0 {
+		opts = append(opts, nalquery.WithMaxMemory(sh.limit))
+	}
 	for _, v := range q.Vars() {
 		if val, ok := sh.vars[v]; ok {
 			opts = append(opts, nalquery.Bind(v, val))

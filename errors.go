@@ -117,6 +117,41 @@ func (e *InternalError) Unwrap() error {
 	return nil
 }
 
+// ErrResourceExhausted is the sentinel matched (via errors.Is) by the
+// *ResourceError produced when a run crosses its resource budget (see
+// WithMaxMemory / WithMaxTuples). Like a cancellation it fails only the
+// offending run — the engine and every concurrent run keep working.
+var ErrResourceExhausted = errors.New("nalquery: resource budget exhausted")
+
+// ResourceError reports a run aborted by its resource budget: a pipeline
+// breaker, scan, dedup table or result serialization tried to materialize
+// past the configured byte or tuple limit. It surfaces from Run, Results
+// consumption and WriteXML — never as a panic, never as a silent partial
+// result — and matches ErrResourceExhausted under errors.Is.
+type ResourceError struct {
+	// Query is the text of the query whose run tripped.
+	Query string
+	// Plan is the plan alternative that was running.
+	Plan string
+	// Op labels the operator boundary that tripped: "scan", "build",
+	// "probe", "sort", "group", "partition", "dedup" or "serialize".
+	Op string
+	// Bytes and Tuples are the run's charge counters at the trip.
+	Bytes, Tuples int64
+	// MaxBytes and MaxTuples are the run's limits (0 = unlimited; both
+	// zero means the trip was forced by a fault-injection hook).
+	MaxBytes, MaxTuples int64
+}
+
+func (e *ResourceError) Error() string {
+	return fmt.Sprintf("nalquery: resource budget exhausted at %s in plan %q (%d bytes, %d tuples; limits %d bytes, %d tuples)",
+		e.Op, e.Plan, e.Bytes, e.Tuples, e.MaxBytes, e.MaxTuples)
+}
+
+// Is implements the errors.Is protocol: every ResourceError matches the
+// ErrResourceExhausted sentinel.
+func (e *ResourceError) Is(target error) bool { return target == ErrResourceExhausted }
+
 // ParseError is a query syntax error with its source position.
 type ParseError struct {
 	// Line is the 1-based line of the query text the parser stopped at.

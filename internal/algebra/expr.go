@@ -64,6 +64,11 @@ type Ctx struct {
 	// expressions read their value by slot index. The slice is fixed for
 	// the lifetime of one run (bindings never change mid-execution).
 	Params []value.Value
+	// Budget, when non-nil, is the run's resource governor: materialization
+	// points (breaker drains, scan producers, dedup tables, Ξ emission)
+	// charge it and the first charge past a limit aborts the run with a
+	// typed ResourceTrip (see budget.go). nil disables all accounting.
+	Budget *Budget
 
 	// done, when non-nil, is the run's cancellation signal (a
 	// context.Context Done channel). Scans and pipeline breakers poll it
@@ -74,8 +79,11 @@ type Ctx struct {
 }
 
 // EmitLit routes a Ξ literal to the sink, or to the serialized output
-// stream when no sink is attached.
+// stream when no sink is attached. Emission is a charge point: output
+// accumulates in item queues, spill buffers and in-memory builders, so the
+// emitted bytes count against the run's budget.
 func (c *Ctx) EmitLit(s string) {
+	c.ChargeBytes(TripSerialize, len(s))
 	if c.Sink != nil {
 		c.Sink.EmitLit(s)
 		return
@@ -84,8 +92,12 @@ func (c *Ctx) EmitLit(s string) {
 }
 
 // EmitValue routes a Ξ expression value to the sink, or serializes it onto
-// the output stream when no sink is attached.
+// the output stream when no sink is attached. Values charge a flat word
+// count (their serialized size is not cheaply known).
 func (c *Ctx) EmitValue(v value.Value) {
+	if c.Budget != nil {
+		c.charge(TripSerialize, 0, emitValueFlatBytes)
+	}
 	if c.Sink != nil {
 		c.Sink.EmitValue(v)
 		return

@@ -23,6 +23,7 @@ type GroupUnary struct {
 // Eval implements Op.
 func (g GroupUnary) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 	in := g.In.Eval(ctx, env)
+	ctx.ChargeTuples(TripGroup, in)
 	keys, buckets := partition(in, g.By)
 	var out value.TupleSeq
 	if g.Theta == value.CmpEq {
@@ -114,6 +115,7 @@ func (g GroupBinary) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := g.R.Eval(ctx, env)
+	ctx.ChargeTuples(TripGroup, r)
 	out := make(value.TupleSeq, 0, len(l))
 	if g.Theta == value.CmpEq && !g.ForceScan {
 		hash := buildHash(r, g.RAttrs)
@@ -272,6 +274,7 @@ func (u UnnestDistinct) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 			if seen[k] {
 				continue
 			}
+			ctx.charge(TripDedup, 0, dedupEntryBytes+int64(len(k)))
 			seen[k] = true
 			out = append(out, base.Concat(g))
 		}

@@ -69,7 +69,7 @@ func openLegacy(op Op, ctx *Ctx, env value.Tuple) Iterator {
 			return renameTuple(t, w.Pairs)
 		}}
 	case ProjectDistinct:
-		return newDistinctIter(OpenIter(w.In, ctx, env), w.Pairs)
+		return newDistinctIter(OpenIter(w.In, ctx, env), w.Pairs, ctx)
 	case Map:
 		return &mapTupleIter{in: OpenIter(w.In, ctx, env), f: func(t value.Tuple) value.Tuple {
 			nt := t.Copy()
@@ -233,10 +233,11 @@ type distinctIter struct {
 	in    Iterator
 	pairs []Rename
 	seen  map[string]bool
+	ctx   *Ctx
 }
 
-func newDistinctIter(in Iterator, pairs []Rename) *distinctIter {
-	return &distinctIter{in: in, pairs: pairs, seen: map[string]bool{}}
+func newDistinctIter(in Iterator, pairs []Rename, ctx *Ctx) *distinctIter {
+	return &distinctIter{in: in, pairs: pairs, seen: map[string]bool{}, ctx: ctx}
 }
 
 func (d *distinctIter) Next() (value.Tuple, bool) {
@@ -253,6 +254,7 @@ func (d *distinctIter) Next() (value.Tuple, bool) {
 			key += value.Key(v) + "|"
 		}
 		if !d.seen[key] {
+			d.ctx.charge(TripDedup, 0, dedupEntryBytes+int64(len(key)))
 			d.seen[key] = true
 			return nt, true
 		}
@@ -324,6 +326,7 @@ func (u *unnestMapIter) Next() (value.Tuple, bool) {
 			}
 			u.pos++
 			u.ctx.Stats.Tuples++
+			u.ctx.ChargeTuple(TripScan, nt)
 			return nt, true
 		}
 		t, ok := u.in.Next()
@@ -419,7 +422,9 @@ type crossIter struct {
 }
 
 func newCrossIter(c Cross, ctx *Ctx, env value.Tuple) Iterator {
-	return &crossIter{left: OpenIter(c.L, ctx, env), right: c.R.Eval(ctx, env), pos: -1}
+	right := c.R.Eval(ctx, env)
+	ctx.ChargeTuples(TripBuild, right)
+	return &crossIter{left: OpenIter(c.L, ctx, env), right: right, pos: -1}
 }
 
 func (c *crossIter) Next() (value.Tuple, bool) {
@@ -502,6 +507,8 @@ func (j *joinIter) Next() (value.Tuple, bool) {
 		if !ok {
 			return nil, false
 		}
+		// Probe side streams: fault-injection boundary only.
+		j.ctx.Fault(TripProbe)
 		switch j.mode {
 		case joinModeSemi:
 			if j.jp.anyMatch(j.ctx, j.env, lt) {

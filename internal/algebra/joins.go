@@ -134,6 +134,8 @@ type joinPlan struct {
 
 func prepareJoin(ctx *Ctx, env value.Tuple, l, r Op, pred Expr) joinPlan {
 	right := r.Eval(ctx, env)
+	// The build side materializes here whether or not hashing applies.
+	ctx.ChargeTuples(TripBuild, right)
 	lSet := attrSet(l)
 	rSet := attrSet(r)
 	var jp joinPlan
@@ -205,6 +207,7 @@ func (j Join) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 	jp := prepareJoin(ctx, env, j.L, j.R, j.Pred)
 	var out value.TupleSeq
 	for _, lt := range l {
+		ctx.Fault(TripProbe)
 		for _, rt := range jp.matches(ctx, env, lt) {
 			out = append(out, lt.Concat(rt))
 		}
@@ -246,6 +249,7 @@ func (j SemiJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 	jp := prepareJoin(ctx, env, j.L, j.R, j.Pred)
 	var out value.TupleSeq
 	for _, lt := range l {
+		ctx.Fault(TripProbe)
 		if jp.anyMatch(ctx, env, lt) {
 			out = append(out, lt)
 		}
@@ -280,6 +284,7 @@ func (j AntiJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 	jp := prepareJoin(ctx, env, j.L, j.R, j.Pred)
 	var out value.TupleSeq
 	for _, lt := range l {
+		ctx.Fault(TripProbe)
 		if !jp.anyMatch(ctx, env, lt) {
 			out = append(out, lt)
 		}
@@ -332,6 +337,7 @@ func (j OuterJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 	}
 	var out value.TupleSeq
 	for _, lt := range l {
+		ctx.Fault(TripProbe)
 		ms := jp.matches(ctx, env, lt)
 		if len(ms) == 0 {
 			nt := lt.Concat(value.NullTuple(padAttrs))

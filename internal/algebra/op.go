@@ -317,6 +317,7 @@ func (p ProjectDistinct) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		}
 		k := kb.String()
 		if !seen[k] {
+			ctx.charge(TripDedup, 0, dedupEntryBytes+int64(len(k)))
 			seen[k] = true
 			out = append(out, nt)
 		}
@@ -424,6 +425,7 @@ func (u UnnestMap) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 			if u.PosAttr != "" {
 				nt[u.PosAttr] = value.Int(int64(i + 1))
 			}
+			ctx.ChargeTuple(TripScan, nt)
 			out = append(out, nt)
 		}
 	}
@@ -468,6 +470,7 @@ func (c Cross) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := c.R.Eval(ctx, env)
+	ctx.ChargeTuples(TripBuild, r)
 	var out value.TupleSeq
 	for _, lt := range l {
 		for _, rt := range r {

@@ -97,6 +97,8 @@ func (j OPHashJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := j.R.Eval(ctx, env)
+	ctx.ChargeTuples(TripPartition, l)
+	ctx.ChargeTuples(TripPartition, r)
 	p := j.partitionCount(len(r))
 
 	// Phase 1+2: tag the probe side with ordinals and partition both inputs

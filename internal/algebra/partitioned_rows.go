@@ -102,12 +102,12 @@ func openRowPartitionedJoin(l, r Op, lAttrs, rAttrs []string, residual Expr,
 		it.residual = compileExpr(residual, Schema{Lay: catLay}, env)
 	}
 	it.build = func() bool {
-		left := drainRows(ctx, openRowsSchema(l, lsc, ctx, env))
+		left := drainRows(ctx, TripPartition, openRowsSchema(l, lsc, ctx, env))
 		if len(left) == 0 {
 			return false
 		}
 		it.keys, it.lParts = partitionRowsSorted(left, lSlots, len(left))
-		right := drainRows(ctx, openRowsSchema(r, rsc, ctx, env))
+		right := drainRows(ctx, TripPartition, openRowsSchema(r, rsc, ctx, env))
 		it.rParts = hashRowBuckets(right, rSlots)
 		return true
 	}
@@ -143,6 +143,9 @@ func (p *rowPartJoinIter) Next() (value.Row, bool) {
 			p.done = true
 		}
 	}
+	// Emission from the partition structure streams; fault-injection
+	// boundary only.
+	p.ctx.Fault(TripProbe)
 	for !p.done {
 		if p.ki >= len(p.keys) {
 			p.done = true
@@ -290,13 +293,13 @@ func openRowOPHashJoin(j OPHashJoin, sc Schema, ctx *Ctx, env value.Tuple) RowIt
 	if j.Residual != nil {
 		residual = compileExpr(j.Residual, Schema{Lay: catLay}, env)
 	}
-	it := &rowOPHashJoinIter{}
+	it := &rowOPHashJoinIter{ctx: ctx}
 	it.build = func() {
-		left := drainRows(ctx, openRowsSchema(j.L, lsc, ctx, env))
+		left := drainRows(ctx, TripPartition, openRowsSchema(j.L, lsc, ctx, env))
 		if len(left) == 0 {
 			return
 		}
-		right := drainRows(ctx, openRowsSchema(j.R, rsc, ctx, env))
+		right := drainRows(ctx, TripPartition, openRowsSchema(j.R, rsc, ctx, env))
 		p := j.partitionCount(len(right))
 
 		type tagged struct {
@@ -328,6 +331,9 @@ func openRowOPHashJoin(j OPHashJoin, sc Schema, ctx *Ctx, env value.Tuple) RowIt
 					if residual != nil && !value.EffectiveBool(residual(ctx, cat)) {
 						continue
 					}
+					// The whole join output materializes before the ordinal
+					// merge — charge it like any other partition build.
+					ctx.ChargeRow(TripPartition, cat)
 					out = append(out, rowOPTagged{seq: lt.seq, minor: minor, r: cat})
 					minor++
 				}
@@ -348,6 +354,7 @@ type rowOPHashJoinIter struct {
 	build   func()
 	started bool
 	h       *rowOPMergeHeap
+	ctx     *Ctx
 }
 
 func (j *rowOPHashJoinIter) Next() (value.Row, bool) {
@@ -355,6 +362,7 @@ func (j *rowOPHashJoinIter) Next() (value.Row, bool) {
 		j.started = true
 		j.build()
 	}
+	j.ctx.Fault(TripProbe)
 	if j.h == nil || j.h.Len() == 0 {
 		return value.Row{}, false
 	}
@@ -390,7 +398,7 @@ func openRowUnorderedGroupUnary(g UnorderedGroupUnary, sc Schema, ctx *Ctx, env 
 	it := &rowUnorderedGroupUnaryIter{lay: sc.Lay, gSlot: gSlot, by: by, outBy: outBy,
 		theta: g.Theta, apply: groupApplier(g.F, insc.Lay, env), ctx: ctx, env: env}
 	it.build = func() {
-		it.rows = drainRows(ctx, openRowsSchema(g.In, insc, ctx, env))
+		it.rows = drainRows(ctx, TripPartition, openRowsSchema(g.In, insc, ctx, env))
 		it.keys, it.buckets = partitionRowsSorted(it.rows, by, ctx.cardHint(g, len(it.rows)))
 	}
 	return it
@@ -465,12 +473,12 @@ func openRowUnorderedGroupBinary(g UnorderedGroupBinary, sc Schema, ctx *Ctx, en
 		lSlots: lSlots, rSlots: rSlots, theta: g.Theta,
 		apply: groupApplier(g.F, rsc.Lay, env), ctx: ctx, env: env}
 	it.build = func() bool {
-		left := drainRows(ctx, openRowsSchema(g.L, lsc, ctx, env))
+		left := drainRows(ctx, TripPartition, openRowsSchema(g.L, lsc, ctx, env))
 		if len(left) == 0 {
 			return false
 		}
 		it.keys, it.lParts = partitionRowsSorted(left, lSlots, len(left))
-		right := drainRows(ctx, openRowsSchema(g.R, rsc, ctx, env))
+		right := drainRows(ctx, TripPartition, openRowsSchema(g.R, rsc, ctx, env))
 		if g.Theta == value.CmpEq {
 			it.rHash = hashRowBuckets(right, rSlots)
 			it.applied = make(map[value.HashKey]value.Value, len(it.rHash))

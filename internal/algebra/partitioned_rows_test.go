@@ -51,7 +51,7 @@ func runNativeRows(op Op) (value.TupleSeq, string, bool) {
 	if _, isShim := it.(*tupleRowIter); isShim {
 		return nil, "", false
 	}
-	rows := drainRows(ctx, it)
+	rows := drainRows(ctx, TripBuild, it)
 	out := make(value.TupleSeq, len(rows))
 	for i, r := range rows {
 		out[i] = r.Tuple()
@@ -263,7 +263,7 @@ func TestPartitionedRowsXiOutput(t *testing.T) {
 				return false
 			}
 			ctxR := NewCtx(nil)
-			drainRows(ctxR, openRowsSchema(xi, sc, ctxR, nil))
+			drainRows(ctxR, TripBuild, openRowsSchema(xi, sc, ctxR, nil))
 			if ctxR.Stats.ShimOps > leafShims(xi) {
 				t.Errorf("Ξ over %s: shim fired beyond the leaves", name)
 				return false

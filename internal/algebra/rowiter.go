@@ -111,7 +111,7 @@ func openNative(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
 			all[i] = i
 		}
 		return &rowDistinctIter{in: in, lay: sc.Lay, src: src, allSlots: all,
-			seen: map[value.HashKey]bool{}}
+			seen: map[value.HashKey]bool{}, ctx: ctx}
 
 	case Map:
 		in, insc, ok := openRowsChild(w.In, ctx, env)
@@ -170,7 +170,7 @@ func openNative(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
 		// (reused across Open cycles — emitted Rows are value copies, so
 		// recycling the buffer never aliases them) and sort it in place with
 		// a monomorphic comparison instead of sort.Sort's interface dispatch.
-		rows := drainRowsInto(ctx, openRowsSchema(w.In, insc, ctx, env), getSortBuf())
+		rows := drainRowsInto(ctx, TripSort, openRowsSchema(w.In, insc, ctx, env), getSortBuf())
 		slices.SortStableFunc(rows, func(a, b value.Row) int {
 			return cmpRowsDirs(a, b, by, w.Dirs)
 		})
@@ -194,7 +194,7 @@ func openNative(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
 			left.Close()
 			return nil
 		}
-		return &rowCrossIter{left: left, right: drainRows(ctx, right), lay: sc.Lay, pos: -1}
+		return &rowCrossIter{left: left, right: drainRows(ctx, TripBuild, right), lay: sc.Lay, pos: -1}
 
 	case Join:
 		return openRowJoin(w.L, w.R, w.Pred, sc, ctx, env, joinModeInner, "", nil)
@@ -251,16 +251,20 @@ func openRowsChild(op Op, ctx *Ctx, env value.Tuple) (RowIter, Schema, bool) {
 	return openRowsSchema(op, sc, ctx, env), sc, true
 }
 
-// drainRows materializes an iterator's remaining rows and closes it.
-func drainRows(ctx *Ctx, it RowIter) []value.Row {
-	return drainRowsInto(ctx, it, nil)
+// drainRows materializes an iterator's remaining rows and closes it. point
+// names the materialization boundary for budget accounting (TripSort,
+// TripBuild, ...).
+func drainRows(ctx *Ctx, point string, it RowIter) []value.Row {
+	return drainRowsInto(ctx, point, it, nil)
 }
 
 // drainRowsInto materializes into a caller-provided buffer (the pooled form
 // used by the Sort breaker) and closes the iterator. It is the breaker-side
-// cancellation point: a cancelled run stops materializing build sides, sort
-// buffers and group inputs mid-drain.
-func drainRowsInto(ctx *Ctx, it RowIter, buf []value.Row) []value.Row {
+// cancellation point — a cancelled run stops materializing build sides, sort
+// buffers and group inputs mid-drain — and the breaker-side budget charge
+// point: every retained row debits the run's Budget under the caller's trip
+// label.
+func drainRowsInto(ctx *Ctx, point string, it RowIter, buf []value.Row) []value.Row {
 	for {
 		if ctx.Cancelled() {
 			it.Close()
@@ -271,6 +275,7 @@ func drainRowsInto(ctx *Ctx, it RowIter, buf []value.Row) []value.Row {
 			it.Close()
 			return buf
 		}
+		ctx.ChargeRow(point, r)
 		buf = append(buf, r)
 	}
 }
@@ -342,7 +347,10 @@ func groupApplier(f SeqFunc, lay *value.Layout, env value.Tuple) func(ctx *Ctx, 
 					slots[i] = -1
 				}
 			}
-			return func(_ *Ctx, _ value.Tuple, rows []value.Row) value.Value {
+			return func(ctx *Ctx, _ value.Tuple, rows []value.Row) value.Value {
+				// The projected payload is a fresh flat backing — the Γ group
+				// state the budget exists to bound.
+				ctx.ChargeBytes(TripGroup, len(rows)*len(slots)*rowSlotBytes)
 				flat := make([]value.Value, 0, len(rows)*len(slots))
 				for _, r := range rows {
 					for _, s := range slots {
@@ -494,6 +502,7 @@ type rowDistinctIter struct {
 	src      []int
 	allSlots []int // 0..width-1, the distinct key spans every output slot
 	seen     map[value.HashKey]bool
+	ctx      *Ctx
 }
 
 func (d *rowDistinctIter) Next() (value.Row, bool) {
@@ -505,6 +514,9 @@ func (d *rowDistinctIter) Next() (value.Row, bool) {
 		out := value.MapSlots(d.lay, d.src, r)
 		key := rowKey(out, d.allSlots)
 		if !d.seen[key] {
+			// The dedup table retains one entry (and the emitted row) per
+			// distinct key — the materialized state of ΠD.
+			d.ctx.charge(TripDedup, 0, dedupEntryBytes)
 			d.seen[key] = true
 			return out, true
 		}
@@ -564,6 +576,7 @@ func (u *rowUnnestMapIter) Next() (value.Row, bool) {
 			}
 			u.pos++
 			u.ctx.Stats.Tuples++
+			u.ctx.ChargeRow(TripScan, value.Row{Lay: u.lay, Vals: vals})
 			return value.Row{Lay: u.lay, Vals: vals}, true
 		}
 		r, ok := u.in.Next()
@@ -641,7 +654,7 @@ func openRowXiGroup(x XiGroup, ctx *Ctx, env value.Tuple) RowIter {
 	if !ok {
 		return nil
 	}
-	rows := drainRows(ctx, openRowsSchema(x.In, insc, ctx, env))
+	rows := drainRows(ctx, TripGroup, openRowsSchema(x.In, insc, ctx, env))
 	// Ξ-group passes its input through, so its output cardinality says
 	// nothing about the bucket count; size the table by the textbook
 	// distinct-keys fraction of the input instead.
@@ -838,7 +851,7 @@ func openRowJoin(l, r Op, pred Expr, sc Schema, ctx *Ctx, env value.Tuple,
 	}
 
 	left := openRowsSchema(l, lsc, ctx, env)
-	jp := rowJoinPlan{catLay: catLay, right: drainRows(ctx, openRowsSchema(r, rsc, ctx, env))}
+	jp := rowJoinPlan{catLay: catLay, right: drainRows(ctx, TripBuild, openRowsSchema(r, rsc, ctx, env))}
 
 	if pairs, residual, ok := splitEqPred(pred, attrBoolSet(lsc.Lay), attrBoolSet(rsc.Lay)); ok {
 		var lKeys, rKeys []string
@@ -891,6 +904,9 @@ func (j *rowJoinIter) Next() (value.Row, bool) {
 		if !ok {
 			return value.Row{}, false
 		}
+		// The probe side streams — no accounting, but it is a fault-injection
+		// boundary (a real allocator can fail growing the match pool here).
+		j.ctx.Fault(TripProbe)
 		switch j.mode {
 		case joinModeSemi:
 			if j.jp.anyMatch(j.ctx, lt) {
@@ -939,7 +955,7 @@ func openRowGroupUnary(g GroupUnary, sc Schema, ctx *Ctx, env value.Tuple) RowIt
 	}
 	gSlot, _ := sc.Lay.Slot(g.G)
 	outBy, _ := slotsOf(sc.Lay, g.By)
-	rows := drainRows(ctx, openRowsSchema(g.In, insc, ctx, env))
+	rows := drainRows(ctx, TripGroup, openRowsSchema(g.In, insc, ctx, env))
 	apply := groupApplier(g.F, insc.Lay, env)
 
 	// Γ's output cardinality is its distinct-key count: pre-size the hash
@@ -1028,7 +1044,7 @@ func openRowGroupBinary(g GroupBinary, sc Schema, ctx *Ctx, env value.Tuple) Row
 	// empty left input never evaluates R — matching GroupBinary.Eval's
 	// short-circuit.
 	it.build = func() {
-		rRows := drainRows(ctx, openRowsSchema(g.R, rsc, ctx, env))
+		rRows := drainRows(ctx, TripGroup, openRowsSchema(g.R, rsc, ctx, env))
 		if g.Theta == value.CmpEq && !g.ForceScan {
 			it.hash = make(map[value.HashKey][]value.Row, len(rRows))
 			for _, r := range rRows {
@@ -1151,7 +1167,7 @@ func openRowUnnest(child Op, attr string, innerAttrs []string, sc Schema, ctx *C
 	in := openRowsSchema(child, insc, ctx, env)
 	return &rowUnnestIter{in: in, lay: sc.Lay, gSlot: gSlot,
 		baseSrc: baseSrc, baseDst: baseDst,
-		innerNames: innerNames, innerDst: innerDst, pad: pad}
+		innerNames: innerNames, innerDst: innerDst, pad: pad, ctx: ctx}
 }
 
 type rowUnnestIter struct {
@@ -1178,6 +1194,7 @@ type rowUnnestIter struct {
 
 	dedup   map[value.HashKey]bool
 	scratch []int // KeyOfRow slot scratch, reused across members
+	ctx     *Ctx
 }
 
 func (u *rowUnnestIter) base() []value.Value {
@@ -1222,6 +1239,7 @@ func (u *rowUnnestIter) Next() (value.Row, bool) {
 					if u.dedup[k] {
 						continue
 					}
+					u.ctx.charge(TripDedup, 0, dedupEntryBytes)
 					u.dedup[k] = true
 				}
 				vals := u.base()
@@ -1239,6 +1257,7 @@ func (u *rowUnnestIter) Next() (value.Row, bool) {
 				if u.dedup[k] {
 					continue
 				}
+				u.ctx.charge(TripDedup, 0, dedupEntryBytes)
 				u.dedup[k] = true
 			}
 			vals := u.base()

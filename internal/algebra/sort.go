@@ -70,6 +70,7 @@ type Sort struct {
 // Eval implements Op.
 func (s Sort) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 	in := s.In.Eval(ctx, env)
+	ctx.ChargeTuples(TripSort, in)
 	out := in.Copy()
 	sort.SliceStable(out, func(i, j int) bool {
 		return lessTuplesDirs(out[i], out[j], s.By, s.Dirs)
@@ -148,6 +149,8 @@ func (g GraceJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := g.R.Eval(ctx, env)
+	ctx.ChargeTuples(TripPartition, l)
+	ctx.ChargeTuples(TripPartition, r)
 	// Partition order: the canonical LessKey order for determinism (a real
 	// Grace join's partition order depends on the hash function; any fixed
 	// order shows the same effect — it is not the probe order). The slot

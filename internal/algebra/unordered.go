@@ -71,6 +71,8 @@ func (j UnorderedJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := j.R.Eval(ctx, env)
+	ctx.ChargeTuples(TripPartition, l)
+	ctx.ChargeTuples(TripPartition, r)
 	keys, lParts := partitionSorted(l, j.LAttrs)
 	rParts := hashBuckets(r, j.RAttrs)
 	var out value.TupleSeq
@@ -133,6 +135,8 @@ func (j UnorderedSemiJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := j.R.Eval(ctx, env)
+	ctx.ChargeTuples(TripPartition, l)
+	ctx.ChargeTuples(TripPartition, r)
 	keys, lParts := partitionSorted(l, j.LAttrs)
 	rParts := hashBuckets(r, j.RAttrs)
 	var out value.TupleSeq
@@ -191,6 +195,8 @@ func (j UnorderedAntiJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := j.R.Eval(ctx, env)
+	ctx.ChargeTuples(TripPartition, l)
+	ctx.ChargeTuples(TripPartition, r)
 	keys, lParts := partitionSorted(l, j.LAttrs)
 	rParts := hashBuckets(r, j.RAttrs)
 	var out value.TupleSeq
@@ -249,6 +255,8 @@ func (j UnorderedOuterJoin) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := j.R.Eval(ctx, env)
+	ctx.ChargeTuples(TripPartition, l)
+	ctx.ChargeTuples(TripPartition, r)
 	rAttrs, rKnown := j.R.Attrs()
 	if !rKnown && len(r) > 0 {
 		rAttrs = r[0].Attrs()
@@ -315,6 +323,7 @@ type UnorderedGroupUnary struct {
 // Eval implements Op.
 func (g UnorderedGroupUnary) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 	in := g.In.Eval(ctx, env)
+	ctx.ChargeTuples(TripPartition, in)
 	keys, buckets := partitionSorted(in, g.By)
 	var out value.TupleSeq
 	for _, k := range keys {
@@ -368,6 +377,8 @@ func (g UnorderedGroupBinary) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 		return nil
 	}
 	r := g.R.Eval(ctx, env)
+	ctx.ChargeTuples(TripPartition, l)
+	ctx.ChargeTuples(TripPartition, r)
 	keys, lParts := partitionSorted(l, g.LAttrs)
 	var rHash map[value.HashKey]value.TupleSeq
 	if g.Theta == value.CmpEq {

@@ -181,6 +181,7 @@ type XiGroup struct {
 // Eval implements Op.
 func (x XiGroup) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
 	in := x.In.Eval(ctx, env)
+	ctx.ChargeTuples(TripGroup, in)
 	keys, buckets := partition(in, x.By)
 	for _, k := range keys {
 		grp := buckets[k]

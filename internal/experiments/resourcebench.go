@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"context"
+	"io"
+
+	nalquery "nalquery"
+)
+
+// The resource benchmark family pins the cost of per-run resource
+// governance on the breaker-heavy Q1 grouping workload: the default
+// no-budget path (one nil check per materialization point — this plan must
+// stay within noise of the resultiter/writexml baseline, which is how the
+// -diff gate catches the disabled budget growing a real cost) and the same
+// run with a generous budget attached (accounting live at every breaker
+// drain, dedup insert and Ξ emission, never tripping).
+
+// ResourceBenchTargets measures the budget-disabled and budget-enabled
+// serialization paths over the Q1 grouping workload at each size.
+func ResourceBenchTargets(sizes []int) ([]BenchTarget, error) {
+	var out []BenchTarget
+	for _, size := range sizes {
+		eng := nalquery.NewEngine()
+		eng.LoadUseCaseDocuments(size, 2)
+		q, err := eng.Compile(nalquery.QueryQ1Grouping)
+		if err != nil {
+			return nil, err
+		}
+		run := func(opts ...nalquery.RunOption) error {
+			res, err := q.Run(context.Background(), opts...)
+			if err != nil {
+				return err
+			}
+			if err := res.WriteXML(io.Discard); err != nil {
+				return err
+			}
+			return res.Close()
+		}
+		out = append(out,
+			BenchTarget{
+				Experiment: "resource", Plan: "no-budget", Size: size,
+				Run: func() error { return run() },
+			},
+			BenchTarget{
+				Experiment: "resource", Plan: "budgeted", Size: size,
+				Run: func() error { return run(nalquery.WithMaxMemory(1 << 30)) },
+			},
+		)
+	}
+	return out, nil
+}

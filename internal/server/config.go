@@ -36,6 +36,14 @@ type Config struct {
 	// status and JSON body; beyond it the response commits to streaming, so
 	// large results never buffer whole.
 	SpillBytes int
+	// DefaultMaxMemory is the per-run memory budget applied when the client
+	// sends none (default: 0 = unlimited). An over-budget run answers 413
+	// with kind "resource" while the engine keeps serving.
+	DefaultMaxMemory int64
+	// MaxMemoryCap caps client-requested budgets (X-Nalquery-Max-Memory
+	// header or ?max-memory=), the way MaxTimeout caps deadlines
+	// (default: 1 GiB).
+	MaxMemoryCap int64
 	// Debug mounts the /debug endpoints (the panic probe used by the e2e
 	// suite to prove panic isolation end to end).
 	Debug bool
@@ -71,6 +79,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpillBytes <= 0 {
 		c.SpillBytes = 64 << 10
+	}
+	if c.MaxMemoryCap <= 0 {
+		c.MaxMemoryCap = 1 << 30
+	}
+	if c.DefaultMaxMemory > c.MaxMemoryCap {
+		c.DefaultMaxMemory = c.MaxMemoryCap
 	}
 	return c
 }

@@ -7,6 +7,7 @@ package server
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
@@ -458,6 +459,170 @@ func TestDrainCancelsStragglers(t *testing.T) {
 type outcomePair struct {
 	code int
 	body string
+}
+
+// --- resource governance ---
+
+// TestResourceBudgetAnswers413 pins the pre-commit resource path: a
+// memory-hungry grouping plan under a tight ?max-memory= budget answers a
+// clean 413 with kind "resource", the statusz counter moves, and the
+// engine keeps serving.
+func TestResourceBudgetAnswers413(t *testing.T) {
+	srv, ts := newTestServer(t, 200, Config{})
+	code, body, _ := post(t, ts.URL+"/query?max-memory=4k", slowQuery)
+	if code != http.StatusRequestEntityTooLarge || errKind(t, body) != "resource" {
+		t.Fatalf("over-budget run: %d %s", code, body)
+	}
+	if got := srv.Stat().ResourceExhausted; got != 1 {
+		t.Fatalf("resource_exhausted counter = %d, want 1", got)
+	}
+	// The identical query without a budget succeeds on the same engine.
+	if code, body, _ := post(t, ts.URL+"/query", slowQuery); code != 200 {
+		t.Fatalf("unbudgeted run after trip: %d %s", code, body)
+	}
+}
+
+// TestResourceBudgetHeaderCapped drives the budget through the
+// X-Nalquery-Max-Memory header and pins the server-side cap: a client
+// asking for 1 GiB against a 4 KiB cap still trips.
+func TestResourceBudgetHeaderCapped(t *testing.T) {
+	_, ts := newTestServer(t, 200, Config{MaxMemoryCap: 4 << 10})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/query", strings.NewReader(slowQuery))
+	req.Header.Set("X-Nalquery-Max-Memory", "1g")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || errKind(t, string(b)) != "resource" {
+		t.Fatalf("capped header budget: %d %s", resp.StatusCode, b)
+	}
+	// A malformed budget is a 400 request error.
+	code, body, _ := post(t, ts.URL+"/query?max-memory=lots", titlesQuery)
+	if code != 400 || errKind(t, body) != "request" {
+		t.Fatalf("bad budget: %d %s", code, body)
+	}
+}
+
+// TestResourceDefaultBudget pins Config.DefaultMaxMemory: with a default
+// budget configured, a client sending nothing gets governed.
+func TestResourceDefaultBudget(t *testing.T) {
+	_, ts := newTestServer(t, 200, Config{DefaultMaxMemory: 4 << 10})
+	code, body, _ := post(t, ts.URL+"/query", slowQuery)
+	if code != http.StatusRequestEntityTooLarge || errKind(t, body) != "resource" {
+		t.Fatalf("default budget: %d %s", code, body)
+	}
+	// A cheap query fits the same default budget.
+	if code, body, _ := post(t, ts.URL+"/query", `let $d1 := doc("bib.xml") return <n>{ count($d1//book) }</n>`); code != 200 {
+		t.Fatalf("cheap query under default budget: %d %s", code, body)
+	}
+}
+
+// TestResourceTripAfterXMLCommit pins the committed-stream contract: when
+// the budget trips after the spill buffer committed a 200, the connection
+// is aborted so the client observes truncation instead of a silently short
+// success.
+func TestResourceTripAfterXMLCommit(t *testing.T) {
+	srv, ts := newTestServer(t, 3000, Config{SpillBytes: 1 << 10})
+	resp, err := http.Post(ts.URL+"/query?max-memory=64k", "application/xquery",
+		strings.NewReader(titlesQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want a committed 200 before the trip", resp.StatusCode)
+	}
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("committed over-budget stream ended without a transport error")
+	}
+	if got := srv.Stat().ResourceExhausted; got != 1 {
+		t.Fatalf("resource_exhausted counter = %d, want 1", got)
+	}
+}
+
+// TestResourceTripAfterNDJSONCommit pins the NDJSON contract: a committed
+// ?format=json stream ends with a terminal {"kind":"error"} line typed
+// "resource" instead of silent truncation.
+func TestResourceTripAfterNDJSONCommit(t *testing.T) {
+	_, ts := newTestServer(t, 3000, Config{SpillBytes: 1 << 10})
+	code, body, _ := post(t, ts.URL+"/query?format=json&max-memory=64k", titlesQuery)
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want a committed 200 before the trip", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("stream too short to have committed: %d lines", len(lines))
+	}
+	var last struct {
+		Kind, Type, Error string
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("bad terminal line %q: %v", lines[len(lines)-1], err)
+	}
+	if last.Kind != "error" || last.Type != "resource" || last.Error == "" {
+		t.Fatalf("terminal line %+v, want kind=error type=resource", last)
+	}
+}
+
+// TestResourceConcurrentIsolation is the acceptance scenario: over-budget
+// requests answer 413 while concurrent in-budget requests on the same
+// engine stream their full results, under -race.
+func TestResourceConcurrentIsolation(t *testing.T) {
+	srv, ts := newTestServer(t, 200, Config{})
+	want, err := srv.Engine().Query(titlesQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pairs = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			code, body, _ := post(t, ts.URL+"/query?max-memory=4k", slowQuery)
+			if code != http.StatusRequestEntityTooLarge || errKind(t, body) != "resource" {
+				errs <- fmt.Errorf("budgeted request: %d %.100s", code, body)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			code, body, _ := post(t, ts.URL+"/query", titlesQuery)
+			if code != 200 || body != want {
+				errs <- fmt.Errorf("in-budget request: %d", code)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := srv.Stat().ResourceExhausted; got != pairs {
+		t.Fatalf("resource_exhausted = %d, want %d", got, pairs)
+	}
+}
+
+// TestRequestBodyBounds pins the body caps: an oversized query body and an
+// oversized document upload both answer 413 with kind "too-large".
+func TestRequestBodyBounds(t *testing.T) {
+	_, ts := newTestServer(t, 10, Config{MaxBodyBytes: 256})
+	big := strings.Repeat(" ", 300) + titlesQuery
+	code, body, _ := post(t, ts.URL+"/query", big)
+	if code != http.StatusRequestEntityTooLarge || errKind(t, body) != "too-large" {
+		t.Fatalf("oversized query body: %d %s", code, body)
+	}
+	doc := "<r>" + strings.Repeat("<x>pad</x>", 40) + "</r>"
+	code, body, _ = post(t, ts.URL+"/documents/big.xml", doc)
+	if code != http.StatusRequestEntityTooLarge || errKind(t, body) != "too-large" {
+		t.Fatalf("oversized document: %d %s", code, body)
+	}
+	// In-bounds bodies still work.
+	if code, _, _ := post(t, ts.URL+"/query", titlesQuery); code != 200 {
+		t.Fatalf("in-bounds query after 413s: %d", code)
+	}
 }
 
 // TestLargeResultStreams pins the spill boundary: a result bigger than

@@ -13,8 +13,8 @@ import (
 
 // errorBody is the JSON error envelope of every non-2xx answer. Kind is a
 // stable machine-checkable discriminator ("parse", "bind", "plan",
-// "timeout", "shed", "draining", "internal", "request", "cancelled",
-// "error").
+// "timeout", "shed", "draining", "internal", "request", "resource",
+// "too-large", "cancelled", "error").
 type errorBody struct {
 	Error string `json:"error"`
 	Kind  string `json:"kind"`
@@ -37,6 +37,8 @@ func errorStatus(err error) (status int, kind string) {
 	var pe *nalquery.ParseError
 	var be *nalquery.BindError
 	switch {
+	case errors.Is(err, nalquery.ErrResourceExhausted):
+		return http.StatusRequestEntityTooLarge, "resource"
 	case errors.Is(err, nalquery.ErrInternal):
 		return http.StatusInternalServerError, "internal"
 	case errors.As(err, &pe):

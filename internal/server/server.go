@@ -65,6 +65,7 @@ type Server struct {
 	panics   atomic.Int64 // handler panics caught by the recover middleware
 	internal atomic.Int64 // evaluator panics surfaced as *InternalError
 	timeouts atomic.Int64 // runs ended by deadline expiry
+	resource atomic.Int64 // runs ended by resource-budget exhaustion
 }
 
 // New builds a Server over an engine (documents already loaded or loaded
@@ -176,16 +177,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // Status is the machine-readable operational snapshot served at /statusz.
 type Status struct {
-	UptimeSeconds  float64            `json:"uptime_seconds"`
-	Ready          bool               `json:"ready"`
-	MaxInFlight    int                `json:"max_in_flight"`
-	MaxQueue       int                `json:"max_queue"`
-	Admission      admission.Counters `json:"admission"`
-	HandlerPanics  int64              `json:"handler_panics"`
-	InternalErrors int64              `json:"internal_errors"`
-	Timeouts       int64              `json:"timeouts"`
-	Documents      int                `json:"documents"`
-	Prepared       int                `json:"prepared"`
+	UptimeSeconds     float64            `json:"uptime_seconds"`
+	Ready             bool               `json:"ready"`
+	MaxInFlight       int                `json:"max_in_flight"`
+	MaxQueue          int                `json:"max_queue"`
+	Admission         admission.Counters `json:"admission"`
+	HandlerPanics     int64              `json:"handler_panics"`
+	InternalErrors    int64              `json:"internal_errors"`
+	Timeouts          int64              `json:"timeouts"`
+	ResourceExhausted int64              `json:"resource_exhausted"`
+	Documents         int                `json:"documents"`
+	Prepared          int                `json:"prepared"`
 }
 
 // Stat returns the current operational snapshot (the /statusz payload).
@@ -195,16 +197,17 @@ func (s *Server) Stat() Status {
 	s.mu.Unlock()
 	maxIF, maxQ := s.adm.Capacity()
 	return Status{
-		UptimeSeconds:  time.Since(s.started).Seconds(),
-		Ready:          s.ready.Load(),
-		MaxInFlight:    maxIF,
-		MaxQueue:       maxQ,
-		Admission:      s.adm.Counters(),
-		HandlerPanics:  s.panics.Load(),
-		InternalErrors: s.internal.Load(),
-		Timeouts:       s.timeouts.Load(),
-		Documents:      len(s.eng.DocumentURIs()),
-		Prepared:       nprep,
+		UptimeSeconds:     time.Since(s.started).Seconds(),
+		Ready:             s.ready.Load(),
+		MaxInFlight:       maxIF,
+		MaxQueue:          maxQ,
+		Admission:         s.adm.Counters(),
+		HandlerPanics:     s.panics.Load(),
+		InternalErrors:    s.internal.Load(),
+		Timeouts:          s.timeouts.Load(),
+		ResourceExhausted: s.resource.Load(),
+		Documents:         len(s.eng.DocumentURIs()),
+		Prepared:          nprep,
 	}
 }
 
@@ -230,6 +233,12 @@ func (s *Server) handleDocumentPut(w http.ResponseWriter, r *http.Request) {
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := s.eng.LoadXML(uri, body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too-large",
+				fmt.Sprintf("document exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "parse", fmt.Sprintf("parse %s: %v", uri, err))
 		return
 	}
@@ -355,6 +364,11 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, start startFun
 		writeError(w, http.StatusBadRequest, "request", err.Error())
 		return
 	}
+	budget, err := s.requestBudget(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "request", err.Error())
+		return
+	}
 	// The run context: client disconnect, per-request deadline, and the
 	// server-wide cancel-on-drain all end it.
 	ctx, cancel := context.WithCancelCause(r.Context())
@@ -375,6 +389,9 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, start startFun
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "request", err.Error())
 		return
+	}
+	if budget > 0 {
+		opts = append(opts, nalquery.WithMaxMemory(budget))
 	}
 	res, err := start(ctx, opts)
 	if err != nil {
@@ -411,6 +428,8 @@ func (s *Server) countRunError(err error) {
 		s.internal.Add(1)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.timeouts.Add(1)
+	case errors.Is(err, nalquery.ErrResourceExhausted):
+		s.resource.Add(1)
 	}
 }
 
@@ -436,6 +455,28 @@ func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
 		d = s.cfg.MaxTimeout
 	}
 	return d, nil
+}
+
+// requestBudget resolves the per-run memory budget: the
+// X-Nalquery-Max-Memory header or ?max-memory= parameter (bytes with
+// optional k/m/g suffix), default cfg.DefaultMaxMemory, capped at
+// cfg.MaxMemoryCap. Zero means no budget.
+func (s *Server) requestBudget(r *http.Request) (int64, error) {
+	raw := r.Header.Get("X-Nalquery-Max-Memory")
+	if q := r.URL.Query().Get("max-memory"); q != "" {
+		raw = q
+	}
+	if raw == "" {
+		return s.cfg.DefaultMaxMemory, nil
+	}
+	n, err := cli.ParseBytes(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad max-memory %q (want bytes, e.g. 64k, 16m): %v", raw, err)
+	}
+	if n > s.cfg.MaxMemoryCap {
+		n = s.cfg.MaxMemoryCap
+	}
+	return n, nil
 }
 
 // runOptions builds the Run options of a request: ?plan= selects the plan
@@ -478,7 +519,7 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (string, bool)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request",
+			writeError(w, http.StatusRequestEntityTooLarge, "too-large",
 				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
 		} else {
 			writeError(w, http.StatusBadRequest, "request", err.Error())

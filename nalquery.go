@@ -212,6 +212,11 @@ type Stats struct {
 	// path (group payloads converted for uncompiled sequence functions,
 	// conversion-shim traffic). Fully native execution reports 0.
 	MapTuples int64
+	// BudgetBytes and BudgetTuples are the run's resource-budget charge
+	// counters (see WithMaxMemory/WithMaxTuples). Both are 0 when the run
+	// carries no budget — accounting is then disabled entirely.
+	BudgetBytes  int64
+	BudgetTuples int64
 }
 
 // Plan is one compiled plan alternative.
@@ -264,12 +269,17 @@ func (q *Query) Vars() []string {
 }
 
 func statsOf(ctx *algebra.Ctx) Stats {
-	return Stats{
+	st := Stats{
 		DocAccesses: ctx.Stats.DocAccesses,
 		NestedEvals: ctx.Stats.NestedEvals,
 		Tuples:      ctx.Stats.Tuples,
 		MapTuples:   ctx.Stats.MapTuples,
 	}
+	if b := ctx.Budget; b != nil {
+		st.BudgetBytes = b.Bytes()
+		st.BudgetTuples = b.Tuples()
+	}
+	return st
 }
 
 // CompileOption configures one Compile call.

@@ -22,6 +22,12 @@ type runConfig struct {
 	stats     *Stats
 	binds     []binding
 	params    []value.Value // resolved binding table, indexed by parameter slot
+	maxBytes  int64
+	maxTuples int64
+	// faultHook, when set, forces a budget trip at a chosen operator
+	// boundary — the deterministic allocation-failure stand-in the fault
+	// sweep tests drive (see WithFaultHook in faults_test.go).
+	faultHook func(point string) bool
 }
 
 // WithPlan selects the plan alternative to run by its paper row label
@@ -43,6 +49,31 @@ func WithReferenceEngine() RunOption {
 // result stream is exhausted, cancelled, or closed.
 func WithStats(st *Stats) RunOption {
 	return func(c *runConfig) { c.stats = st }
+}
+
+// WithMaxMemory bounds the estimated bytes this run may materialize across
+// its pipeline breakers (hash builds, sort buffers, group payloads, dedup
+// tables) and its serialized output. Crossing the bound aborts the run with
+// a *ResourceError (errors.Is ErrResourceExhausted); the engine and other
+// runs are unaffected. n <= 0 means unlimited — the default, which costs
+// one nil check per materialized row. The bound is an engine-side estimate
+// of materialized state, not a process RSS limit.
+func WithMaxMemory(n int64) RunOption {
+	return func(c *runConfig) { c.maxBytes = n }
+}
+
+// WithMaxTuples bounds the tuples this run may materialize (scans and
+// breaker buffers combined). Crossing the bound aborts the run with a
+// *ResourceError. n <= 0 means unlimited.
+func WithMaxTuples(n int64) RunOption {
+	return func(c *runConfig) { c.maxTuples = n }
+}
+
+// withFaultHook installs the fault-injection hook consulted at every
+// operator boundary; returning true forces a budget trip there. Unexported:
+// the deterministic failure harness is test infrastructure, not API.
+func withFaultHook(h func(point string) bool) RunOption {
+	return func(c *runConfig) { c.faultHook = h }
 }
 
 // Run starts one execution of the query and returns its Results session.
@@ -82,6 +113,10 @@ func (q *Query) Run(ctx context.Context, opts ...RunOption) (*Results, error) {
 func (q *Query) run(ctx context.Context, cfg runConfig) (res *Results, err error) {
 	defer func() {
 		if p := recover(); p != nil {
+			if rt, ok := p.(*algebra.ResourceTrip); ok {
+				res, err = nil, resourceError(q.Text, cfg.plan, rt)
+				return
+			}
 			res, err = nil, &InternalError{Query: q.Text, Plan: cfg.plan, Panic: p, Stack: debug.Stack()}
 		}
 	}()
@@ -145,6 +180,11 @@ func (r *Results) newAlgebraCtx(out algebra.StringWriter) *algebra.Ctx {
 	}
 	ctx.Params = r.cfg.params
 	ctx.SetDone(r.ctx.Done())
+	if r.cfg.maxBytes > 0 || r.cfg.maxTuples > 0 || r.cfg.faultHook != nil {
+		b := algebra.NewBudget(r.cfg.maxBytes, r.cfg.maxTuples)
+		b.SetFaultHook(r.cfg.faultHook)
+		ctx.Budget = b
+	}
 	return ctx
 }
 
@@ -169,6 +209,23 @@ func (r *Results) internalError(p any) *InternalError {
 	return &InternalError{Query: r.q.Text, Plan: r.plan.Name, Panic: p, Stack: debug.Stack()}
 }
 
+// runError converts a recovered evaluator panic into the session's typed
+// error. A budget trip — the engine's one sanctioned panic, raised because
+// the iterator protocol has no error channel — becomes a *ResourceError;
+// anything else is a genuine evaluator bug and becomes *InternalError.
+func (r *Results) runError(p any) error {
+	if rt, ok := p.(*algebra.ResourceTrip); ok {
+		return resourceError(r.q.Text, r.plan.Name, rt)
+	}
+	return r.internalError(p)
+}
+
+func resourceError(query, plan string, rt *algebra.ResourceTrip) *ResourceError {
+	return &ResourceError{Query: query, Plan: plan, Op: rt.Op,
+		Bytes: rt.Bytes, Tuples: rt.Tuples,
+		MaxBytes: rt.MaxBytes, MaxTuples: rt.MaxTuples}
+}
+
 // Next returns the next result item; ok is false when the stream ends —
 // because the plan is exhausted, the context was cancelled (check Err), a
 // panicking evaluator was recovered into an *InternalError (check Err), or
@@ -176,7 +233,7 @@ func (r *Results) internalError(p any) *InternalError {
 func (r *Results) Next() (item Item, ok bool) {
 	defer func() {
 		if p := recover(); p != nil {
-			r.fail(r.internalError(p))
+			r.fail(r.runError(p))
 			item, ok = Item{}, false
 		}
 	}()
@@ -267,7 +324,7 @@ func (r *Results) drainTo(w io.Writer) error {
 	perr := func() (perr error) {
 		defer func() {
 			if p := recover(); p != nil {
-				perr = r.internalError(p)
+				perr = r.runError(p)
 			}
 		}()
 		if r.cfg.reference {
@@ -367,7 +424,7 @@ func (r *Results) releasePump() {
 	r.pump = nil
 	defer func() {
 		if v := recover(); v != nil && r.err == nil {
-			r.err = r.internalError(v)
+			r.err = r.runError(v)
 		}
 	}()
 	p.Close()
