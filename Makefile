@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet test race-test faults bench-smoke bench-json bench-diff serve load-smoke ci
+.PHONY: tier1 vet test race-test faults fuzz-smoke bench-smoke bench-json bench-diff serve load-smoke ci
 
 tier1:
 	$(GO) build ./...
@@ -31,6 +31,23 @@ race-test:
 faults:
 	$(GO) test -race -count=1 -run 'TestFault|TestWithMax|TestBudget|TestConcurrentBudget' .
 	$(GO) test -race -count=1 -run 'TestResource|TestRequestBodyBounds' ./internal/server/
+
+# fuzz-smoke is the per-PR fuzzing gate (docs/FUZZING.md): each native fuzz
+# target runs briefly under the coverage engine (which always replays the
+# committed testdata/fuzz corpus first — the pinned crashers), then the
+# seeded differential sweep drives generated queries through every plan
+# alternative on both engines under the race detector. Override FUZZTIME /
+# QGEN_SEED / QGEN_COUNT to dig; failures print a one-line reproducer.
+FUZZTIME ?= 30s
+QGEN_SEED ?= 20240808
+QGEN_COUNT ?= 250
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) -run '^$$' ./internal/xquery/
+	$(GO) test -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) -run '^$$' ./internal/xquery/
+	$(GO) test -fuzz FuzzCompile -fuzztime $(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz FuzzHTTPQuery -fuzztime $(FUZZTIME) -run '^$$' ./internal/server/
+	NALQUERY_QGEN_SEED=$(QGEN_SEED) NALQUERY_QGEN_COUNT=$(QGEN_COUNT) \
+		$(GO) test -race -count=1 -run 'TestDifferential|TestCrasher|TestMalformedRequestSweep' . ./internal/server/
 
 bench-smoke: vet
 	$(GO) build ./...

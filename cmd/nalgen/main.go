@@ -6,6 +6,7 @@
 //	nalgen -size 1000 -authors 5 -out ./data
 //	nalgen -size 10000 -dblp -out ./data
 //	nalgen -size 10000 -binary -out ./data   # compact .nalb store files
+//	nalgen -queries 50 -qseed 7 -out ./data  # plus a generated query mix
 package main
 
 import (
@@ -13,8 +14,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"nalquery/internal/dom"
+	"nalquery/internal/qgen"
 	"nalquery/internal/store"
 	"nalquery/internal/xmlgen"
 )
@@ -26,6 +29,8 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed")
 		dblp    = flag.Bool("dblp", false, "also generate the DBLP-like document")
 		binFmt  = flag.Bool("binary", false, "write the binary store format (.nalb) instead of XML")
+		queries = flag.Int("queries", 0, "also emit this many generated queries (queries.xq)")
+		qseed   = flag.Int64("qseed", 1, "seed for the generated query mix")
 		outDir  = flag.String("out", ".", "output directory")
 	)
 	flag.Parse()
@@ -66,6 +71,50 @@ func main() {
 		info, _ := os.Stat(path)
 		fmt.Printf("%-20s %8d bytes\n", filepath.Base(path), info.Size())
 	}
+	if *queries > 0 {
+		if err := writeQueryMix(*outDir, *queries, *qseed); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// writeQueryMix emits a deterministic generated query mix against the
+// use-case documents — a ready-made workload for nalrun/nalserved smoke
+// runs or for replaying a fuzz seed outside the test harness. Queries are
+// separated by a %%% line so shells and scripts can split them; each is
+// prefixed with its index and generator seed for triage.
+func writeQueryMix(outDir string, n int, seed int64) error {
+	path := filepath.Join(outDir, "queries.xq")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	g := qgen.New(qgen.Config{Seed: seed, Externals: true})
+	for i := 0; i < n; i++ {
+		q := g.Query()
+		fmt.Fprintf(f, "(: query %d, qseed %d :)\n%s\n", i, seed, q.Text)
+		if len(q.Binds) > 0 {
+			names := make([]string, 0, len(q.Binds))
+			for name := range q.Binds {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(f, "(: binds:")
+			for _, name := range names {
+				fmt.Fprintf(f, " $%s=%v", name, q.Binds[name])
+			}
+			fmt.Fprintf(f, " :)\n")
+		}
+		if i != n-1 {
+			fmt.Fprintln(f, "%%%")
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("%-20s %8d bytes (%d queries, qseed %d)\n", filepath.Base(path), info.Size(), n, seed)
+	return nil
 }
 
 func fail(err error) {

@@ -18,6 +18,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -99,6 +100,13 @@ func main() {
 	// query without external variables prepares identically.
 	prep, err := eng.Prepare(text)
 	if err != nil {
+		var pe *nalquery.ParseError
+		if errors.As(err, &pe) {
+			if caret := cli.Caret(text, pe.Line, pe.Col); caret != "" {
+				fmt.Fprintf(os.Stderr, "nalrun: %v\n%s\n", err, caret)
+				os.Exit(1)
+			}
+		}
 		fail(err)
 	}
 	opts := []nalquery.RunOption{nalquery.WithPlan(*plan)}

@@ -31,6 +31,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"os/signal"
@@ -280,6 +281,12 @@ func (sh *shell) runQuery(text string) {
 	p, err := sh.eng.Prepare(text)
 	if err != nil {
 		fmt.Println("error:", err)
+		var pe *nalquery.ParseError
+		if errors.As(err, &pe) {
+			if caret := cli.Caret(text, pe.Line, pe.Col); caret != "" {
+				fmt.Println(caret)
+			}
+		}
 		return
 	}
 	sh.last = p

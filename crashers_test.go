@@ -1,0 +1,241 @@
+package nalquery
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nalquery/internal/qgen"
+	"nalquery/internal/xquery"
+)
+
+// This file is the pinned crash corpus: every query here was discovered by
+// the qgen differential oracle or the native fuzz targets and exposed a
+// real divergence, panic, or round-trip break. Each test carries its
+// original reproducer (seed + index where generator-found) and fails with
+// the same oracle the sweep uses, so a regression reports exactly like the
+// original find.
+
+func crasherEngine(t *testing.T) *Engine {
+	t.Helper()
+	eng := NewEngine()
+	size, apb := qgen.DocSizes()
+	eng.LoadUseCaseDocuments(size, apb)
+	return eng
+}
+
+// assertAllPlansAgree runs the query through every plan alternative on both
+// engines plus the typed consumption path and fails on any divergence from
+// the first plan's slot-engine output — the differential oracle, pinned.
+func assertAllPlansAgree(t *testing.T, eng *Engine, query string) string {
+	t.Helper()
+	p, err := eng.Prepare(query)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	var ref string
+	for pi, plan := range p.Plans() {
+		for _, mode := range []struct {
+			name string
+			opts []RunOption
+		}{
+			{"slot", []RunOption{WithPlan(plan.Name)}},
+			{"map", []RunOption{WithPlan(plan.Name), WithReferenceEngine()}},
+		} {
+			out, err := sweepRun(p, mode.opts)
+			if err != nil {
+				t.Fatalf("plan %q on %s engine: %v", plan.Name, mode.name, err)
+			}
+			if pi == 0 && mode.name == "slot" {
+				ref = out
+			} else if out != ref {
+				t.Errorf("divergence: plan %q on %s engine\nwant: %q\ngot:  %q",
+					plan.Name, mode.name, ref, out)
+			}
+		}
+		typed, err := sweepRunTyped(p, []RunOption{WithPlan(plan.Name)})
+		if err != nil {
+			t.Fatalf("plan %q typed consumption: %v", plan.Name, err)
+		}
+		if typed != ref {
+			t.Errorf("divergence: plan %q typed consumption\nwant: %q\ngot:  %q",
+				plan.Name, ref, typed)
+		}
+	}
+	return ref
+}
+
+// Crasher 1 — qgen seed=20240808 index=163. The Eqv.8/9 having-count
+// grouping plan grouped tuples whose optional key path matched nothing
+// (//usertuple without <rating>) into a phantom Null-key group that the
+// nested plan's distinct-values outer side never produces, emitting an
+// extra empty element. Fixed by filtering exists(key) before grouping.
+func TestCrasherPhantomNullKeyGroupHavingCount(t *testing.T) {
+	eng := crasherEngine(t)
+	out := assertAllPlansAgree(t, eng, `
+let $d1 := doc("users.xml")
+for $i2 in distinct-values($d1//rating)
+where count($d1//usertuple[rating = $i2]) >= 1
+return <popular>{ $i2 }</popular>`)
+	if strings.Contains(out, "<popular></popular>") {
+		t.Fatalf("phantom empty group in output: %q", out)
+	}
+}
+
+// Crasher 2 — same null-key trap through Eqv.3 (unary grouping) and the
+// fused group-Ξ plan: the Q1 shape over a document where the grouping key
+// is optional produced a phantom <g><k></k>... group on the grouping
+// alternatives only.
+func TestCrasherPhantomNullKeyGroupEqv3(t *testing.T) {
+	eng := crasherEngine(t)
+	out := assertAllPlansAgree(t, eng, `
+let $d1 := doc("users.xml")
+for $r in distinct-values($d1//rating)
+return <g><k>{ $r }</k><who>{ for $u in $d1//usertuple
+                              where $u/rating = $r
+                              return $u/userid }</who></g>`)
+	if strings.Contains(out, "<k></k>") {
+		t.Fatalf("phantom empty-key group in output: %q", out)
+	}
+}
+
+// Crasher 3 — qgen seed=1 index=194. The self-join-grouping plan (Sec. 5.4)
+// emitted tuples group-major: Γ over the correlation key followed by µ
+// re-clusters equal key values, breaking document order whenever they occur
+// non-contiguously (U01,U00,U01,U00 became U01,U01,U00,U00). The paper's
+// Eqv. 8 assumes ΠD(e1) precisely to avoid this; the fix replaces Γ+µ with
+// the order-preserving Γself operator.
+func TestCrasherSelfJoinGroupingOrder(t *testing.T) {
+	eng := crasherEngine(t)
+	assertAllPlansAgree(t, eng, `
+let $d1 := doc("items.xml")
+let $d2 := doc("items.xml")
+for $a3 in $d1//itemtuple/offered_by
+where some $b4 in $d2//itemtuple/offered_by satisfies $a3 = $b4
+return <j>{ $a3 }</j>`)
+}
+
+// Crasher 4 — qgen seed=2 index=101. The anti-semijoin plan for a universal
+// quantifier admitted outer tuples whose compared field was absent:
+// ¬($q = ()) is true under general-comparison semantics, but the rewrite
+// folded it to $q != (), which is false. every-over-nonempty-range with an
+// absent outer field must reject the tuple.
+func TestCrasherAntiJoinAbsentOuterField(t *testing.T) {
+	eng := crasherEngine(t)
+	out := assertAllPlansAgree(t, eng, `
+let $d1 := doc("users.xml")
+for $x2 in $d1//usertuple
+where every $q3 in doc("users.xml")//usertuple/userid satisfies $q3 = $x2/rating
+return <hit>{ $x2/userid }</hit>`)
+	if out != "" {
+		t.Fatalf("userids can never equal ratings; want empty output, got %q", out)
+	}
+}
+
+// Crasher 5 — qgen seed=1 index=253. Same comparison-negation unsoundness
+// through a different document pair (prices vs optional user rating).
+func TestCrasherAntiJoinAbsentFieldPrices(t *testing.T) {
+	eng := crasherEngine(t)
+	out := assertAllPlansAgree(t, eng, `
+let $d1 := doc("users.xml")
+for $x2 in $d1//usertuple
+where every $q3 in doc("prices.xml")//book/price satisfies $q3 = $x2/rating
+return <hit>{ $x2/rating }</hit>`)
+	if strings.Contains(out, "<hit></hit>") {
+		t.Fatalf("tuple with absent rating admitted: %q", out)
+	}
+}
+
+// Crasher 6 — the same fold was latent in the paper's own Q5 shape: a book
+// without @year must NOT satisfy "every ... satisfies $b/@year > 1993"
+// (year > 1993 on an empty sequence is false), but the folded anti-join
+// predicate @year <= 1993 also evaluated false, keeping the author.
+func TestCrasherEveryOverMissingAttribute(t *testing.T) {
+	eng := NewEngine()
+	if err := eng.LoadXMLString("bib.xml", `<bib>
+  <book year="2001"><title>A</title><author>alice</author></book>
+  <book><title>B</title><author>bob</author></book>
+</bib>`); err != nil {
+		t.Fatal(err)
+	}
+	out := assertAllPlansAgree(t, eng, `
+let $d1 := doc("bib.xml")
+for $a1 in distinct-values($d1//author)
+where every $b2 in doc("bib.xml")//book[author = $a1]
+      satisfies $b2/@year > 1993
+return <n>{ $a1 }</n>`)
+	if strings.Contains(out, "bob") {
+		t.Fatalf("author of a year-less book satisfied the universal: %q", out)
+	}
+	if !strings.Contains(out, "alice") {
+		t.Fatalf("author with year 2001 must qualify: %q", out)
+	}
+}
+
+// Crasher 7 — FuzzRoundTrip testdata/fuzz/FuzzRoundTrip/9973729f18e8c4b9:
+// "if(0)then<A/>" printed its implicit else branch as "()", which reparsed
+// to a node printing "empty-sequence()" — the parser and the printer used
+// two representations for the empty sequence.
+func TestCrasherPrinterEmptySequenceFixpoint(t *testing.T) {
+	assertPrintFixpoint(t, `if(0)then<A/>`)
+	assertPrintFixpoint(t, `for $x in doc("d.xml")//a return if ($x/b) then $x else ()`)
+}
+
+// Crasher 8 — FuzzRoundTrip testdata/fuzz/FuzzRoundTrip/fa087f6173bbe5bd:
+// the parser consumed wildcard steps ("/*") but dropped the "*", leaving an
+// empty step name that printed as a bare slash ("./" — unparseable) and
+// matched nothing. Wildcards now survive to the xpath layer, which always
+// supported them.
+func TestCrasherWildcardStepDropped(t *testing.T) {
+	assertPrintFixpoint(t, `/*`)
+	eng := crasherEngine(t)
+	out := assertAllPlansAgree(t, eng,
+		`for $c in doc("bib.xml")//book/* return <c>{ $c }</c>`)
+	if !strings.Contains(out, "<title>") || !strings.Contains(out, "<price>") {
+		t.Fatalf("wildcard step must match every child element: %.120q", out)
+	}
+}
+
+// Crasher 9 — FuzzRoundTrip testdata/fuzz/FuzzRoundTrip/5bb39239eb390d95:
+// "(0>0)*0" printed as "(0 > 0 * 0)", which reparses with the comparison
+// outermost — the printer lost the precedence override because comparison
+// operands did not re-parenthesize nested comparisons.
+func TestCrasherPrinterPrecedenceLoss(t *testing.T) {
+	assertPrintFixpoint(t, `(0>0)*0`)
+	assertPrintFixpoint(t, `let $x := ((1 = 2) = 3) return $x`)
+	assertPrintFixpoint(t, `for $b in doc("d.xml")//a where ($b/x > 1) + 1 > 0 return $b`)
+}
+
+// Crasher 10 — FuzzParse: a parenthesis/FLWR bomb must come back as a typed
+// *ParseError from the depth guard, not a goroutine-killing stack overflow.
+func TestCrasherParserDepthBomb(t *testing.T) {
+	for _, src := range []string{
+		strings.Repeat("(", 100000),
+		strings.Repeat(`for $x in `, 20000) + "$y",
+		strings.Repeat(`if (1) then `, 20000) + "0 else 0",
+	} {
+		_, err := xquery.ParseModule(src)
+		var pe *xquery.ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("depth bomb: got %T (%v), want *ParseError", err, err)
+		}
+	}
+}
+
+// assertPrintFixpoint parses src, reprints, reparses, and requires the
+// printer to be a fixpoint — FuzzRoundTrip's oracle on one pinned input.
+func assertPrintFixpoint(t *testing.T, src string) {
+	t.Helper()
+	m, err := xquery.ParseModule(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	printed := m.String()
+	m2, err := xquery.ParseModule(printed)
+	if err != nil {
+		t.Fatalf("reprint of %q does not reparse: %v (printed %q)", src, err, printed)
+	}
+	if again := m2.String(); again != printed {
+		t.Fatalf("printer not a fixpoint for %q: %q then %q", src, printed, again)
+	}
+}

@@ -1,0 +1,199 @@
+package nalquery
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nalquery/internal/qgen"
+)
+
+// The generated-query differential oracle: every query the grammar generator
+// produces and the compiler accepts must yield byte-identical output from
+// every plan alternative, on both the slot engine and the reference (map)
+// engine, whether consumed as serialized XML or as typed items. Any
+// divergence or panic fails with a one-line reproducer (seed + index +
+// query text) for triage; typed compile rejections are fine and counted.
+//
+// NALQUERY_QGEN_SEED and NALQUERY_QGEN_COUNT override the sweep's seed and
+// size — the knobs `make fuzz-smoke` uses for the pinned CI sweep and a
+// triager uses to replay a reported seed.
+
+const (
+	defaultSweepSeed  = 20240808
+	defaultSweepCount = 250
+)
+
+func sweepParams(t *testing.T) (seed int64, count int) {
+	seed, count = defaultSweepSeed, defaultSweepCount
+	if testing.Short() {
+		count = 40
+	}
+	if s := os.Getenv("NALQUERY_QGEN_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("NALQUERY_QGEN_SEED: %v", err)
+		}
+		seed = v
+	}
+	if s := os.Getenv("NALQUERY_QGEN_COUNT"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("NALQUERY_QGEN_COUNT: %v", err)
+		}
+		count = v
+	}
+	return seed, count
+}
+
+// runToString executes one prepared query under the given options and
+// returns its serialized output. Generous budgets guard the sweep against a
+// pathological plan materializing without bound — on the small sweep
+// documents no correct plan comes near them.
+func sweepRun(p *Prepared, opts []RunOption) (string, error) {
+	res, err := p.Run(context.Background(),
+		append([]RunOption{WithMaxTuples(1 << 21), WithMaxMemory(512 << 20)}, opts...)...)
+	if err != nil {
+		return "", err
+	}
+	defer res.Close()
+	var sb strings.Builder
+	if err := res.WriteXML(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// runTyped consumes the run item-by-item (the typed consumption path) and
+// returns the concatenated XML of the items, which WriteXML documents as
+// its own output contract.
+func sweepRunTyped(p *Prepared, opts []RunOption) (string, error) {
+	res, err := p.Run(context.Background(),
+		append([]RunOption{WithMaxTuples(1 << 21), WithMaxMemory(512 << 20)}, opts...)...)
+	if err != nil {
+		return "", err
+	}
+	defer res.Close()
+	var sb strings.Builder
+	for item := range res.Seq() {
+		sb.WriteString(item.XML())
+	}
+	return sb.String(), res.Err()
+}
+
+// TestDifferentialGeneratedQueries is the sweep `make fuzz-smoke` pins in
+// CI: N generated queries, every plan alternative, both engines, both
+// consumption modes.
+func TestDifferentialGeneratedQueries(t *testing.T) {
+	seed, count := sweepParams(t)
+	size, apb := qgen.DocSizes()
+	eng := NewEngine()
+	eng.LoadUseCaseDocuments(size, apb)
+
+	g := qgen.New(qgen.Config{Seed: seed, Externals: true})
+	compiled, rejected := 0, 0
+	for i := 0; i < count; i++ {
+		q := g.Query()
+		repro := fmt.Sprintf("seed=%d index=%d query=%q", seed, i, q.Text)
+		p, err := eng.Prepare(q.Text)
+		if err != nil {
+			var pe *ParseError
+			var te *TranslateError
+			if !errors.As(err, &pe) && !errors.As(err, &te) {
+				t.Fatalf("untyped compile rejection %T (%v)\n%s", err, err, repro)
+			}
+			rejected++
+			continue
+		}
+		compiled++
+		var binds []RunOption
+		for name, v := range q.Binds {
+			binds = append(binds, Bind(name, v))
+		}
+		var ref string
+		for pi, plan := range p.Plans() {
+			for _, eng := range []struct {
+				name string
+				opts []RunOption
+			}{
+				{"slot", append([]RunOption{WithPlan(plan.Name)}, binds...)},
+				{"map", append([]RunOption{WithPlan(plan.Name), WithReferenceEngine()}, binds...)},
+			} {
+				out, err := sweepRun(p, eng.opts)
+				if err != nil {
+					t.Fatalf("plan %q on %s engine failed: %v\n%s", plan.Name, eng.name, err, repro)
+				}
+				if pi == 0 && eng.name == "slot" {
+					ref = out
+				} else if out != ref {
+					t.Fatalf("divergence: plan %q on %s engine\n%s\nwant: %q\ngot:  %q",
+						plan.Name, eng.name, repro, ref, out)
+				}
+			}
+			typed, err := sweepRunTyped(p, append([]RunOption{WithPlan(plan.Name)}, binds...))
+			if err != nil {
+				t.Fatalf("plan %q typed consumption failed: %v\n%s", plan.Name, err, repro)
+			}
+			if typed != ref {
+				t.Fatalf("divergence: plan %q typed consumption\n%s\nwant: %q\ngot:  %q",
+					plan.Name, typed, ref, repro)
+			}
+		}
+	}
+	t.Logf("sweep: %d compiled and executed, %d rejected (typed)", compiled, rejected)
+	if compiled < count/2 {
+		t.Fatalf("only %d/%d generated queries compiled — the generator drifted outside the supported subset", compiled, count)
+	}
+}
+
+// TestDifferentialMutatedQueries drives token-wise corruptions of generated
+// queries through the compiler: whatever the mutation produced, the answer
+// must be a clean compile or a typed rejection — never a panic (the compile
+// backstop turns one into *InternalError, which fails here), never an
+// untyped error.
+func TestDifferentialMutatedQueries(t *testing.T) {
+	seed, count := sweepParams(t)
+	size, apb := qgen.DocSizes()
+	eng := NewEngine()
+	eng.LoadUseCaseDocuments(size, apb)
+
+	g := qgen.New(qgen.Config{Seed: seed, Externals: true})
+	rnd := rand.New(rand.NewSource(seed + 1))
+	for i := 0; i < count; i++ {
+		text := qgen.Mutate(rnd, g.Query().Text)
+		repro := fmt.Sprintf("seed=%d index=%d mutated=%q", seed, i, text)
+		q, err := eng.Compile(text)
+		if err != nil {
+			var pe *ParseError
+			var te *TranslateError
+			if !errors.As(err, &pe) && !errors.As(err, &te) {
+				t.Fatalf("untyped rejection %T (%v)\n%s", err, err, repro)
+			}
+			continue
+		}
+		// The mutation happened to stay valid: run the best plan briefly so
+		// the executor sees it too.
+		plan, err := q.Plan("")
+		if err != nil {
+			continue
+		}
+		res, err := q.Run(context.Background(),
+			WithPlan(plan.Name), WithMaxTuples(1<<18), WithMaxMemory(64<<20))
+		if err != nil {
+			if errors.Is(err, ErrInternal) {
+				t.Fatalf("internal error: %v\n%s", err, repro)
+			}
+			continue
+		}
+		var sb strings.Builder
+		if err := res.WriteXML(&sb); err != nil && errors.Is(err, ErrInternal) {
+			t.Fatalf("internal error during run: %v\n%s", err, repro)
+		}
+		res.Close()
+	}
+}

@@ -156,10 +156,34 @@ func (e *ResourceError) Is(target error) bool { return target == ErrResourceExha
 type ParseError struct {
 	// Line is the 1-based line of the query text the parser stopped at.
 	Line int
+	// Col is the 1-based column (byte offset within the line) the parser
+	// stopped at.
+	Col int
 	// Msg describes the syntax error.
 	Msg string
 }
 
 func (e *ParseError) Error() string {
-	return fmt.Sprintf("xquery: line %d: %s", e.Line, e.Msg)
+	return fmt.Sprintf("xquery: line %d:%d: %s", e.Line, e.Col, e.Msg)
 }
+
+// ErrTranslate is the sentinel matched (via errors.Is) by the
+// *TranslateError returned when a syntactically valid query falls outside
+// the supported XQuery subset.
+var ErrTranslate = errors.New("nalquery: query not translatable")
+
+// TranslateError reports a query the compiler rejects after parsing: the
+// expression is syntactically valid XQuery but outside the subset the
+// translator supports (or a shape the normalizer should have rewritten).
+// It surfaces from Compile/Prepare — never as a panic — and matches
+// ErrTranslate under errors.Is.
+type TranslateError struct {
+	// Msg describes the rejection.
+	Msg string
+}
+
+func (e *TranslateError) Error() string { return "nalquery: translate: " + e.Msg }
+
+// Is implements the errors.Is protocol: every TranslateError matches the
+// ErrTranslate sentinel.
+func (e *TranslateError) Is(target error) bool { return target == ErrTranslate }

@@ -1,0 +1,92 @@
+package nalquery
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"nalquery/internal/qgen"
+)
+
+// fuzzEngine is shared across fuzz iterations: document loading dominates
+// per-call cost, and the engine is race-safe, so one instance serves every
+// worker goroutine.
+var fuzzEngine = sync.OnceValue(func() *Engine {
+	eng := NewEngine()
+	size, apb := qgen.DocSizes()
+	eng.LoadUseCaseDocuments(size, apb)
+	return eng
+})
+
+// compileSeeds covers the compile pipeline end to end: shapes the optimizer
+// unnests (quantifiers, grouping, self-joins), shapes it rejects with typed
+// errors, and inputs that historically panicked (deep nesting, absent
+// optional fields, unbound variables).
+var compileSeeds = []string{
+	`for $b in doc("bib.xml")//book where $b/@year > 1993 return $b/title`,
+	`for $a in distinct-values(doc("bib.xml")//author) return <n>{ $a }</n>`,
+	`let $d := doc("users.xml") for $u in $d//usertuple where every $q in doc("prices.xml")//book/price satisfies $q = $u/rating return <hit>{ $u/userid }</hit>`,
+	`for $i in distinct-values(doc("users.xml")//rating) where count(doc("users.xml")//usertuple[rating = $i]) >= 1 return <p>{ $i }</p>`,
+	`for $a in doc("items.xml")//itemtuple/offered_by where some $b in doc("items.xml")//itemtuple/offered_by satisfies $a = $b return <j>{ $a }</j>`,
+	`declare variable $lim external; for $b in doc("prices.xml")//book where $b/price < $lim return $b/title`,
+	`for $x at $i in doc("bib.xml")//book order by $x/title return <r n="{$i}">{ $x/title }</r>`,
+	`for $x in doc("no-such-doc.xml")//a return $x`,
+	`for $x in $undeclared//a return $x`,
+	`1 div 0`,
+	"for $x in",
+}
+
+// FuzzCompile asserts panic-freedom and error typing across the whole
+// compile pipeline (parse, normalize, translate, rewrite, plan) plus a
+// budgeted execution of whatever compiles: rejections must be errors.As-able
+// to a typed error, and neither compile nor run may surface ErrInternal
+// (the recover backstops turn panics into it, so any hit here is a real,
+// reproducible crash).
+func FuzzCompile(f *testing.F) {
+	for _, s := range compileSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		eng := fuzzEngine()
+		q, err := eng.Compile(text)
+		if err != nil {
+			assertTypedCompileError(t, text, err)
+			return
+		}
+		plan, err := q.Plan("")
+		if err != nil {
+			return
+		}
+		res, err := q.Run(context.Background(),
+			WithPlan(plan.Name), WithMaxTuples(1<<16), WithMaxMemory(32<<20))
+		if err != nil {
+			if errors.Is(err, ErrInternal) {
+				t.Fatalf("internal error from Run: %v (query=%q)", err, text)
+			}
+			return
+		}
+		var sb strings.Builder
+		if err := res.WriteXML(&sb); err != nil && errors.Is(err, ErrInternal) {
+			t.Fatalf("internal error during WriteXML: %v (query=%q)", err, text)
+		}
+		res.Close()
+	})
+}
+
+func assertTypedCompileError(t *testing.T, text string, err error) {
+	t.Helper()
+	if errors.Is(err, ErrInternal) {
+		var ie *InternalError
+		if errors.As(err, &ie) {
+			t.Fatalf("compile panicked: %v (query=%q)\n%s", ie.Panic, text, ie.Stack)
+		}
+		t.Fatalf("internal error from Compile: %v (query=%q)", err, text)
+	}
+	var pe *ParseError
+	var te *TranslateError
+	if !errors.As(err, &pe) && !errors.As(err, &te) {
+		t.Fatalf("untyped compile rejection %T: %v (query=%q)", err, err, text)
+	}
+}

@@ -92,6 +92,61 @@ func thetaMatch(lt, rt value.Tuple, lAttrs, rAttrs []string, op value.CmpOp) boo
 	return true
 }
 
+// GroupSelf is the order-preserving self-grouping operator: every input
+// tuple is extended by G holding F applied to the tuple's own equality
+// group (all input tuples with the same By-key), and the tuples are emitted
+// in input order. It is the sound single-scan form of "Γ, filter, µ" used
+// by the Sec. 5.4 self-join grouping plan: unlike unnesting a unary
+// grouping, tuples whose keys interleave in the input stay interleaved —
+// which is what the paper's order-preservation claim requires when key
+// values repeat non-contiguously.
+type GroupSelf struct {
+	In Op
+	G  string
+	By []string
+	F  SeqFunc
+}
+
+// Eval implements Op.
+func (g GroupSelf) Eval(ctx *Ctx, env value.Tuple) value.TupleSeq {
+	in := g.In.Eval(ctx, env)
+	ctx.ChargeTuples(TripGroup, in)
+	_, buckets := partition(in, g.By)
+	applied := make(map[string]value.Value, len(buckets))
+	out := make(value.TupleSeq, 0, len(in))
+	for _, t := range in {
+		k := hashKey(t, g.By)
+		v, ok := applied[k]
+		if !ok {
+			v = g.F.Apply(ctx, env, buckets[k])
+			applied[k] = v
+		}
+		nt := t.Copy()
+		nt[g.G] = v
+		out = append(out, nt)
+	}
+	return out
+}
+
+func (g GroupSelf) String() string {
+	return fmt.Sprintf("Γself[%s;%s;%s]", g.G, strings.Join(g.By, ","), g.F.String())
+}
+
+// Children implements Op.
+func (g GroupSelf) Children() []Op { return []Op{g.In} }
+
+// Exprs implements Op.
+func (g GroupSelf) Exprs() []Expr { return nil }
+
+// Attrs implements Op.
+func (g GroupSelf) Attrs() ([]string, bool) {
+	in, ok := g.In.Attrs()
+	if !ok {
+		return nil, false
+	}
+	return unionAttrs(in, []string{g.G}), true
+}
+
 // GroupBinary is the binary grouping operator (nest-join)
 // e1 Γg;A1θA2;f e2 (Sec. 2): every left tuple is extended by g holding f
 // applied to the right tuples standing in relation θ. The left side

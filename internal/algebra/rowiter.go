@@ -207,6 +207,8 @@ func openNative(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
 
 	case GroupUnary:
 		return openRowGroupUnary(w, sc, ctx, env)
+	case GroupSelf:
+		return openRowGroupSelf(w, sc, ctx, env)
 	case GroupBinary:
 		return openRowGroupBinary(w, sc, ctx, env)
 
@@ -1007,6 +1009,43 @@ func openRowGroupUnary(g GroupUnary, sc Schema, ctx *Ctx, env value.Tuple) RowIt
 			}
 		}
 		emit(kr, apply(ctx, env, grp))
+	}
+	return &rowSliceIter{rows: out}
+}
+
+// openRowGroupSelf annotates each input row with F applied to its equality
+// group, preserving input order (unlike Γ, which emits one row per group).
+func openRowGroupSelf(g GroupSelf, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
+	insc, ok := ResolveSchema(g.In)
+	if !ok {
+		return nil
+	}
+	by, ok := slotsOf(insc.Lay, g.By)
+	if !ok {
+		return nil
+	}
+	gSlot, _ := sc.Lay.Slot(g.G)
+	rows := drainRows(ctx, TripGroup, openRowsSchema(g.In, insc, ctx, env))
+	apply := groupApplier(g.F, insc.Lay, env)
+
+	buckets := make(map[value.HashKey][]value.Row, len(rows))
+	for _, r := range rows {
+		k := rowKey(r, by)
+		buckets[k] = append(buckets[k], r)
+	}
+	applied := make(map[value.HashKey]value.Value, len(buckets))
+	out := make([]value.Row, 0, len(rows))
+	for _, r := range rows {
+		k := rowKey(r, by)
+		v, ok := applied[k]
+		if !ok {
+			v = apply(ctx, env, buckets[k])
+			applied[k] = v
+		}
+		vals := make([]value.Value, sc.Lay.Width())
+		copy(vals, r.Vals)
+		vals[gSlot] = v
+		out = append(out, value.Row{Lay: sc.Lay, Vals: vals})
 	}
 	return &rowSliceIter{rows: out}
 }

@@ -300,6 +300,16 @@ func ResolveSchema(op Op) (Schema, bool) {
 		}
 		return genericSchema(op)
 
+	case GroupSelf:
+		if in, ok := ResolveSchema(w.In); ok {
+			lay, slot := in.Lay.Extend(w.G)
+			if slot == in.Lay.Width() { // G must be fresh
+				nested := nestedWith(in.Nested, w.G, fnNested(w.F, in))
+				return Schema{Lay: lay, Nested: nested, Native: true}, true
+			}
+		}
+		return genericSchema(op)
+
 	case GroupUnary:
 		if in, ok := ResolveSchema(w.In); ok {
 			if lay := value.NewLayout(append(append([]string(nil), w.By...), w.G)...); lay != nil {

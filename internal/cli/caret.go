@@ -1,0 +1,38 @@
+package cli
+
+import (
+	"strings"
+)
+
+// Caret renders the source line a parse error points at with a caret
+// marking the column, the classic two-line compiler diagnostic:
+//
+//	for $x inn e return $x
+//	       ^
+//
+// line and col are 1-based (the convention of nalquery.ParseError); a
+// position outside the source returns "" so callers can print it
+// unconditionally. Tabs in the prefix are preserved in the caret line so
+// the marker stays aligned under any tab width.
+func Caret(src string, line, col int) string {
+	if line < 1 || col < 1 {
+		return ""
+	}
+	lines := strings.Split(src, "\n")
+	if line > len(lines) {
+		return ""
+	}
+	text := strings.TrimRight(lines[line-1], "\r")
+	if col > len(text)+1 {
+		return ""
+	}
+	var pad strings.Builder
+	for _, b := range []byte(text[:col-1]) {
+		if b == '\t' {
+			pad.WriteByte('\t')
+		} else {
+			pad.WriteByte(' ')
+		}
+	}
+	return text + "\n" + pad.String() + "^"
+}

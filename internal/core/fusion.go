@@ -13,7 +13,7 @@ import (
 //
 // is replaced by one grouping pass over e2 alone:
 //
-//	Ξ'(µ(σ c>0 (χ c:(count∘σp)(grp) (Γ grp;=b2;id (e2)))))
+//	Ξ'(σ c>0 (Γself c;=b2;count∘σp (σ exists(b2) (e2))))
 //
 // where Ξ' renames the e1 attributes of the commands to their e2
 // counterparts. (The paper's Eqv. 8 presentation prints e2 attributes for
@@ -72,20 +72,21 @@ func (rw *Rewriter) applySelfJoinGrouping(x algebra.XiSimple) (algebra.Op, bool)
 		cmds = append(cmds, algebra.ExprCmd(algebra.Var{Name: to}))
 	}
 
-	grpAttr := corr.a2 + "#grp"
 	cAttr := corr.a2 + "#c"
 	var f algebra.SeqFunc = algebra.SFCount{}
 	if residual != nil {
 		f = algebra.SFFiltered{Pred: residual, Inner: algebra.SFCount{}}
 	}
-	grouped := algebra.GroupUnary{In: j.R, G: grpAttr, By: []string{corr.a2},
-		Theta: value.CmpEq, F: algebra.SFIdent{}}
-	counted := algebra.Map{In: grouped, Attr: cAttr,
-		E: algebra.AggOfAttr{F: f, Attr: algebra.Var{Name: grpAttr}}}
-	filtered := algebra.Select{In: counted,
+	// Γself annotates each e2 tuple with the match count of its equality
+	// group while keeping the input order — Γ followed by µ would emit
+	// group-major, which breaks document order whenever equal key values
+	// occur non-contiguously in e2 (the paper's Eqv. 8 assumes ΠD(e1)
+	// precisely to sidestep this).
+	grouped := algebra.GroupSelf{In: dropAbsentKeys(j.R, corr.a2), G: cAttr,
+		By: []string{corr.a2}, F: f}
+	filtered := algebra.Select{In: grouped,
 		Pred: algebra.CmpExpr{L: algebra.Var{Name: cAttr}, R: algebra.ConstVal{V: value.Int(0)}, Op: value.CmpGt}}
-	flat := algebra.Unnest{In: filtered, Attr: grpAttr}
-	return algebra.XiSimple{In: flat, Cmds: cmds}, true
+	return algebra.XiSimple{In: filtered, Cmds: cmds}, true
 }
 
 // matchPipelines maps every non-document attribute of e1 to an e2 attribute

@@ -131,6 +131,9 @@ func (r *rewritePass) op(o algebra.Op) algebra.Op {
 	case algebra.GroupUnary:
 		w.In = r.op(w.In)
 		return w
+	case algebra.GroupSelf:
+		w.In = r.op(w.In)
+		return w
 	case algebra.GroupBinary:
 		w.L = r.op(w.L)
 		w.R = r.op(w.R)

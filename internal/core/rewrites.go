@@ -86,9 +86,21 @@ func (rw *Rewriter) applyEqv3(m algebra.Map) (algebra.Op, bool) {
 	if residual != nil || hasSelection(site.e2) {
 		return nil, false
 	}
-	grouped := algebra.GroupUnary{In: site.e2, G: site.g, By: []string{corr.a2},
-		Theta: corr.theta, F: site.f}
+	grouped := algebra.GroupUnary{In: dropAbsentKeys(site.e2, corr.a2), G: site.g,
+		By: []string{corr.a2}, Theta: corr.theta, F: site.f}
 	return rw.renameGroupKey(grouped, corr.a1, corr.a2), true
+}
+
+// dropAbsentKeys wraps a grouping input in a selection that removes tuples
+// whose key attribute is absent (the path matched nothing). The outer side
+// e1 of Eqvs. 3, 8 and 9 draws its keys from the path's node set, which
+// never contains the absent value, and A1 = A2 is false for an empty A2 —
+// so such tuples can never match any outer key, but without the filter they
+// would surface as a phantom group of their own whenever the keying element
+// is optional (the //usertuple/rating? trap).
+func dropAbsentKeys(e algebra.Op, key string) algebra.Op {
+	return algebra.Select{In: e,
+		Pred: algebra.Call{Fn: "exists", Args: []algebra.Expr{algebra.Var{Name: key}}}}
 }
 
 // applyEqv4 unnests χ g:f(σ A1∈a2 (e2)) (e1) into
@@ -317,12 +329,15 @@ func varOnlyInCorr(pred algebra.Expr, v string, e1Attrs, e2Attrs map[string]bool
 	return true
 }
 
-// negateExpr builds ¬e, folding comparison operators (¬(y > 1993) becomes
-// y ≤ 1993, the form Sec. 5.5 pushes into the anti-join's inner operand).
+// negateExpr builds ¬e, folding boolean constants and double negation.
 func negateExpr(e algebra.Expr) algebra.Expr {
 	switch w := e.(type) {
 	case algebra.CmpExpr:
-		return algebra.CmpExpr{L: w.L, R: w.R, Op: w.Op.Negate()}
+		// ¬(A θ B) may NOT be folded to A θ̄ B: general comparisons are
+		// existential over sequences, so both A = B and A != B are false
+		// when either operand is empty (or can disagree when one side has
+		// several items). Only an explicit ¬ is the exact complement.
+		return algebra.NotExpr{E: w}
 	case algebra.NotExpr:
 		return w.E
 	case algebra.Call:
@@ -418,8 +433,8 @@ func (rw *Rewriter) applyCountRewrite(e1, e2 algebra.Op, pred algebra.Expr, anti
 		f = algebra.SFFiltered{Pred: residual, Inner: algebra.SFCount{}}
 	}
 	cAttr := corr.a1 + "#count"
-	grouped := algebra.GroupUnary{In: e2, G: cAttr, By: []string{corr.a2},
-		Theta: value.CmpEq, F: f}
+	grouped := algebra.GroupUnary{In: dropAbsentKeys(e2, corr.a2), G: cAttr,
+		By: []string{corr.a2}, Theta: value.CmpEq, F: f}
 	renamed := rw.renameGroupKey(grouped, corr.a1, corr.a2)
 	op := value.CmpGt
 	if anti {

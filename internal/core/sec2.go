@@ -261,6 +261,9 @@ func rebuildChildren(op algebra.Op, f func(algebra.Op) (algebra.Op, bool)) (alge
 	case algebra.GroupUnary:
 		in, ch := f(w.In)
 		return algebra.GroupUnary{In: in, G: w.G, By: w.By, Theta: w.Theta, F: w.F}, ch
+	case algebra.GroupSelf:
+		in, ch := f(w.In)
+		return algebra.GroupSelf{In: in, G: w.G, By: w.By, F: w.F}, ch
 	case algebra.GroupBinary:
 		l, ch1 := f(w.L)
 		r, ch2 := f(w.R)

@@ -145,6 +145,11 @@ func (m *Model) Plan(op algebra.Op) Estimate {
 			return Estimate{Card: card, Cost: in.Cost + card*in.Card*tupleCost}
 		}
 		return Estimate{Card: card, Cost: in.Cost + in.Card*tupleCost + card*slotCost*width(op)}
+	case algebra.GroupSelf:
+		// One hash pass plus a full-width output row per input tuple: the
+		// operator annotates in place, so Card is unchanged.
+		in := m.Plan(w.In)
+		return Estimate{Card: in.Card, Cost: in.Cost + in.Card*tupleCost + in.Card*slotCost*width(op)}
 	case algebra.GroupBinary:
 		l, r := m.Plan(w.L), m.Plan(w.R)
 		if w.Theta != 0 || w.ForceScan {

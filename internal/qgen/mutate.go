@@ -1,0 +1,93 @@
+package qgen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// tokenize splits query text into coarse tokens: runs of
+// identifier/number characters, quoted strings (kept whole), and single
+// punctuation bytes. Whitespace separates tokens and is dropped; Mutate
+// re-joins with single spaces. The point is not XQuery lexical fidelity —
+// it is producing corruptions that stress the parser near token
+// boundaries instead of byte soup it rejects immediately.
+func tokenize(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '"' || c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != c {
+				j++
+			}
+			if j < len(s) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		case isWord(c):
+			j := i
+			for j < len(s) && isWord(s[j]) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		default:
+			toks = append(toks, string(c))
+			i++
+		}
+	}
+	return toks
+}
+
+func isWord(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '-' || c == '.'
+}
+
+// junk is the replacement pool token corruption draws from: keywords in
+// wrong places, unterminated strings, deep parens, stray operators.
+var junk = []string{
+	"for", "let", "where", "return", "some", "every", "satisfies", "in",
+	"order", "by", "declare", "variable", "external", "at", "if", "then",
+	"else", "and", "or", "div", "mod", "$", "$$", "(", ")", "((", "))",
+	"{", "}", "[", "]", "<", ">", "=", "!=", "<=", ">=", ",", ";", ":=",
+	`"unterminated`, "'", "@", "/", "//", ".", "..", "0x", "1e", "-",
+	"doc", "count", "distinct-values", "", "\x00", "\xff", "日本語",
+}
+
+// Mutate corrupts valid query text token-wise: it applies 1–3 random edits
+// (delete, duplicate, swap, replace-with-junk, insert-junk, truncate) and
+// returns the result. Deterministic in r. The output usually no longer
+// parses — that is the point: the pipeline must reject it with a typed
+// error, never a panic.
+func Mutate(r *rand.Rand, text string) string {
+	toks := tokenize(text)
+	if len(toks) == 0 {
+		return junk[r.Intn(len(junk))]
+	}
+	edits := 1 + r.Intn(3)
+	for e := 0; e < edits && len(toks) > 0; e++ {
+		i := r.Intn(len(toks))
+		switch r.Intn(6) {
+		case 0: // delete
+			toks = append(toks[:i], toks[i+1:]...)
+		case 1: // duplicate
+			toks = append(toks[:i+1], toks[i:]...)
+		case 2: // swap with neighbor
+			j := (i + 1) % len(toks)
+			toks[i], toks[j] = toks[j], toks[i]
+		case 3: // replace with junk
+			toks[i] = junk[r.Intn(len(junk))]
+		case 4: // insert junk
+			toks = append(toks[:i], append([]string{junk[r.Intn(len(junk))]}, toks[i:]...)...)
+		case 5: // truncate
+			toks = toks[:i]
+		}
+	}
+	return strings.Join(toks, " ")
+}

@@ -1,0 +1,486 @@
+// Package qgen is a seeded, grammar-based XQuery generator for the fuzzing
+// and differential-testing harnesses. It produces queries over the synthetic
+// use-case documents of internal/xmlgen (bib.xml, reviews.xml, prices.xml,
+// users.xml, items.xml, bids.xml), covering the shapes the paper's
+// translation and unnesting handle: FLWR nesting to configurable depth,
+// existential and universal quantifiers, positional variables, order by,
+// grouping and aggregation, and external-variable prologs.
+//
+// Generation is deterministic in the seed: New(Config{Seed: s}) produces the
+// same query sequence on every run, so any crash or divergence reports as a
+// one-line reproducer (seed + index). Not every generated query is inside
+// the translator's subset — harnesses treat typed rejections as fine and
+// panics or untyped errors as failures.
+package qgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config parameterizes a generator.
+type Config struct {
+	// Seed fixes the pseudo-random sequence.
+	Seed int64
+	// MaxDepth bounds FLWR nesting (quantifier ranges, nested queries in
+	// let/return). 0 means the default of 3.
+	MaxDepth int
+	// Externals, when true, lets queries declare external variables in the
+	// prolog; Query.Binds then carries values for them.
+	Externals bool
+}
+
+// Query is one generated query: its text plus the bindings for any external
+// variables it declares.
+type Query struct {
+	Text string
+	// Binds maps declared external variable names to binding values; empty
+	// when the query declares none.
+	Binds map[string]any
+}
+
+// field is one child element (or attribute) of a document's tuple element.
+type field struct {
+	name    string
+	attr    bool // @year
+	numeric bool // values compare numerically (price, bid, itemno, @year)
+	// sample values a comparison literal can draw from so predicates have a
+	// real chance of selecting something.
+	samples []string
+}
+
+// docSchema describes one use-case document: its URI, the repeating tuple
+// element, and that element's fields.
+type docSchema struct {
+	uri  string
+	elem string
+	fs   []field
+}
+
+// schemas mirrors internal/xmlgen's generators. Sample literals match the
+// value shapes xmlgen emits.
+var schemas = []docSchema{
+	{"bib.xml", "book", []field{
+		{name: "title", samples: []string{"Title 1", "Title 7", "Data on the Web"}},
+		{name: "author", samples: []string{"Author 3", "Suciu"}},
+		{name: "publisher", samples: []string{"Publisher 1", "Publisher 5"}},
+		{name: "price", numeric: true, samples: []string{"25.00", "49.99"}},
+		{name: "year", attr: true, numeric: true, samples: []string{"1993", "1995", "2000"}},
+	}},
+	{"reviews.xml", "entry", []field{
+		{name: "title", samples: []string{"Title 1", "Unlisted Title 3"}},
+		{name: "price", numeric: true, samples: []string{"30.00", "55.50"}},
+		{name: "review", samples: []string{"Review text 1"}},
+	}},
+	{"prices.xml", "book", []field{
+		{name: "title", samples: []string{"Title 0", "Title 4"}},
+		{name: "source", samples: []string{"source0.example.com", "source1.example.com"}},
+		{name: "price", numeric: true, samples: []string{"20.00", "75.25"}},
+	}},
+	{"users.xml", "usertuple", []field{
+		{name: "userid", samples: []string{"U01", "U05"}},
+		{name: "name", samples: []string{"User Name 2"}},
+		{name: "rating", samples: []string{"A", "C"}},
+	}},
+	{"items.xml", "itemtuple", []field{
+		{name: "itemno", numeric: true, samples: []string{"1001", "1004"}},
+		{name: "description", samples: []string{"Item description 2"}},
+		{name: "offered_by", samples: []string{"U00", "U03"}},
+	}},
+	{"bids.xml", "bidtuple", []field{
+		{name: "userid", samples: []string{"U02", "U07"}},
+		{name: "itemno", numeric: true, samples: []string{"1000", "1002"}},
+		{name: "bid", numeric: true, samples: []string{"50", "200"}},
+		{name: "biddate", samples: []string{"1999-03-15"}},
+	}},
+}
+
+// Gen generates queries. Not safe for concurrent use; give each goroutine
+// its own Gen.
+type Gen struct {
+	r   *rand.Rand
+	cfg Config
+
+	// per-query state
+	nvar      int
+	externals []string
+	binds     map[string]any
+}
+
+// New creates a generator.
+func New(cfg Config) *Gen {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 3
+	}
+	return &Gen{r: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+}
+
+// Query generates the next query in the seeded sequence.
+func (g *Gen) Query() Query {
+	g.nvar = 0
+	g.externals = nil
+	g.binds = map[string]any{}
+
+	var body string
+	switch g.r.Intn(8) {
+	case 0:
+		body = g.groupingQuery()
+	case 1:
+		body = g.aggregationQuery()
+	case 2:
+		body = g.quantifierQuery()
+	case 3:
+		body = g.havingCountQuery()
+	case 4:
+		body = g.joinQuery()
+	default:
+		body = g.flwr(g.cfg.MaxDepth)
+	}
+	var sb strings.Builder
+	for _, e := range g.externals {
+		fmt.Fprintf(&sb, "declare variable $%s external;\n", e)
+	}
+	sb.WriteString(body)
+	return Query{Text: sb.String(), Binds: g.binds}
+}
+
+// fresh returns a fresh variable name.
+func (g *Gen) fresh(prefix string) string {
+	g.nvar++
+	return fmt.Sprintf("%s%d", prefix, g.nvar)
+}
+
+func (g *Gen) schema() docSchema { return schemas[g.r.Intn(len(schemas))] }
+
+func (g *Gen) pick(fs []field) field { return fs[g.r.Intn(len(fs))] }
+
+// fieldStep renders a field as a path step ("title" or "@year").
+func fieldStep(f field) string {
+	if f.attr {
+		return "@" + f.name
+	}
+	return f.name
+}
+
+// literal renders a comparison literal for the field: a sample value, an
+// external variable (when enabled), or a fresh number for numeric fields.
+func (g *Gen) literal(f field) string {
+	if g.cfg.Externals && g.r.Intn(6) == 0 {
+		name := g.fresh("ext")
+		g.externals = append(g.externals, name)
+		s := f.samples[g.r.Intn(len(f.samples))]
+		if f.numeric {
+			g.binds[name] = float64(g.r.Intn(2000))
+		} else {
+			g.binds[name] = s
+		}
+		return "$" + name
+	}
+	if f.numeric && g.r.Intn(2) == 0 {
+		return fmt.Sprintf("%d", g.r.Intn(2000))
+	}
+	return `"` + f.samples[g.r.Intn(len(f.samples))] + `"`
+}
+
+func (g *Gen) cmpOp(numeric bool) string {
+	if numeric {
+		return []string{"=", "!=", "<", "<=", ">", ">="}[g.r.Intn(6)]
+	}
+	return []string{"=", "!="}[g.r.Intn(2)]
+}
+
+// docBind renders `let $d := doc("uri")` with a random doc spelling.
+func (g *Gen) docBind(v string, s docSchema) string {
+	fn := "doc"
+	if g.r.Intn(4) == 0 {
+		fn = "document"
+	}
+	return fmt.Sprintf("let $%s := %s(%q)", v, fn, s.uri)
+}
+
+// predicate renders a where-style condition over tuple variable $v of s,
+// recursing into quantifiers and nested aggregates while depth allows.
+func (g *Gen) predicate(v string, s docSchema, depth int) string {
+	f := g.pick(s.fs)
+	switch {
+	case depth > 0 && g.r.Intn(5) == 0:
+		return g.quantPred(v, s, depth-1)
+	case depth > 0 && g.r.Intn(6) == 0:
+		inner := g.countExpr(v, s, depth-1)
+		return fmt.Sprintf("%s >= %d", inner, 1+g.r.Intn(3))
+	case g.r.Intn(6) == 0:
+		return fmt.Sprintf("contains($%s/%s, %s)", v, fieldStep(f), g.literal(f))
+	case g.r.Intn(8) == 0:
+		return fmt.Sprintf("exists($%s/%s)", v, fieldStep(f))
+	case g.r.Intn(6) == 0:
+		l := fmt.Sprintf("$%s/%s %s %s", v, fieldStep(f), g.cmpOp(f.numeric), g.literal(f))
+		f2 := g.pick(s.fs)
+		r := fmt.Sprintf("$%s/%s %s %s", v, fieldStep(f2), g.cmpOp(f2.numeric), g.literal(f2))
+		op := "and"
+		if g.r.Intn(2) == 0 {
+			op = "or"
+		}
+		return fmt.Sprintf("(%s %s %s)", l, op, r)
+	default:
+		return fmt.Sprintf("$%s/%s %s %s", v, fieldStep(f), g.cmpOp(f.numeric), g.literal(f))
+	}
+}
+
+// quantPred renders an existential or universal quantifier whose range is a
+// nested FLWR or a filtered path.
+func (g *Gen) quantPred(outer string, outerS docSchema, depth int) string {
+	kw := "some"
+	if g.r.Intn(2) == 0 {
+		kw = "every"
+	}
+	s := g.schema()
+	qv := g.fresh("q")
+	f := g.pick(s.fs)
+	var rng string
+	if g.r.Intn(2) == 0 {
+		d := g.fresh("d")
+		rng = fmt.Sprintf("(%s for $%s in $%s//%s/%s return $%s)",
+			g.docBind(d, s), qv+"i", d, s.elem, fieldStep(f), qv+"i")
+	} else {
+		rng = fmt.Sprintf("doc(%q)//%s/%s", s.uri, s.elem, fieldStep(f))
+	}
+	of := g.pick(outerS.fs)
+	sat := fmt.Sprintf("$%s = $%s/%s", qv, outer, fieldStep(of))
+	if g.r.Intn(3) == 0 {
+		sat = fmt.Sprintf("$%s %s %s", qv, g.cmpOp(f.numeric), g.literal(f))
+	}
+	return fmt.Sprintf("%s $%s in %s satisfies %s", kw, qv, rng, sat)
+}
+
+// countExpr renders count(...) over a nested range correlated with $v.
+func (g *Gen) countExpr(v string, outerS docSchema, depth int) string {
+	s := g.schema()
+	f := g.pick(s.fs)
+	of := g.pick(outerS.fs)
+	if f.attr || of.attr {
+		return fmt.Sprintf("count(doc(%q)//%s)", s.uri, s.elem)
+	}
+	return fmt.Sprintf("count(doc(%q)//%s[%s = $%s/%s])", s.uri, s.elem, f.name, v, fieldStep(of))
+}
+
+// returnExpr renders the return clause for tuple variable $v of s.
+func (g *Gen) returnExpr(v string, s docSchema, depth int) string {
+	f := g.pick(s.fs)
+	switch g.r.Intn(5) {
+	case 0:
+		return "$" + v
+	case 1:
+		return fmt.Sprintf("$%s/%s", v, fieldStep(f))
+	case 2:
+		return fmt.Sprintf("<r>{ $%s/%s }</r>", v, fieldStep(f))
+	case 3:
+		f2 := g.pick(s.fs)
+		return fmt.Sprintf("<r><a>{ $%s/%s }</a><b>{ $%s/%s }</b></r>",
+			v, fieldStep(f), v, fieldStep(f2))
+	default:
+		if depth > 0 && g.r.Intn(2) == 0 {
+			return fmt.Sprintf("<r>{ $%s/%s }{ %s }</r>", v, fieldStep(f), g.flwr(depth-1))
+		}
+		return fmt.Sprintf("<r>{ $%s/%s }</r>", v, fieldStep(f))
+	}
+}
+
+// flwr renders a general FLWR expression, the grammar's workhorse.
+func (g *Gen) flwr(depth int) string {
+	s := g.schema()
+	d := g.fresh("d")
+	v := g.fresh("x")
+	var sb strings.Builder
+	sb.WriteString(g.docBind(d, s))
+	sb.WriteString(" ")
+	// for clause, optionally positional, optionally a second binding
+	pos := ""
+	if g.r.Intn(4) == 0 {
+		pos = " at $" + g.fresh("p")
+	}
+	fmt.Fprintf(&sb, "for $%s%s in $%s//%s", v, pos, d, s.elem)
+	var second string
+	if g.r.Intn(4) == 0 {
+		second = g.fresh("y")
+		f := g.pick(s.fs)
+		if !f.attr {
+			fmt.Fprintf(&sb, ", $%s in $%s/%s", second, v, f.name)
+		} else {
+			second = ""
+		}
+	}
+	sb.WriteString(" ")
+	// optional let over a correlated nested query or a path
+	if depth > 0 && g.r.Intn(3) == 0 {
+		lv := g.fresh("l")
+		inner := g.nestedSeq(v, s, depth-1)
+		fmt.Fprintf(&sb, "let $%s := %s ", lv, inner)
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(&sb, "where count($%s) >= %d ", lv, g.r.Intn(3))
+		}
+	} else if g.r.Intn(3) == 0 {
+		fmt.Fprintf(&sb, "where %s ", g.predicate(v, s, depth))
+	}
+	// optional order by
+	if g.r.Intn(4) == 0 {
+		f := g.pick(s.fs)
+		dir := ""
+		if g.r.Intn(2) == 0 {
+			dir = " descending"
+		}
+		stable := ""
+		if g.r.Intn(3) == 0 {
+			stable = "stable "
+		}
+		fmt.Fprintf(&sb, "%sorder by $%s/%s%s ", stable, v, fieldStep(f), dir)
+	}
+	sb.WriteString("return ")
+	if pos != "" && g.r.Intn(2) == 0 {
+		fmt.Fprintf(&sb, "<r n=\"{ $%s }\">{ $%s }</r>", strings.TrimPrefix(pos, " at $"), v)
+	} else {
+		sb.WriteString(g.returnExpr(v, s, depth))
+	}
+	return sb.String()
+}
+
+// nestedSeq renders a parenthesized nested FLWR correlated with outer $v.
+func (g *Gen) nestedSeq(outer string, outerS docSchema, depth int) string {
+	s := g.schema()
+	d := g.fresh("d")
+	iv := g.fresh("n")
+	f := g.pick(s.fs)
+	of := g.pick(outerS.fs)
+	corr := ""
+	if !f.attr && !of.attr && g.r.Intn(2) == 0 {
+		corr = fmt.Sprintf("[%s = $%s/%s]", f.name, outer, fieldStep(of))
+	}
+	ret := "$" + iv
+	if g.r.Intn(3) == 0 {
+		ret = fmt.Sprintf("decimal($%s)", iv)
+	}
+	return fmt.Sprintf("(%s for $%s in $%s//%s%s/%s return %s)",
+		g.docBind(d, s), iv, d, s.elem, corr, fieldStep(f), ret)
+}
+
+// groupingQuery renders the Q1 shape: group by a distinct field, nested
+// query in the return.
+func (g *Gen) groupingQuery() string {
+	s := g.schema()
+	f := g.pick(s.fs)
+	for f.attr {
+		f = g.pick(s.fs)
+	}
+	d1 := g.fresh("d")
+	a := g.fresh("a")
+	d2 := g.fresh("d")
+	b := g.fresh("b")
+	of := g.pick(s.fs)
+	return fmt.Sprintf(`%s
+for $%s in distinct-values($%s//%s)
+return
+  <group>
+    <key> { $%s } </key>
+    {
+      %s
+      for $%s in $%s//%s[$%s = %s]
+      return $%s/%s
+    }
+  </group>`,
+		g.docBind(d1, s), a, d1, f.name,
+		a,
+		g.docBind(d2, s), b, d2, s.elem, a, f.name,
+		b, fieldStep(of))
+}
+
+// aggregationQuery renders the Q2 shape: nested aggregate per group key.
+func (g *Gen) aggregationQuery() string {
+	s := g.schema()
+	var key, num field
+	key = g.pick(s.fs)
+	for key.attr {
+		key = g.pick(s.fs)
+	}
+	num = key
+	for _, f := range s.fs {
+		if f.numeric && !f.attr {
+			num = f
+		}
+	}
+	agg := []string{"min", "max", "sum", "avg", "count"}[g.r.Intn(5)]
+	d1, t, p, d2, p2 := g.fresh("d"), g.fresh("t"), g.fresh("p"), g.fresh("d"), g.fresh("q")
+	return fmt.Sprintf(`%s
+for $%s in distinct-values($%s//%s/%s)
+let $%s := (%s
+            for $%s in $%s//%s[%s = $%s]/%s
+            return decimal($%s))
+return
+  <agg key="{ $%s }">
+    <v> { %s($%s) } </v>
+  </agg>`,
+		g.docBind(d1, s), t, d1, s.elem, key.name,
+		p, g.docBind(d2, s), p2, d2, s.elem, key.name, t, num.name, p2,
+		t, agg, p)
+}
+
+// quantifierQuery renders the Q3/Q5 shape: quantified where clause.
+func (g *Gen) quantifierQuery() string {
+	s := g.schema()
+	d := g.fresh("d")
+	v := g.fresh("x")
+	pred := g.quantPred(v, s, g.cfg.MaxDepth-1)
+	f := g.pick(s.fs)
+	return fmt.Sprintf(`%s
+for $%s in $%s//%s
+where %s
+return <hit>{ $%s/%s }</hit>`,
+		g.docBind(d, s), v, d, s.elem, pred, v, fieldStep(f))
+}
+
+// havingCountQuery renders the Q6 shape: aggregation in the where clause
+// over distinct keys.
+func (g *Gen) havingCountQuery() string {
+	s := g.schema()
+	key := g.pick(s.fs)
+	for key.attr {
+		key = g.pick(s.fs)
+	}
+	d := g.fresh("d")
+	i := g.fresh("i")
+	return fmt.Sprintf(`%s
+for $%s in distinct-values($%s//%s)
+where count($%s//%s[%s = $%s]) >= %d
+return <popular>{ $%s }</popular>`,
+		g.docBind(d, s), i, d, key.name,
+		d, s.elem, key.name, i, 1+g.r.Intn(4), i)
+}
+
+// joinQuery renders a two-document value join, the Q4 flavor.
+func (g *Gen) joinQuery() string {
+	s1 := g.schema()
+	s2 := g.schema()
+	var f1, f2 field
+	f1 = g.pick(s1.fs)
+	for f1.attr {
+		f1 = g.pick(s1.fs)
+	}
+	f2 = g.pick(s2.fs)
+	for f2.attr {
+		f2 = g.pick(s2.fs)
+	}
+	d1, d2, a, b := g.fresh("d"), g.fresh("d"), g.fresh("a"), g.fresh("b")
+	return fmt.Sprintf(`%s
+%s
+for $%s in $%s//%s/%s
+where some $%s in $%s//%s/%s satisfies $%s = $%s
+return <j>{ $%s }</j>`,
+		g.docBind(d1, s1), g.docBind(d2, s2),
+		a, d1, s1.elem, f1.name,
+		b, d2, s2.elem, f2.name, a, b,
+		a)
+}
+
+// DocSizes returns a small xmlgen size suitable for differential sweeps:
+// large enough that predicates select non-trivial subsets, small enough
+// that hundreds of queries times several plans stay fast.
+func DocSizes() (size, authorsPerBook int) { return 24, 2 }

@@ -1,0 +1,96 @@
+package qgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestDeterministic: the same seed yields the same query sequence.
+func TestDeterministic(t *testing.T) {
+	a := New(Config{Seed: 7, Externals: true})
+	b := New(Config{Seed: 7, Externals: true})
+	for i := 0; i < 50; i++ {
+		qa, qb := a.Query(), b.Query()
+		if qa.Text != qb.Text {
+			t.Fatalf("query %d diverged:\n%s\n---\n%s", i, qa.Text, qb.Text)
+		}
+		if len(qa.Binds) != len(qb.Binds) {
+			t.Fatalf("query %d binds diverged", i)
+		}
+	}
+}
+
+// TestSeedsDiffer: different seeds yield different sequences.
+func TestSeedsDiffer(t *testing.T) {
+	a := New(Config{Seed: 1})
+	b := New(Config{Seed: 2})
+	same := 0
+	for i := 0; i < 20; i++ {
+		if a.Query().Text == b.Query().Text {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Fatal("seeds 1 and 2 generated identical sequences")
+	}
+}
+
+// TestShapeCoverage: over a few hundred queries the generator exercises
+// every headline grammar feature.
+func TestShapeCoverage(t *testing.T) {
+	g := New(Config{Seed: 3, Externals: true})
+	features := map[string]bool{}
+	for i := 0; i < 400; i++ {
+		q := g.Query()
+		for feat, marker := range map[string]string{
+			"quantifier-some":  "some $",
+			"quantifier-every": "every $",
+			"positional":       " at $",
+			"order-by":         "order by",
+			"grouping":         "distinct-values(",
+			"aggregate":        "count(",
+			"external":         "external;",
+			"constructor":      "<r",
+		} {
+			if strings.Contains(q.Text, marker) {
+				features[feat] = true
+			}
+		}
+		if len(q.Binds) > 0 && !strings.Contains(q.Text, "external;") {
+			t.Fatalf("query %d has binds but no prolog:\n%s", i, q.Text)
+		}
+	}
+	for _, feat := range []string{"quantifier-some", "quantifier-every",
+		"positional", "order-by", "grouping", "aggregate", "external", "constructor"} {
+		if !features[feat] {
+			t.Errorf("400 queries never produced feature %s", feat)
+		}
+	}
+}
+
+// TestMutateDeterministic: Mutate is deterministic in its rand source.
+func TestMutateDeterministic(t *testing.T) {
+	text := New(Config{Seed: 5}).Query().Text
+	a := Mutate(rand.New(rand.NewSource(9)), text)
+	b := Mutate(rand.New(rand.NewSource(9)), text)
+	if a != b {
+		t.Fatalf("mutation diverged:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestMutateChanges: mutations usually alter the text.
+func TestMutateChanges(t *testing.T) {
+	g := New(Config{Seed: 11})
+	r := rand.New(rand.NewSource(13))
+	changed := 0
+	for i := 0; i < 50; i++ {
+		text := g.Query().Text
+		if Mutate(r, text) != strings.Join(tokenize(text), " ") {
+			changed++
+		}
+	}
+	if changed < 40 {
+		t.Fatalf("only %d/50 mutations changed the text", changed)
+	}
+}

@@ -12,8 +12,8 @@ import (
 )
 
 // errorBody is the JSON error envelope of every non-2xx answer. Kind is a
-// stable machine-checkable discriminator ("parse", "bind", "plan",
-// "timeout", "shed", "draining", "internal", "request", "resource",
+// stable machine-checkable discriminator ("parse", "translate", "bind",
+// "plan", "timeout", "shed", "draining", "internal", "request", "resource",
 // "too-large", "cancelled", "error").
 type errorBody struct {
 	Error string `json:"error"`
@@ -43,6 +43,8 @@ func errorStatus(err error) (status int, kind string) {
 		return http.StatusInternalServerError, "internal"
 	case errors.As(err, &pe):
 		return http.StatusBadRequest, "parse"
+	case errors.Is(err, nalquery.ErrTranslate):
+		return http.StatusBadRequest, "translate"
 	case errors.As(err, &be):
 		return http.StatusBadRequest, "bind"
 	case errors.Is(err, nalquery.ErrUnknownPlan), errors.Is(err, nalquery.ErrNoPlan):

@@ -25,6 +25,30 @@ import (
 	"nalquery/internal/xquery"
 )
 
+// Error reports a query the translator rejects: a shape outside the
+// supported XQuery subset, or one the normalizer should have rewritten but
+// did not. Every rejection from this package is an *Error — callers
+// (the public compile boundary) rely on errors.As never failing — so a
+// non-Error escaping translation indicates a translator bug, not a bad
+// query.
+type Error struct {
+	// Msg describes the rejection.
+	Msg string
+	// Cause is the underlying error when the rejection wraps one (e.g. an
+	// XPath syntax error inside a path expression); nil otherwise.
+	Cause error
+}
+
+func (e *Error) Error() string { return "translate: " + e.Msg }
+
+// Unwrap exposes the wrapped cause to errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.Cause }
+
+// errf builds a typed translation rejection.
+func errf(format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}
+
 // Prov describes where a variable's values come from.
 type Prov struct {
 	// URI is the source document, "" when unknown.
@@ -89,7 +113,7 @@ func TranslateParams(q xquery.Expr, cat *schema.Catalog, params map[string]int) 
 	tr.params = params
 	f, ok := q.(xquery.FLWR)
 	if !ok {
-		return nil, fmt.Errorf("translate: top-level expression must be a FLWR expression, got %T", q)
+		return nil, errf("top-level expression must be a FLWR expression, got %T", q)
 	}
 	plan, err := tr.flwrPipeline(f.Clauses, algebra.Singleton{})
 	if err != nil {
@@ -281,7 +305,7 @@ func (tr *Translator) letExpr(varName string, e xquery.Expr) (algebra.Expr, Prov
 func (tr *Translator) nestedQuery(f xquery.FLWR, _ algebra.SeqFunc) (algebra.Expr, Prov, error) {
 	rv, ok := f.Return.(xquery.VarRef)
 	if !ok {
-		return nil, Prov{}, fmt.Errorf("translate: nested query must return a variable after normalization, got %s", f.Return)
+		return nil, Prov{}, errf("nested query must return a variable after normalization, got %s", f.Return)
 	}
 	defer tr.scope()()
 	plan, err := tr.flwrPipeline(f.Clauses, algebra.Singleton{})
@@ -298,7 +322,7 @@ func (tr *Translator) nestedQuery(f xquery.FLWR, _ algebra.SeqFunc) (algebra.Exp
 func (tr *Translator) nestedAgg(f xquery.FLWR, fn string) (algebra.Expr, Prov, error) {
 	rv, ok := f.Return.(xquery.VarRef)
 	if !ok {
-		return nil, Prov{}, fmt.Errorf("translate: aggregated nested query must return a variable, got %s", f.Return)
+		return nil, Prov{}, errf("aggregated nested query must return a variable, got %s", f.Return)
 	}
 	defer tr.scope()()
 	plan, err := tr.flwrPipeline(f.Clauses, algebra.Singleton{})
@@ -324,11 +348,11 @@ func aggName(fn string) string {
 
 func docURI(c xquery.Call) (string, error) {
 	if len(c.Args) != 1 {
-		return "", fmt.Errorf("translate: %s() expects one argument", c.Fn)
+		return "", errf("%s() expects one argument", c.Fn)
 	}
 	s, ok := c.Args[0].(xquery.StrLit)
 	if !ok {
-		return "", fmt.Errorf("translate: %s() expects a string literal", c.Fn)
+		return "", errf("%s() expects a string literal", c.Fn)
 	}
 	return s.V, nil
 }
@@ -406,7 +430,7 @@ func (tr *Translator) expr(e xquery.Expr) (algebra.Expr, error) {
 		na, _, err := tr.nestedQuery(w, algebra.SFIdent{})
 		return na, err
 	default:
-		return nil, fmt.Errorf("translate: unsupported expression %T (%s)", e, e)
+		return nil, errf("unsupported expression %T (%s)", e, e)
 	}
 }
 
@@ -482,11 +506,11 @@ func (tr *Translator) isSeqVar(e xquery.Expr) bool {
 func (tr *Translator) quant(q xquery.Quant) (algebra.Expr, error) {
 	rng, ok := q.Range.(xquery.FLWR)
 	if !ok {
-		return nil, fmt.Errorf("translate: quantifier range must be a FLWR expression after normalization")
+		return nil, errf("quantifier range must be a FLWR expression after normalization")
 	}
 	rv, ok := rng.Return.(xquery.VarRef)
 	if !ok {
-		return nil, fmt.Errorf("translate: quantifier range must return a variable")
+		return nil, errf("quantifier range must return a variable")
 	}
 	// The range bindings and the quantifier variable scope over the
 	// satisfies predicate only.
@@ -534,17 +558,17 @@ func (tr *Translator) pathExpr(p xquery.Path) (algebra.Expr, error) {
 				fmt.Fprintf(&sb, "[%d]", int(w.V))
 			case xquery.Call:
 				if w.Fn != "last" || len(w.Args) != 0 {
-					return nil, fmt.Errorf("translate: residual path predicate %s (normalizer should have removed it)", s.Pred)
+					return nil, errf("residual path predicate %s (normalizer should have removed it)", s.Pred)
 				}
 				sb.WriteString("[last()]")
 			default:
-				return nil, fmt.Errorf("translate: residual path predicate %s (normalizer should have removed it)", s.Pred)
+				return nil, errf("residual path predicate %s (normalizer should have removed it)", s.Pred)
 			}
 		}
 	}
 	xp, err := xpath.Parse(sb.String())
 	if err != nil {
-		return nil, fmt.Errorf("translate: %w", err)
+		return nil, &Error{Msg: err.Error(), Cause: err}
 	}
 	return algebra.PathOf{Input: base, Path: xp}, nil
 }

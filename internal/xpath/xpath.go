@@ -177,7 +177,9 @@ func Parse(s string) (Path, error) {
 	return p, nil
 }
 
-// MustParse parses a path and panics on error. For tests and examples.
+// MustParse parses a path and panics on error. For tests, examples, and
+// the experiment harnesses' constant path strings ONLY — user input must
+// go through Parse so the error surfaces typed.
 func MustParse(s string) Path {
 	p, err := Parse(s)
 	if err != nil {

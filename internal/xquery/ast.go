@@ -5,6 +5,7 @@ package xquery
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"nalquery/internal/value"
@@ -168,12 +169,25 @@ func (ContextRef) String() string { return "." }
 // StrLit is a string literal.
 type StrLit struct{ V string }
 
-func (s StrLit) String() string { return fmt.Sprintf("%q", s.V) }
+// String renders the literal in XQuery syntax: double-quoted, with embedded
+// double quotes escaped by doubling (the parser's "" escape) — not Go %q,
+// whose backslash escapes the XQuery parser would read literally.
+func (s StrLit) String() string {
+	return `"` + strings.ReplaceAll(s.V, `"`, `""`) + `"`
+}
 
 // NumLit is a numeric literal.
 type NumLit struct{ V float64 }
 
-func (n NumLit) String() string { return value.Float(n.V).String() }
+// String renders the literal in plain decimal notation ('f', never
+// scientific): the parser only reads digits and dots, so 1e+26 would not
+// round-trip.
+func (n NumLit) String() string {
+	if n.V == float64(int64(n.V)) {
+		return strconv.FormatInt(int64(n.V), 10)
+	}
+	return strconv.FormatFloat(n.V, 'f', -1, 64)
+}
 
 // Step is one XPath step of a path expression, optionally carrying a
 // predicate (which the normalizer later moves into a where clause).
@@ -208,7 +222,7 @@ type Path struct {
 
 func (p Path) String() string {
 	var sb strings.Builder
-	sb.WriteString(p.Base.String())
+	sb.WriteString(parenCmp(p.Base))
 	for _, s := range p.Steps {
 		sb.WriteString(s.String())
 	}
@@ -235,7 +249,21 @@ type Cmp struct {
 	Op   value.CmpOp
 }
 
-func (c Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L.String(), c.Op, c.R.String()) }
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", parenCmp(c.L), c.Op, parenCmp(c.R))
+}
+
+// parenCmp prints an operand of a comparison or arithmetic expression,
+// parenthesizing nested comparisons: they only reach that position through
+// explicit parentheses in the source, and reprinting them bare would
+// re-associate on reparse ((0 > 0) * 0 is not 0 > (0 * 0)). The other
+// binary forms (Arith, And, Or) self-parenthesize.
+func parenCmp(e Expr) string {
+	if _, ok := e.(Cmp); ok {
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
 
 // Arith is an arithmetic expression (+, -, *, div, mod).
 type Arith struct {
@@ -251,7 +279,7 @@ func (a Arith) String() string {
 	if a.Op == '%' {
 		op = "mod"
 	}
-	return fmt.Sprintf("(%s %s %s)", a.L.String(), op, a.R.String())
+	return fmt.Sprintf("(%s %s %s)", parenCmp(a.L), op, parenCmp(a.R))
 }
 
 // And is logical conjunction.

@@ -1,0 +1,79 @@
+package xquery
+
+import (
+	"errors"
+	"testing"
+)
+
+// fuzzSeeds spans the grammar: every clause kind, both quantifiers,
+// positional vars, order by, constructors, prologs — plus the malformed
+// shapes that historically broke the parser (unterminated strings, deep
+// nesting, doubled quotes).
+var fuzzSeeds = []string{
+	`for $x in doc("bib.xml")//book return $x/title`,
+	`for $x at $i in $d//book order by $x/title descending return <r n="{$i}">{ $x }</r>`,
+	`let $d := doc("bib.xml") for $b in $d//book where $b/@year > 1993 return $b`,
+	`for $a in distinct-values($d//author) where some $b in $d//book satisfies $b/author = $a return $a`,
+	`for $u in $d//usertuple where every $i in $e//itemtuple satisfies $u/userid != $i/offered_by return $u/name`,
+	`declare variable $min external; for $b in doc("bib.xml")//book where $b/price >= $min return $b/title`,
+	`for $b in $d//book return <book year="{$b/@year}">{ $b/title, $b/author }</book>`,
+	`if (count($d//book) > 0) then <some/> else <none/>`,
+	`for $x in (1, 2, 3) return $x + 1`,
+	`let $s := "it is ""quoted""" return $s`,
+	`for $x in $d//book[price < 50][author] return $x`,
+	"for $x in",
+	`for $x in $d//a return <unclosed>{ $x }`,
+	`let $s := "unterminated`,
+	`((((((((((1))))))))))`,
+	`for $x in $d//b where satisfies return $x`,
+	"\x00\xff\xfe",
+}
+
+// FuzzParse asserts the parser's total-function contract on arbitrary
+// input: never panic, and every rejection is a *ParseError carrying a
+// valid 1-based source position.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseModule(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("untyped parse error %T: %v (src=%q)", err, err, src)
+			}
+			if pe.Line < 1 || pe.Col < 1 {
+				t.Fatalf("parse error with invalid position %d:%d (src=%q)", pe.Line, pe.Col, src)
+			}
+			return
+		}
+		if m == nil {
+			t.Fatalf("nil module without error (src=%q)", src)
+		}
+	})
+}
+
+// FuzzRoundTrip asserts the printer/parser round-trip: whatever parses must
+// reprint to a string that reparses, and the reprint must be a fixpoint
+// (print ∘ parse ∘ print = print). This pins the printer against silently
+// changing the meaning of accepted queries.
+func FuzzRoundTrip(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseModule(src)
+		if err != nil {
+			return
+		}
+		printed := m.String()
+		m2, err := ParseModule(printed)
+		if err != nil {
+			t.Fatalf("reprint does not reparse: %v\nsrc=%q\nprinted=%q", err, src, printed)
+		}
+		if again := m2.String(); again != printed {
+			t.Fatalf("printer not a fixpoint:\nfirst=%q\nsecond=%q\nsrc=%q", printed, again, src)
+		}
+	})
+}

@@ -12,12 +12,15 @@ import (
 type ParseError struct {
 	// Line is the 1-based source line the parser stopped at.
 	Line int
+	// Col is the 1-based column (byte offset within the line) the parser
+	// stopped at.
+	Col int
 	// Msg describes the syntax error.
 	Msg string
 }
 
 func (e *ParseError) Error() string {
-	return fmt.Sprintf("xquery: line %d: %s", e.Line, e.Msg)
+	return fmt.Sprintf("xquery: line %d:%d: %s", e.Line, e.Col, e.Msg)
 }
 
 // ParseQuery parses an XQuery-subset query into its AST. A prolog of
@@ -99,7 +102,11 @@ func (p *parser) parseExternalDecl() (string, error) {
 	return name, nil
 }
 
-// MustParse parses a query and panics on error. For tests and examples.
+// MustParse parses a query and panics on error. For tests and examples
+// with constant query strings ONLY — never call it on user input: the
+// panic-freedom contract of the public boundaries (Engine.Compile,
+// Prepare, the HTTP handlers) is that arbitrary input yields a typed
+// *ParseError, and fuzzing enforces it (docs/FUZZING.md).
 func MustParse(src string) Expr {
 	e, err := ParseQuery(src)
 	if err != nil {
@@ -108,14 +115,34 @@ func MustParse(src string) Expr {
 	return e
 }
 
+// maxDepth bounds expression nesting. The parser (and every AST consumer
+// after it: String, normalize, translate) recurses per nesting level, and a
+// deep enough input — megabytes of "((((…" — exhausts the goroutine stack,
+// which is a process-fatal error no recover can catch. The limit turns that
+// into a typed *ParseError long before the stack is at risk; no legitimate
+// query nests anywhere near this deep.
+const maxDepth = 500
+
 type parser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
 }
 
 func (p *parser) errf(format string, args ...interface{}) error {
 	line := 1 + strings.Count(p.src[:p.pos], "\n")
-	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+	col := p.pos - strings.LastIndexByte(p.src[:p.pos], '\n')
+	return &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// enter guards one level of expression nesting; the returned func unwinds
+// it. Callers must check err before recursing further.
+func (p *parser) enter() (func(), error) {
+	p.depth++
+	if p.depth > maxDepth {
+		return nil, p.errf("expression nested deeper than %d levels", maxDepth)
+	}
+	return func() { p.depth-- }, nil
 }
 
 func (p *parser) remainder(n int) string {
@@ -226,8 +253,15 @@ var reserved = map[string]bool{
 }
 
 // parseExprSingle parses a full single expression (FLWR, quantifier or an
-// operator expression).
+// operator expression). It counts one nesting level: every recursion into a
+// subexpression passes through here or parseCtor, so the depth guard bounds
+// the whole parse.
 func (p *parser) parseExprSingle() (Expr, error) {
+	leave, err := p.enter()
+	if err != nil {
+		return nil, err
+	}
+	defer leave()
 	p.skipWS()
 	switch {
 	case p.peekKeyword("for"), p.peekKeyword("let"):
@@ -616,8 +650,11 @@ func (p *parser) parsePath() (Expr, error) {
 		}
 		attr := p.takeSym("@")
 		name := p.takeName()
-		if name == "" && !p.takeSym("*") {
-			return nil, p.errf("expected step name after / or //")
+		if name == "" {
+			if !p.takeSym("*") {
+				return nil, p.errf("expected step name after / or //")
+			}
+			name = "*" // wildcard step: matches any element/attribute name
 		}
 		st := Step{Descendant: desc, Attribute: attr, Name: name}
 		if p.takeSym("[") {
@@ -655,7 +692,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case c == '(':
 		p.pos++
 		if p.takeSym(")") {
-			return Call{Fn: "empty-sequence"}, nil
+			return EmptySeq{}, nil
 		}
 		e, err := p.parseExprSingle()
 		if err != nil {
@@ -704,19 +741,28 @@ func (p *parser) parsePrimary() (Expr, error) {
 	}
 }
 
+// parseStringLit scans a string literal. A doubled delimiter inside the
+// literal escapes it (XQuery's "" / '' escape), so every string value has a
+// printable source form and parse/print round-trips.
 func (p *parser) parseStringLit() (Expr, error) {
 	quote := p.src[p.pos]
 	p.pos++
-	start := p.pos
-	for p.pos < len(p.src) && p.src[p.pos] != quote {
+	var sb strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == quote {
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] == quote {
+				sb.WriteByte(quote)
+				p.pos += 2
+				continue
+			}
+			p.pos++
+			return StrLit{V: sb.String()}, nil
+		}
+		sb.WriteByte(c)
 		p.pos++
 	}
-	if p.pos >= len(p.src) {
-		return nil, p.errf("unterminated string literal")
-	}
-	s := p.src[start:p.pos]
-	p.pos++
-	return StrLit{V: s}, nil
+	return nil, p.errf("unterminated string literal")
 }
 
 func (p *parser) parseNumber() (Expr, error) {
@@ -732,7 +778,14 @@ func (p *parser) parseNumber() (Expr, error) {
 }
 
 // parseCtor parses a direct element constructor. The cursor is at '<'.
+// Nested constructors recurse without passing through parseExprSingle, so
+// the depth guard is applied here too.
 func (p *parser) parseCtor() (Expr, error) {
+	leave, err := p.enter()
+	if err != nil {
+		return nil, err
+	}
+	defer leave()
 	p.pos++ // consume <
 	name := p.takeName()
 	if name == "" {

@@ -55,6 +55,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -320,10 +321,25 @@ func (e *Engine) Compile(text string, opts ...CompileOption) (*Query, error) {
 	return e.compileState(e.snapshot(), text, cfg)
 }
 
+// compilePanicHook, when non-nil, runs at the top of every compile — the
+// injection point for the backstop's own regression test (the same idiom as
+// runConfig.faultHook on the execution side).
+var compilePanicHook func()
+
 // compileState runs the full compilation pipeline against one immutable
-// engine snapshot.
-func (e *Engine) compileState(st *engineState, text string, cfg compileConfig) (*Query, error) {
+// engine snapshot. Like Run, it is a panic boundary: a panicking
+// normalizer/translator/rewriter fails its own compile with a typed
+// *InternalError instead of taking the process down.
+func (e *Engine) compileState(st *engineState, text string, cfg compileConfig) (q *Query, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			q, err = nil, &InternalError{Query: text, Panic: p, Stack: debug.Stack()}
+		}
+	}()
 	e.compiles.Add(1)
+	if compilePanicHook != nil {
+		compilePanicHook()
+	}
 	cat := cfg.cat
 	if cat == nil {
 		cat = st.cat
@@ -332,7 +348,7 @@ func (e *Engine) compileState(st *engineState, text string, cfg compileConfig) (
 	if err != nil {
 		var pe *xquery.ParseError
 		if errors.As(err, &pe) {
-			return nil, &ParseError{Line: pe.Line, Msg: pe.Msg}
+			return nil, &ParseError{Line: pe.Line, Col: pe.Col, Msg: pe.Msg}
 		}
 		return nil, err
 	}
@@ -360,6 +376,10 @@ func (e *Engine) compileState(st *engineState, text string, cfg compileConfig) (
 	norm := normalize.NormalizeWithCatalog(ast, cat)
 	res, err := translate.TranslateParams(norm, cat, params)
 	if err != nil {
+		var te *translate.Error
+		if errors.As(err, &te) {
+			return nil, &TranslateError{Msg: te.Msg}
+		}
 		return nil, err
 	}
 	rw := core.NewRewriter(res, cat)
@@ -373,7 +393,7 @@ func (e *Engine) compileState(st *engineState, text string, cfg compileConfig) (
 	if model == nil {
 		model = cost.NewModel(docs)
 	}
-	q := &Query{Text: text, Normalized: norm.String(), docs: docs, model: model,
+	q = &Query{Text: text, Normalized: norm.String(), docs: docs, model: model,
 		OrderIrrelevant: orderIrrelevant, params: mod.Externals}
 	for _, a := range alts {
 		est := model.Plan(a.Op)

@@ -171,3 +171,54 @@ func TestSeqStopsOnEvaluatorPanic(t *testing.T) {
 	}
 	requireInternal(t, res.Err(), q)
 }
+
+// TestCompileRecoversPanic pins the compile boundary's recover backstop:
+// a panic anywhere in parse/normalize/translate/rewrite surfaces as a
+// typed *InternalError carrying the query text and stack, never as a
+// process crash — and the engine stays usable afterwards.
+func TestCompileRecoversPanic(t *testing.T) {
+	eng := runEngine(20)
+	compilePanicHook = func() { panic("injected compile panic") }
+	defer func() { compilePanicHook = nil }()
+
+	const text = `let $d1 := doc("bib.xml")
+		for $t1 in $d1//book/title
+		return <t>{ $t1 }</t>`
+	q, err := eng.Compile(text)
+	if q != nil || err == nil {
+		t.Fatalf("Compile = (%v, %v), want (nil, *InternalError)", q, err)
+	}
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("error %v does not match ErrInternal", err)
+	}
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %T is not *InternalError", err)
+	}
+	if ie.Query != text {
+		t.Fatalf("InternalError.Query = %q, want the compiled text", ie.Query)
+	}
+	if ie.Panic != "injected compile panic" {
+		t.Fatalf("InternalError.Panic = %v", ie.Panic)
+	}
+	if !strings.Contains(string(ie.Stack), "compileState") {
+		t.Fatalf("stack does not show the compile boundary:\n%s", ie.Stack)
+	}
+
+	// Prepare shares the boundary.
+	if _, err := eng.Prepare(text); !errors.Is(err, ErrInternal) {
+		t.Fatalf("Prepare error %v does not match ErrInternal", err)
+	}
+
+	// The engine must shrug the poison off entirely.
+	compilePanicHook = nil
+	p, err := eng.Prepare(text)
+	if err != nil {
+		t.Fatalf("engine unusable after compile panic: %v", err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+}
