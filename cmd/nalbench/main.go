@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		expID     = flag.String("exp", "all", "experiment id (q1, q1dblp, q2..q6, joins, unorderedq1, grouping, resultiter, prepared, server, resource, fig6, ablations, all)")
+		expID     = flag.String("exp", "all", "experiment id (q1, q1dblp, q2..q6, joins, unorderedq1, grouping, resultiter, prepared, server, resource, index, fig6, ablations, all)")
 		sizes     = flag.String("sizes", "", "comma-separated document sizes (default: the paper's 100,1000,10000)")
 		full      = flag.Bool("full", false, "run the quadratic nested plans at every size")
 		repeat    = flag.Int("repeat", 1, "average over this many runs")
@@ -115,13 +115,13 @@ func runJSON(path, expID string, opts experiments.Options) error {
 	exps := experiments.All()
 	switch expID {
 	case "all":
-	case "joins", "unorderedq1", "grouping", "resultiter", "prepared", "server", "resource":
+	case "joins", "unorderedq1", "grouping", "resultiter", "prepared", "server", "resource", "index":
 		exps = nil // physical-operator / API-surface family only
 	default:
 		exp, ok := experiments.Find(expID)
 		if !ok {
 			// fig6 and the ablations have no per-plan Execute benchmarks.
-			return fmt.Errorf("-json measures query plans only (q1, q1dblp, q2..q6, joins, unorderedq1, grouping, resultiter, prepared, server, resource, all); %q has no plan benchmarks", expID)
+			return fmt.Errorf("-json measures query plans only (q1, q1dblp, q2..q6, joins, unorderedq1, grouping, resultiter, prepared, server, resource, index, all); %q has no plan benchmarks", expID)
 		}
 		exps = []experiments.Experiment{exp}
 	}
@@ -232,6 +232,16 @@ func runJSON(path, expID string, opts experiments.Options) error {
 		ts, err := experiments.ResourceBenchTargets(sizes)
 		if err != nil {
 			return fmt.Errorf("resource: %w", err)
+		}
+		targets = append(targets, ts...)
+	}
+	// The index family: the selective-scan workload the statistics/index
+	// subsystem exists for — full scan vs value-index probe vs the measured
+	// cost model's automatic choice.
+	if expID == "all" || expID == "index" {
+		ts, err := experiments.IndexBenchTargets(sizes)
+		if err != nil {
+			return fmt.Errorf("index: %w", err)
 		}
 		targets = append(targets, ts...)
 	}

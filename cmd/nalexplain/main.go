@@ -7,6 +7,7 @@
 //	nalexplain -q 'let $d := doc("bib.xml") ...'
 //	nalexplain -query query.xq
 //	nalexplain -paper q1          # one of the paper's queries
+//	nalexplain -paper q1 -cards   # estimated vs actual cardinality per operator
 package main
 
 import (
@@ -24,6 +25,8 @@ func main() {
 		queryText = flag.String("q", "", "inline XQuery text")
 		paper     = flag.String("paper", "", "one of the paper's queries: q1, q1dblp, q2..q6")
 		dot       = flag.String("dot", "", "emit the named plan (or the cheapest for \"best\") as Graphviz dot instead of text")
+		cards     = flag.Bool("cards", false, "print estimated vs actual cardinality per operator (loads the use-case corpus and executes each subtree)")
+		size      = flag.Int("size", 100, "use-case corpus size for -cards")
 	)
 	flag.Parse()
 
@@ -49,9 +52,26 @@ func main() {
 	}
 
 	eng := nalquery.NewEngine()
+	if *cards {
+		// Actual cardinalities need documents to run against.
+		eng.LoadUseCaseDocuments(*size, 2)
+	}
 	q, err := eng.Compile(text)
 	if err != nil {
 		fail(err)
+	}
+
+	if *cards {
+		for _, p := range q.Plans() {
+			rows, err := q.ExplainCards(p.Name)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("== plan: %s (est vs actual cardinality) ==\n", p.Name)
+			fmt.Print(nalquery.FormatCards(rows))
+			fmt.Println()
+		}
+		return
 	}
 
 	if *dot != "" {

@@ -4,8 +4,9 @@
 // Usage:
 //
 //	nalgen -size 1000 -authors 5 -out ./data
-//	nalgen -size 10000 -dblp -out ./data
-//	nalgen -size 10000 -binary -out ./data   # compact .nalb store files
+//	nalgen -preset 100k -dblp -out ./data    # size presets 10k / 100k / 1m
+//	nalgen -size 10000 -binary -out ./data   # .nalb store files with stats
+//	nalgen -size 10000 -zipf 1.5 -out ./data # zipfian-skewed key draws
 //	nalgen -queries 50 -qseed 7 -out ./data  # plus a generated query mix
 package main
 
@@ -18,26 +19,40 @@ import (
 
 	"nalquery/internal/dom"
 	"nalquery/internal/qgen"
+	"nalquery/internal/stats"
 	"nalquery/internal/store"
 	"nalquery/internal/xmlgen"
 )
 
+// presets maps the named measurement scales to document sizes.
+var presets = map[string]int{"10k": 10_000, "100k": 100_000, "1m": 1_000_000}
+
 func main() {
 	var (
 		size    = flag.Int("size", 1000, "number of books / bids")
+		preset  = flag.String("preset", "", "size preset: 10k, 100k or 1m (overrides -size)")
 		authors = flag.Int("authors", 2, "authors per book (2, 5 or 10 in the paper)")
 		seed    = flag.Int64("seed", 42, "random seed")
+		zipf    = flag.Float64("zipf", 0, "zipfian exponent (> 1) for skewed key draws; 0 = uniform")
 		dblp    = flag.Bool("dblp", false, "also generate the DBLP-like document")
-		binFmt  = flag.Bool("binary", false, "write the binary store format (.nalb) instead of XML")
+		binFmt  = flag.Bool("binary", false, "write the binary store format (.nalb, with measured statistics) instead of XML")
 		queries = flag.Int("queries", 0, "also emit this many generated queries (queries.xq)")
 		qseed   = flag.Int64("qseed", 1, "seed for the generated query mix")
 		outDir  = flag.String("out", ".", "output directory")
 	)
 	flag.Parse()
 
+	if *preset != "" {
+		n, ok := presets[*preset]
+		if !ok {
+			fail(fmt.Errorf("unknown preset %q (want 10k, 100k or 1m)", *preset))
+		}
+		*size = n
+	}
 	cfg := xmlgen.DefaultConfig(*size)
 	cfg.AuthorsPerBook = *authors
 	cfg.Seed = *seed
+	cfg.Zipf = *zipf
 
 	docs := []*dom.Document{
 		xmlgen.Bib(cfg), xmlgen.Reviews(cfg), xmlgen.Prices(cfg),
@@ -53,7 +68,9 @@ func main() {
 		path := filepath.Join(*outDir, d.URI)
 		if *binFmt {
 			path += ".nalb"
-			if err := store.SaveFile(path, d); err != nil {
+			// NALB2: the analyzer's statistics ride along, so a load skips
+			// the measuring walk.
+			if err := store.SaveFileStats(path, d, stats.Analyze(d)); err != nil {
 				fail(err)
 			}
 		} else {

@@ -3,6 +3,7 @@ package nalquery
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -112,7 +113,7 @@ func TestDifferentialPlansAgree(t *testing.T) {
 				t.Fatalf("round %d: plan %q output differs from nested baseline\nquery: %s\nnested: %q\n%s: %q",
 					i, p.Name, text, ref, p.Name, out)
 			}
-			if p.Name != "nested" && stats.NestedEvals != 0 {
+			if !strings.Contains(p.Name, "nested") && stats.NestedEvals != 0 {
 				t.Errorf("round %d: unnested plan %q executed %d nested-loop iterations",
 					i, p.Name, stats.NestedEvals)
 			}

@@ -62,6 +62,9 @@ return
 	// outer join [Eqv.4]
 	// grouping [Eqv.5]
 	// group Ξ [Eqv.5 xi-fusion]
+	// indexed outer join [Eqv.4 index-scan]
+	// indexed grouping [Eqv.5 index-scan]
+	// indexed group Ξ [Eqv.5 xi-fusion index-scan]
 }
 
 // ExampleQuery_Execute compares the nested baseline against an unnested

@@ -176,6 +176,10 @@ type Stats struct {
 	NestedEvals int64
 	// Tuples counts tuples produced by operators.
 	Tuples int64
+	// IndexScans counts index-scan resolutions (one per IndexScan open):
+	// scans answered from a structural or value index instead of a
+	// document traversal.
+	IndexScans int64
 	// ShimOps counts operators that executed behind the map→row conversion
 	// shim (resolvable schema but no slot-native iterator). A fully native
 	// plan runs with ShimOps == 0 — the property the

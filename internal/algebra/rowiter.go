@@ -135,6 +135,18 @@ func openNative(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
 		return &rowUnnestMapIter{in: in, lay: lay, slot: slot, posSlot: posSlot,
 			e: compileExpr(w.E, insc, env), ctx: ctx}
 
+	case IndexScan:
+		in, insc, ok := openRowsChild(w.In, ctx, env)
+		if !ok {
+			return nil
+		}
+		lay, slot := insc.Lay.Extend(w.Attr)
+		nodes := w.resolve(ctx, env)
+		// pos starts exhausted so the first Next pulls an input row before
+		// emitting.
+		return &rowIndexScanIter{in: in, lay: lay, slot: slot, nodes: nodes,
+			ctx: ctx, pos: len(nodes)}
+
 	case XiSimple:
 		in, insc, ok := openRowsChild(w.In, ctx, env)
 		if !ok {

@@ -250,6 +250,14 @@ func ResolveSchema(op Op) (Schema, bool) {
 		}
 		return genericSchema(op)
 
+	case IndexScan:
+		if in, ok := ResolveSchema(w.In); ok {
+			lay, _ := in.Lay.Extend(w.Attr)
+			// An index scan binds nodes, never tuple sequences.
+			return Schema{Lay: lay, Nested: nestedWith(in.Nested, w.Attr, nil), Native: true}, true
+		}
+		return genericSchema(op)
+
 	case XiSimple:
 		if in, ok := ResolveSchema(w.In); ok {
 			return Schema{Lay: in.Lay, Nested: in.Nested, Native: true}, true

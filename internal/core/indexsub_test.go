@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"nalquery/internal/algebra"
+	"nalquery/internal/value"
+	"nalquery/internal/xpath"
+)
+
+// fakeCatalog resolves every structural request and, when vals is set, every
+// value request — with canned cardinalities. Substitution must be driven
+// entirely by plan shape; the catalog only answers what the planner asks.
+type fakeCatalog struct {
+	vals bool
+}
+
+func (c *fakeCatalog) ScanIndex(uri string, p xpath.Path) (ScanInfo, bool) {
+	return ScanInfo{Path: "/bib/book", Card: 30}, true
+}
+
+func (c *fakeCatalog) ValueIndex(uri string, base, rel xpath.Path) (ValueInfo, bool) {
+	if !c.vals {
+		return ValueInfo{}, false
+	}
+	return ValueInfo{Path: "/bib/book/@year", Depth: 1, Card: 2, ScanCard: 30}, true
+}
+
+// scanOf builds the document-rooted Υ the substitution recognizes:
+// Υ[b://book](χ[d:doc("bib.xml")](□)).
+func scanOf() algebra.UnnestMap {
+	return algebra.UnnestMap{
+		In:   algebra.Map{In: algebra.Singleton{}, Attr: "d", E: algebra.Doc{URI: "bib.xml"}},
+		Attr: "b",
+		E:    algebra.PathOf{Input: algebra.Var{Name: "d"}, Path: xpath.MustParse("//book")},
+	}
+}
+
+func yearCmp(op value.CmpOp) algebra.Expr {
+	return algebra.CmpExpr{
+		L:  algebra.PathOf{Input: algebra.Var{Name: "b"}, Path: xpath.MustParse("@year")},
+		R:  algebra.ConstVal{V: value.Int(1999)},
+		Op: op,
+	}
+}
+
+// TestSubstituteStructural: a bare document-rooted Υ becomes the structural
+// IndexScan (Key == nil), keeping its input chain.
+func TestSubstituteStructural(t *testing.T) {
+	out, changed := SubstituteIndexes(scanOf(), &fakeCatalog{})
+	if !changed {
+		t.Fatalf("no substitution")
+	}
+	scan, ok := out.(algebra.IndexScan)
+	if !ok {
+		t.Fatalf("got %T, want IndexScan", out)
+	}
+	if scan.Key != nil || scan.Attr != "b" || scan.EstCard != 30 {
+		t.Fatalf("structural scan malformed: %+v", scan)
+	}
+	if _, ok := scan.In.(algebra.Map); !ok {
+		t.Fatalf("input chain lost: %T", scan.In)
+	}
+}
+
+// TestSubstituteValueForm: σ[b/@year = 1999](Υ) becomes the value-probe
+// IndexScan — the matched conjunct is consumed, the σ disappears. This is
+// the top-down case: a bottom-up pass would turn the Υ into a structural
+// scan first and the probe would never fire.
+func TestSubstituteValueForm(t *testing.T) {
+	pred := algebra.Select{In: scanOf(), Pred: yearCmp(value.CmpEq)}
+	out, changed := SubstituteIndexes(pred, &fakeCatalog{vals: true})
+	if !changed {
+		t.Fatalf("no substitution")
+	}
+	scan, ok := out.(algebra.IndexScan)
+	if !ok {
+		t.Fatalf("got %T, want the probe to consume the σ", out)
+	}
+	if scan.Key == nil || scan.Cmp != value.CmpEq || scan.Depth != 1 || scan.EstCard != 2 {
+		t.Fatalf("value scan malformed: %+v", scan)
+	}
+}
+
+// TestSubstituteValueFormKeepsRest: only the probed conjunct is consumed;
+// the remaining conjuncts keep their σ above the scan.
+func TestSubstituteValueFormKeepsRest(t *testing.T) {
+	rest := algebra.CmpExpr{
+		L:  algebra.PathOf{Input: algebra.Var{Name: "b"}, Path: xpath.MustParse("title")},
+		R:  algebra.ConstVal{V: value.Str("x")},
+		Op: value.CmpNe,
+	}
+	sel := algebra.Select{In: scanOf(),
+		Pred: algebra.AndExpr{L: yearCmp(value.CmpEq), R: rest}}
+	out, _ := SubstituteIndexes(sel, &fakeCatalog{vals: true})
+	top, ok := out.(algebra.Select)
+	if !ok {
+		t.Fatalf("got %T, want σ(rest) above the scan", out)
+	}
+	if _, ok := top.In.(algebra.IndexScan); !ok {
+		t.Fatalf("σ input is %T, want IndexScan", top.In)
+	}
+	if _, ok := top.Pred.(algebra.CmpExpr); !ok {
+		t.Fatalf("remaining predicate is %T, want the single leftover conjunct", top.Pred)
+	}
+}
+
+// TestSubstituteValueBeatsStructural pins the ordering regression: when the
+// catalog answers both forms, σ(Υ) must become the value probe — not a σ
+// over a structural scan.
+func TestSubstituteValueBeatsStructural(t *testing.T) {
+	sel := algebra.Select{In: scanOf(), Pred: yearCmp(value.CmpEq)}
+	out, _ := SubstituteIndexes(sel, &fakeCatalog{vals: true})
+	if s, ok := out.(algebra.Select); ok {
+		t.Fatalf("value probe lost to the structural child substitution: σ over %T", s.In)
+	}
+}
+
+// TestSubstituteNeFallsBack: ≠ is never probed (∃-≠ is not the complement
+// of ∃-=); the σ stays, with the Υ below it substituted structurally.
+func TestSubstituteNeFallsBack(t *testing.T) {
+	sel := algebra.Select{In: scanOf(), Pred: yearCmp(value.CmpNe)}
+	out, changed := SubstituteIndexes(sel, &fakeCatalog{vals: true})
+	top, ok := out.(algebra.Select)
+	if !ok || !changed {
+		t.Fatalf("got %T (changed=%v), want σ over a structural scan", out, changed)
+	}
+	scan, ok := top.In.(algebra.IndexScan)
+	if !ok || scan.Key != nil {
+		t.Fatalf("σ input: %+v", top.In)
+	}
+}
+
+// TestSubstituteParamKey: an external parameter is a valid probe key — the
+// plan is chosen once and holds for every binding.
+func TestSubstituteParamKey(t *testing.T) {
+	sel := algebra.Select{In: scanOf(), Pred: algebra.CmpExpr{
+		L:  algebra.PathOf{Input: algebra.Var{Name: "b"}, Path: xpath.MustParse("@year")},
+		R:  algebra.Param{Name: "y"},
+		Op: value.CmpEq,
+	}}
+	out, _ := SubstituteIndexes(sel, &fakeCatalog{vals: true})
+	scan, ok := out.(algebra.IndexScan)
+	if !ok || scan.Key == nil {
+		t.Fatalf("parameter probe not substituted: %T", out)
+	}
+}
+
+// TestSubstituteFlippedComparison: key-on-the-left comparisons flip the
+// operator (1999 < b/@year ⇒ probe with >).
+func TestSubstituteFlippedComparison(t *testing.T) {
+	sel := algebra.Select{In: scanOf(), Pred: algebra.CmpExpr{
+		L:  algebra.ConstVal{V: value.Int(1999)},
+		R:  algebra.PathOf{Input: algebra.Var{Name: "b"}, Path: xpath.MustParse("@year")},
+		Op: value.CmpLt,
+	}}
+	out, _ := SubstituteIndexes(sel, &fakeCatalog{vals: true})
+	scan, ok := out.(algebra.IndexScan)
+	if !ok {
+		t.Fatalf("flipped comparison not substituted: %T", out)
+	}
+	if scan.Cmp != value.CmpGt {
+		t.Fatalf("cmp = %v, want flipped >", scan.Cmp)
+	}
+	// Ordered probes estimate a third of the scan.
+	if scan.EstCard != 10 {
+		t.Fatalf("est card = %v, want ScanCard/3", scan.EstCard)
+	}
+}
+
+// TestSubstituteShadowedBinder: when the doc variable is rebound by a
+// non-constant binder between the Υ and its χ[doc], nothing substitutes.
+func TestSubstituteShadowedBinder(t *testing.T) {
+	um := scanOf()
+	// Shadow d with an unnest binding between the scan and the doc χ.
+	um.In = algebra.UnnestMap{In: um.In, Attr: "d",
+		E: algebra.ConstVal{V: value.Seq{value.Int(1)}}}
+	out, changed := SubstituteIndexes(um, &fakeCatalog{vals: true})
+	if changed {
+		t.Fatalf("substituted through a shadowed binder: %v", out)
+	}
+}
+
+// TestSubstitutePositionalScan: Υ with a position attribute cannot become an
+// index scan (the index carries no positions).
+func TestSubstitutePositionalScan(t *testing.T) {
+	um := scanOf()
+	um.PosAttr = "p"
+	_, changed := SubstituteIndexes(um, &fakeCatalog{vals: true})
+	if changed {
+		t.Fatalf("positional Υ must not substitute")
+	}
+}
+
+// TestSubstituteNilCatalog: no catalog, no change — and the plan is returned
+// as-is.
+func TestSubstituteNilCatalog(t *testing.T) {
+	sel := algebra.Select{In: scanOf(), Pred: yearCmp(value.CmpEq)}
+	out, changed := SubstituteIndexes(sel, nil)
+	if changed {
+		t.Fatalf("nil catalog substituted")
+	}
+	if _, ok := out.(algebra.Select); !ok {
+		t.Fatalf("plan shape changed: %T", out)
+	}
+}

@@ -287,6 +287,10 @@ func rebuildChildren(op algebra.Op, f func(algebra.Op) (algebra.Op, bool)) (alge
 	case algebra.AttachSeq:
 		in, ch := f(w.In)
 		return algebra.AttachSeq{In: in, Attr: w.Attr}, ch
+	case algebra.IndexScan:
+		in, ch := f(w.In)
+		w.In = in
+		return w, ch
 	case algebra.GraceJoin:
 		l, ch1 := f(w.L)
 		r, ch2 := f(w.R)

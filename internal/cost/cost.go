@@ -12,8 +12,12 @@
 package cost
 
 import (
+	"strings"
+
 	"nalquery/internal/algebra"
 	"nalquery/internal/dom"
+	"nalquery/internal/stats"
+	"nalquery/internal/xpath"
 )
 
 // Model holds the document statistics estimation runs against.
@@ -23,6 +27,13 @@ type Model struct {
 	elemCount map[string]float64
 	// docElems is the total element count per document.
 	total float64
+	// stats, when non-nil, holds the analyzer's measured per-path profiles
+	// keyed by document URI (see internal/stats). With them the model
+	// prices unnest-maps from exact path counts instead of element-name
+	// totals and prices IndexScan probes as cheap — without them the
+	// defaults below apply and index scans are priced pessimistically, so
+	// only measured evidence flips a plan onto an index.
+	stats map[string]*stats.DocStats
 }
 
 // Selectivity defaults.
@@ -74,6 +85,20 @@ func NewModel(docs map[string]*dom.Document) *Model {
 	return m
 }
 
+// NewModelStats builds a model that additionally consumes the analyzer's
+// measured per-path statistics (the engine's default since the stats
+// subsystem landed; NewModel remains the constants-only fallback).
+func NewModelStats(docs map[string]*dom.Document, st map[string]*stats.DocStats) *Model {
+	m := NewModel(docs)
+	if len(st) > 0 {
+		m.stats = st
+	}
+	return m
+}
+
+// Measured reports whether the model carries analyzer statistics.
+func (m *Model) Measured() bool { return m.stats != nil }
+
 // Estimate is the estimated cardinality and cumulative cost of a plan.
 type Estimate struct {
 	Card float64
@@ -115,6 +140,27 @@ func (m *Model) Plan(op algebra.Op) Estimate {
 		in := m.Plan(w.In)
 		card := m.pathCard(w.E, in.Card)
 		return Estimate{Card: card, Cost: in.Cost + in.Card*m.expr(w.E) + card*perTuple(op)}
+	case algebra.IndexScan:
+		in := m.Plan(w.In)
+		if m.stats != nil {
+			// Measured: a probe resolves the node list without touching the
+			// document — the cost is the emission itself.
+			card := maxF(w.EstCard, 1)
+			return Estimate{Card: card, Cost: in.Cost + in.Card*tupleCost + card*perTuple(op)}
+		}
+		// No measured statistics: price the scan as a full path scan plus a
+		// filter, slightly above the σ(Υ) it replaces — without measured
+		// evidence the base plans stay preferred.
+		n := m.elemCount[pathScanName(w.Path)]
+		if n == 0 {
+			n = maxF(m.total*0.01, 1)
+		}
+		// No probe-selectivity discount on the card and a per-tuple
+		// surcharge above what the probed conjunct would have cost as a
+		// filter: the estimate strictly dominates the scan-and-filter it
+		// replaces, so only measured evidence flips a plan onto an index.
+		return Estimate{Card: maxF(n, 1),
+			Cost: in.Cost + n*(tupleCost+m.expr(w.Key)+1.5) + n*perTuple(op)}
 	case algebra.Cross:
 		l, r := m.Plan(w.L), m.Plan(w.R)
 		card := l.Card * r.Card
@@ -292,9 +338,31 @@ func (m *Model) expr(e algebra.Expr) float64 {
 }
 
 // pathCard estimates the output cardinality of an unnest-map over a path or
-// distinct-values expression: the total number of elements with the path's
-// final name (a whole-pipeline scan reaches them all).
+// distinct-values expression. With measured statistics the estimate is
+// path-aware: the summed counts of the measured absolute paths the
+// expression reaches (from any context depth — relative paths apply
+// per-tuple, and the full pipeline reaches every occurrence). Without them,
+// the total number of elements with the path's final name.
 func (m *Model) pathCard(e algebra.Expr, inCard float64) float64 {
+	if m.stats != nil {
+		if p, distinct, ok := finalPath(e); ok {
+			n, resolved := 0.0, true
+			for _, ds := range m.stats {
+				c, ok := ds.SuffixCount(p)
+				if !ok {
+					resolved = false
+					break
+				}
+				n += c
+			}
+			if resolved {
+				if distinct {
+					n *= selDistinct
+				}
+				return maxF(n, 1)
+			}
+		}
+	}
 	name, distinct := finalElemName(e)
 	if name == "" {
 		return maxF(inCard*2, 1)
@@ -328,6 +396,41 @@ func finalElemName(e algebra.Expr) (string, bool) {
 		return finalElemName(w.E)
 	}
 	return "", false
+}
+
+// finalPath extracts the path expression an unnest-map scans, through the
+// distinct-values and tuple-binding wrappers finalElemName also unwraps.
+func finalPath(e algebra.Expr) (xpath.Path, bool, bool) {
+	switch w := e.(type) {
+	case algebra.PathOf:
+		return w.Path, false, true
+	case algebra.Call:
+		if w.Fn == "distinct-values" && len(w.Args) == 1 {
+			p, _, ok := finalPath(w.Args[0])
+			return p, true, ok
+		}
+	case algebra.BindTuples:
+		return finalPath(w.E)
+	}
+	return xpath.Path{}, false, false
+}
+
+// pathScanName is the name of the last element segment of a display path —
+// the nodes a structural scan of it binds ("/bib/book/@year" → "book",
+// "/bib/book" → "book"). Attribute leaves resolve to their owner element:
+// element counts are what the constants-only model keeps.
+func pathScanName(p string) string {
+	for {
+		i := strings.LastIndexByte(p, '/')
+		if i < 0 {
+			return strings.TrimPrefix(p, "@")
+		}
+		leaf := p[i+1:]
+		if !strings.HasPrefix(leaf, "@") {
+			return leaf
+		}
+		p = p[:i]
+	}
 }
 
 func maxF(a, b float64) float64 {

@@ -127,6 +127,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /prepared/{name}", s.handlePreparedDelete)
 	mux.HandleFunc("POST /prepared/{name}", s.handlePreparedRun)
 	mux.HandleFunc("GET /documents", s.handleDocumentsList)
+	mux.HandleFunc("GET /documents/{uri...}", s.handleDocumentStats)
 	mux.HandleFunc("POST /documents/{uri...}", s.handleDocumentPut)
 	mux.HandleFunc("POST /gen", s.handleGen)
 	if s.cfg.Debug {
@@ -188,6 +189,8 @@ type Status struct {
 	ResourceExhausted int64              `json:"resource_exhausted"`
 	Documents         int                `json:"documents"`
 	Prepared          int                `json:"prepared"`
+	AnalyzerRuns      int64              `json:"analyzer_runs"`
+	IndexHits         int64              `json:"index_hits"`
 }
 
 // Stat returns the current operational snapshot (the /statusz payload).
@@ -208,6 +211,8 @@ func (s *Server) Stat() Status {
 		ResourceExhausted: s.resource.Load(),
 		Documents:         len(s.eng.DocumentURIs()),
 		Prepared:          nprep,
+		AnalyzerRuns:      s.eng.AnalyzerRuns(),
+		IndexHits:         s.eng.IndexHits(),
 	}
 }
 
@@ -223,6 +228,28 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDocumentsList(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.eng.DocumentURIs())
+}
+
+// handleDocumentStats serves GET /documents/{uri}/stats: the analyzer's
+// measured per-path statistics of a loaded document. (The trailing /stats is
+// part of the wildcard because ServeMux patterns cannot follow a "..."
+// segment with more literals.)
+func (s *Server) handleDocumentStats(w http.ResponseWriter, r *http.Request) {
+	p := r.PathValue("uri")
+	uri, ok := strings.CutSuffix(p, "/stats")
+	if !ok || uri == "" {
+		writeError(w, http.StatusNotFound, "request", "want GET /documents/{uri}/stats")
+		return
+	}
+	ds, ok := s.eng.DocumentStats(uri)
+	if !ok {
+		writeError(w, http.StatusNotFound, "request", fmt.Sprintf("no document %q", uri))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(ds)
 }
 
 func (s *Server) handleDocumentPut(w http.ResponseWriter, r *http.Request) {

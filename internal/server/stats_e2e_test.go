@@ -1,0 +1,137 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// get fetches a URL and returns status and body.
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestDocumentStatsEndpoint pins GET /documents/{uri}/stats: the analyzer's
+// measured per-path statistics of an uploaded document, refreshed when the
+// document is replaced.
+func TestDocumentStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 10, Config{})
+	code, body, _ := post(t, ts.URL+"/documents/mine.xml",
+		`<shelf><book><title>One</title></book><book><title>Two</title></book></shelf>`)
+	if code != http.StatusCreated {
+		t.Fatalf("upload: %d %s", code, body)
+	}
+
+	code, body = get(t, ts.URL+"/documents/mine.xml/stats")
+	if code != 200 {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	var ds struct {
+		URI      string `json:"uri"`
+		Elements int64  `json:"elements"`
+		Paths    []struct {
+			Path     string `json:"path"`
+			Count    int64  `json:"count"`
+			Simple   bool   `json:"simple"`
+			Distinct int64  `json:"distinct"`
+			Min      string `json:"min"`
+			Max      string `json:"max"`
+		} `json:"paths"`
+	}
+	if err := json.Unmarshal([]byte(body), &ds); err != nil {
+		t.Fatalf("stats body is not JSON: %q (%v)", body, err)
+	}
+	if ds.URI != "mine.xml" || ds.Elements != 5 {
+		t.Fatalf("uri/elements = %q/%d, want mine.xml/5", ds.URI, ds.Elements)
+	}
+	byPath := map[string]int64{}
+	var title *struct {
+		simple   bool
+		distinct int64
+		min, max string
+	}
+	for _, p := range ds.Paths {
+		byPath[p.Path] = p.Count
+		if p.Path == "/shelf/book/title" {
+			title = &struct {
+				simple   bool
+				distinct int64
+				min, max string
+			}{p.Simple, p.Distinct, p.Min, p.Max}
+		}
+	}
+	if byPath["/shelf/book"] != 2 || byPath["/shelf/book/title"] != 2 {
+		t.Fatalf("path counts wrong: %v", byPath)
+	}
+	if title == nil || !title.simple || title.distinct != 2 || title.min != "One" || title.max != "Two" {
+		t.Fatalf("title value stats wrong: %+v", title)
+	}
+
+	// Replacing the document refreshes the measurement.
+	post(t, ts.URL+"/documents/mine.xml", `<shelf><book><title>Only</title></book></shelf>`)
+	code, body = get(t, ts.URL+"/documents/mine.xml/stats")
+	if code != 200 || !strings.Contains(body, `"elements": 3`) {
+		t.Fatalf("stats after replace: %d %s", code, body)
+	}
+
+	// Unknown document and a bare /documents/{uri} GET answer 404.
+	if code, _ = get(t, ts.URL+"/documents/nope.xml/stats"); code != 404 {
+		t.Fatalf("unknown doc stats: %d", code)
+	}
+	if code, _ = get(t, ts.URL+"/documents/mine.xml"); code != 404 {
+		t.Fatalf("bare document GET: %d", code)
+	}
+}
+
+// TestStatuszIndexCounters pins the /statusz analyzer and index counters:
+// loading documents runs the analyzer, and executing an index-substituted
+// plan bumps index_hits.
+func TestStatuszIndexCounters(t *testing.T) {
+	_, ts := newTestServer(t, 50, Config{})
+
+	var st struct {
+		AnalyzerRuns int64 `json:"analyzer_runs"`
+		IndexHits    int64 `json:"index_hits"`
+	}
+	code, body := get(t, ts.URL+"/statusz")
+	if code != 200 {
+		t.Fatalf("statusz: %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("statusz body: %v", err)
+	}
+	if st.AnalyzerRuns == 0 {
+		t.Fatalf("analyzer_runs = 0 after loading the use-case corpus")
+	}
+	if st.IndexHits != 0 {
+		t.Fatalf("index_hits = %d before any query", st.IndexHits)
+	}
+
+	q := `let $d := doc("bib.xml")
+for $b in $d//book
+where $b/@year = 1999
+return $b/title`
+	code, body, _ = post(t, ts.URL+"/query?plan=indexed+nested", q)
+	if code != 200 {
+		t.Fatalf("indexed query: %d %s", code, body)
+	}
+	_, body = get(t, ts.URL+"/statusz")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("statusz body: %v", err)
+	}
+	if st.IndexHits == 0 {
+		t.Fatalf("index_hits still 0 after running an index-scan plan")
+	}
+}

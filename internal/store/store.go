@@ -9,7 +9,17 @@
 //	uri
 //	node := kind name data nattrs attrs... nchildren children...
 //
-// The format is versioned through the magic; Load rejects unknown versions.
+// Version 2 ("NALB2\n") appends the analyzer's measured statistics after the
+// node tree, so a load skips the analysis walk:
+//
+//	elements npaths
+//	path := name count fanoutBits firstOrder lastOrder flags
+//	        [distinct min max [minBits maxBits]]
+//
+// flags bit 0 is Simple (the value block follows), bit 1 is AllNumeric (the
+// numeric extremes follow). Floats serialize as IEEE-754 bits. Load accepts
+// both versions — a version-1 file simply carries no statistics and the
+// engine recomputes them. Unknown magics are rejected.
 package store
 
 import (
@@ -17,40 +27,80 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"nalquery/internal/dom"
+	"nalquery/internal/stats"
 )
 
-const magic = "NALB1\n"
+const (
+	magic   = "NALB1\n"
+	magicV2 = "NALB2\n"
+)
+
+// Stats flag bits.
+const (
+	flagSimple  = 1 << 0
+	flagNumeric = 1 << 1
+)
+
+// maxPaths guards against corrupt path counts.
+const maxPaths = 1 << 24
 
 // maxString guards against corrupt length prefixes.
 const maxString = 1 << 28
 
-// Save writes a document in binary form.
-func Save(w io.Writer, d *dom.Document) error {
+// Save writes a document in version-1 binary form (no statistics).
+func Save(w io.Writer, d *dom.Document) error { return save(w, d, nil) }
+
+// SaveStats writes a document in version-2 binary form with the analyzer's
+// measured statistics appended, so loading skips the analysis walk. A nil
+// st falls back to version 1.
+func SaveStats(w io.Writer, d *dom.Document, st *stats.DocStats) error {
+	return save(w, d, st)
+}
+
+func save(w io.Writer, d *dom.Document, st *stats.DocStats) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(magic); err != nil {
+	head := magic
+	if st != nil {
+		head = magicV2
+	}
+	if _, err := bw.WriteString(head); err != nil {
 		return err
 	}
 	enc := encoder{w: bw}
 	enc.str(d.URI)
 	enc.node(d.Root)
+	if st != nil {
+		enc.stats(st)
+	}
 	if enc.err != nil {
 		return enc.err
 	}
 	return bw.Flush()
 }
 
-// Load reads a document written by Save and rebuilds document order.
+// Load reads a document written by Save or SaveStats and rebuilds document
+// order; any persisted statistics are skipped.
 func Load(r io.Reader) (*dom.Document, error) {
+	d, _, err := LoadStats(r)
+	return d, err
+}
+
+// LoadStats reads a document and, for a version-2 file, the statistics
+// persisted with it. Version-1 files return nil statistics: the caller
+// recomputes them.
+func LoadStats(r io.Reader) (*dom.Document, *stats.DocStats, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("store: reading magic: %w", err)
+		return nil, nil, fmt.Errorf("store: reading magic: %w", err)
 	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("store: bad magic %q (not a nalquery binary document)", head)
+	v2 := string(head) == magicV2
+	if string(head) != magic && !v2 {
+		return nil, nil, fmt.Errorf("store: bad magic %q (not a nalquery binary document)", head)
 	}
 	dec := decoder{r: br}
 	uri := dec.str()
@@ -58,34 +108,47 @@ func Load(r io.Reader) (*dom.Document, error) {
 	// The root record must be a document node; its children recurse.
 	kind := dec.u64()
 	if dec.err != nil {
-		return nil, dec.err
+		return nil, nil, dec.err
 	}
 	if dom.Kind(kind) != dom.KindDocument {
-		return nil, fmt.Errorf("store: root record has kind %d, want document", kind)
+		return nil, nil, fmt.Errorf("store: root record has kind %d, want document", kind)
 	}
 	dec.str() // name (empty)
 	dec.str() // data (empty)
 	nattrs := dec.u64()
 	if nattrs != 0 {
-		return nil, fmt.Errorf("store: document node with attributes")
+		return nil, nil, fmt.Errorf("store: document node with attributes")
 	}
 	nchildren := dec.u64()
 	for i := uint64(0); i < nchildren && dec.err == nil; i++ {
 		dec.child(b)
 	}
 	if dec.err != nil {
-		return nil, dec.err
+		return nil, nil, dec.err
 	}
-	return b.Done(), nil
+	var st *stats.DocStats
+	if v2 {
+		st = dec.stats(uri)
+		if dec.err != nil {
+			return nil, nil, dec.err
+		}
+	}
+	return b.Done(), st, nil
 }
 
 // SaveFile persists a document to a file.
 func SaveFile(path string, d *dom.Document) error {
+	return SaveFileStats(path, d, nil)
+}
+
+// SaveFileStats persists a document with its measured statistics (version 2;
+// nil statistics fall back to version 1).
+func SaveFileStats(path string, d *dom.Document, st *stats.DocStats) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := Save(f, d); err != nil {
+	if err := save(f, d, st); err != nil {
 		f.Close()
 		return err
 	}
@@ -94,12 +157,18 @@ func SaveFile(path string, d *dom.Document) error {
 
 // LoadFile loads a document from a file.
 func LoadFile(path string) (*dom.Document, error) {
+	d, _, err := LoadFileStats(path)
+	return d, err
+}
+
+// LoadFileStats loads a document and any persisted statistics from a file.
+func LoadFileStats(path string) (*dom.Document, *stats.DocStats, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	return LoadStats(f)
 }
 
 type encoder struct {
@@ -120,6 +189,35 @@ func (e *encoder) str(s string) {
 	e.u64(uint64(len(s)))
 	if e.err == nil {
 		_, e.err = e.w.WriteString(s)
+	}
+}
+
+func (e *encoder) stats(st *stats.DocStats) {
+	e.u64(uint64(st.Elements))
+	e.u64(uint64(len(st.Paths)))
+	for _, p := range st.Paths {
+		e.str(p.Path)
+		e.u64(uint64(p.Count))
+		e.u64(math.Float64bits(p.AvgFanout))
+		e.u64(uint64(p.FirstOrder))
+		e.u64(uint64(p.LastOrder))
+		var flags uint64
+		if p.Simple {
+			flags |= flagSimple
+		}
+		if p.AllNumeric {
+			flags |= flagNumeric
+		}
+		e.u64(flags)
+		if p.Simple {
+			e.u64(uint64(p.Distinct))
+			e.str(p.Min)
+			e.str(p.Max)
+			if p.AllNumeric {
+				e.u64(math.Float64bits(p.MinNum))
+				e.u64(math.Float64bits(p.MaxNum))
+			}
+		}
 	}
 }
 
@@ -172,6 +270,43 @@ func (d *decoder) str() string {
 		return ""
 	}
 	return string(buf)
+}
+
+func (d *decoder) stats(uri string) *stats.DocStats {
+	elements := d.u64()
+	npaths := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if npaths > maxPaths {
+		d.err = fmt.Errorf("store: path count %d exceeds limit", npaths)
+		return nil
+	}
+	paths := make([]*stats.PathStats, 0, npaths)
+	for i := uint64(0); i < npaths && d.err == nil; i++ {
+		p := &stats.PathStats{Path: d.str()}
+		p.Count = int64(d.u64())
+		p.AvgFanout = math.Float64frombits(d.u64())
+		p.FirstOrder = int(d.u64())
+		p.LastOrder = int(d.u64())
+		flags := d.u64()
+		p.Simple = flags&flagSimple != 0
+		p.AllNumeric = flags&flagNumeric != 0
+		if p.Simple {
+			p.Distinct = int64(d.u64())
+			p.Min = d.str()
+			p.Max = d.str()
+			if p.AllNumeric {
+				p.MinNum = math.Float64frombits(d.u64())
+				p.MaxNum = math.Float64frombits(d.u64())
+			}
+		}
+		paths = append(paths, p)
+	}
+	if d.err != nil {
+		return nil
+	}
+	return stats.FromPaths(uri, int64(elements), paths)
 }
 
 // child decodes one element or text record into the builder.

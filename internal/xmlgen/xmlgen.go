@@ -40,6 +40,11 @@ type Config struct {
 	// review entry; the remaining entries review unknown titles. 50 by
 	// default.
 	ReviewFraction int
+	// Zipf, when > 1, skews key-valued draws (author picks in bib.xml, item
+	// references in bids.xml) by a zipfian distribution with this exponent —
+	// a few hot keys dominate, so value-index probe selectivities vary
+	// wildly across keys. 0 keeps the uniform draws.
+	Zipf float64
 }
 
 // DefaultConfig returns the configuration for one paper measurement point.
@@ -90,11 +95,29 @@ func authorName(i int) (last, first string) {
 
 func bookTitle(i int) string { return fmt.Sprintf("Title %d", i) }
 
+// zipfOf builds the zipfian source for an n-key draw, or nil for uniform.
+func zipfOf(c Config, rng *rand.Rand, n int) *rand.Zipf {
+	if c.Zipf <= 1 || n < 2 {
+		return nil
+	}
+	return rand.NewZipf(rng, c.Zipf, 1, uint64(n-1))
+}
+
+// draw returns a random index in [0, n): uniform, or skewed toward low
+// indexes when a zipfian source is given.
+func draw(rng *rand.Rand, z *rand.Zipf, n int) int {
+	if z != nil {
+		return int(z.Uint64()) % n
+	}
+	return rng.Intn(n)
+}
+
 // Bib generates bib.xml: books with title, author+ (drawn from the author
 // pool), publisher, price and a year attribute in [1990, 2003].
 func Bib(c Config) *dom.Document {
 	c = c.normalize()
 	rng := rand.New(rand.NewSource(c.Seed))
+	zipf := zipfOf(c, rng, c.AuthorPool)
 	b := dom.NewBuilder("bib.xml")
 	b.Begin("bib")
 	for i := 0; i < c.Books; i++ {
@@ -110,7 +133,7 @@ func Bib(c Config) *dom.Document {
 			if a == 0 {
 				idx = i % c.AuthorPool
 			} else {
-				idx = rng.Intn(c.AuthorPool)
+				idx = draw(rng, zipf, c.AuthorPool)
 			}
 			for seen[idx] {
 				idx = (idx + 1) % c.AuthorPool
@@ -225,14 +248,19 @@ func Items(c Config) *dom.Document {
 func Bids(c Config) *dom.Document {
 	c = c.normalize()
 	rng := rand.New(rand.NewSource(c.Seed + 5))
+	zipf := zipfOf(c, rng, c.Items)
 	b := dom.NewBuilder("bids.xml")
 	b.Begin("bids")
 	for i := 0; i < c.Bids; i++ {
-		// Zipf-ish skew: half the bids hit the first fifth of the items.
+		// Default skew: half the bids hit the first fifth of the items. A
+		// configured zipfian exponent sharpens this into true hot keys.
 		var item int
-		if rng.Intn(2) == 0 {
+		switch {
+		case zipf != nil:
+			item = draw(rng, zipf, c.Items)
+		case rng.Intn(2) == 0:
 			item = rng.Intn(max(c.Items/5, 1))
-		} else {
+		default:
 			item = rng.Intn(c.Items)
 		}
 		b.Begin("bidtuple")

@@ -65,8 +65,10 @@ import (
 	"nalquery/internal/core"
 	"nalquery/internal/cost"
 	"nalquery/internal/dom"
+	"nalquery/internal/index"
 	"nalquery/internal/normalize"
 	"nalquery/internal/schema"
+	"nalquery/internal/stats"
 	"nalquery/internal/store"
 	"nalquery/internal/translate"
 	"nalquery/internal/xquery"
@@ -78,7 +80,13 @@ import (
 // cache, concurrent Runs — work from a consistent snapshot without locks.
 type engineState struct {
 	docs map[string]*dom.Document
-	cat  *schema.Catalog
+	// aux is the per-document analyzer/index sidecar (measured statistics
+	// plus structural and value indexes), keyed like docs and reconciled on
+	// every state transition: computed when a document is loaded or
+	// replaced, carried over unchanged otherwise. Like docs it is immutable
+	// after publication.
+	aux map[string]*index.DocIndexes
+	cat *schema.Catalog
 	// gen counts state transitions; it keys the plan cache, so a document
 	// load or catalog edit invalidates cached plans for the old state.
 	gen uint64
@@ -95,6 +103,13 @@ type Engine struct {
 
 	cache    planCache
 	compiles atomic.Int64 // full compile passes, pinned by the zero-recompile tests
+
+	// analyzerRuns counts document analyses (one per loaded or replaced
+	// document); indexHits accumulates IndexScan resolutions across every
+	// finished Run of queries compiled by this engine. Both surface on the
+	// server's /statusz.
+	analyzerRuns atomic.Int64
+	indexHits    atomic.Int64
 }
 
 // NewEngine creates an Engine pre-loaded with the DTD facts of the paper's
@@ -102,7 +117,8 @@ type Engine struct {
 // Catalog().
 func NewEngine() *Engine {
 	e := &Engine{}
-	e.state.Store(&engineState{docs: map[string]*dom.Document{}, cat: schema.UseCases()})
+	e.state.Store(&engineState{docs: map[string]*dom.Document{},
+		aux: map[string]*index.DocIndexes{}, cat: schema.UseCases()})
 	e.cache.cap = DefaultPlanCacheSize
 	return e
 }
@@ -113,12 +129,18 @@ func (e *Engine) snapshot() *engineState { return e.state.Load() }
 // mutate applies one state transition under the writer lock: clone the
 // current snapshot's document map, let mut edit the clone, publish the next
 // generation. The catalog pointer is carried over unless mut replaces it.
-func (e *Engine) mutate(mut func(st *engineState)) {
+func (e *Engine) mutate(mut func(st *engineState)) { e.mutateWith(mut, nil) }
+
+// mutateWith is mutate with pre-measured statistics for specific URIs (a
+// persisted NALB2 record loaded alongside the document): the sidecar
+// reconcile then skips re-measuring those documents.
+func (e *Engine) mutateWith(mut func(st *engineState), pre map[string]*stats.DocStats) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cur := e.state.Load()
 	next := &engineState{
 		docs: make(map[string]*dom.Document, len(cur.docs)+1),
+		aux:  make(map[string]*index.DocIndexes, len(cur.docs)+1),
 		cat:  cur.cat,
 		gen:  cur.gen + 1,
 	}
@@ -126,6 +148,19 @@ func (e *Engine) mutate(mut func(st *engineState)) {
 		next.docs[uri] = d
 	}
 	mut(next)
+	// Reconcile the analyzer/index sidecar with the edited document map: a
+	// document object already analyzed keeps its sidecar, a new or replaced
+	// one is analyzed and indexed here (one walk), a dropped one loses its
+	// entry. Stats and indexes therefore invalidate exactly like the plan
+	// cache: any transition that changes a document replaces them.
+	for uri, d := range next.docs {
+		if cur.docs[uri] == d && cur.aux[uri] != nil {
+			next.aux[uri] = cur.aux[uri]
+			continue
+		}
+		next.aux[uri] = index.BuildWith(d, pre[uri])
+		e.analyzerRuns.Add(1)
+	}
 	e.state.Store(next)
 }
 
@@ -151,14 +186,20 @@ func (e *Engine) LoadDocument(d *dom.Document) {
 }
 
 // LoadStoreFile loads a document from a binary store file (the .nalb format
-// of internal/store) and registers it under the given URI.
+// of internal/store) and registers it under the given URI. A version-2 file
+// carries the analyzer's statistics; they are adopted instead of re-measured.
 func (e *Engine) LoadStoreFile(uri, path string) error {
-	d, err := store.LoadFile(path)
+	d, ds, err := store.LoadFileStats(path)
 	if err != nil {
 		return err
 	}
 	d.URI = uri
-	e.mutate(func(st *engineState) { st.docs[uri] = d })
+	var pre map[string]*stats.DocStats
+	if ds != nil {
+		ds.URI = uri
+		pre = map[string]*stats.DocStats{uri: ds}
+	}
+	e.mutateWith(func(st *engineState) { st.docs[uri] = d }, pre)
 	return nil
 }
 
@@ -209,6 +250,10 @@ type Stats struct {
 	NestedEvals int64
 	// Tuples counts tuples produced by scan operators.
 	Tuples int64
+	// IndexScans counts scans answered from a structural or value index
+	// (one per IndexScan open) instead of a document traversal. Plans
+	// without substituted index scans report 0.
+	IndexScans int64
 	// MapTuples counts map tuples materialized on the slot engine's data
 	// path (group payloads converted for uncompiled sequence functions,
 	// conversion-shim traffic). Fully native execution reports 0.
@@ -260,6 +305,9 @@ type Query struct {
 	model  *cost.Model
 	plans  []Plan
 	params []string // external variable names, in parameter-slot order
+	// idxHits, when non-nil, receives each finished run's IndexScans count
+	// (the compiling engine's cumulative index-hit counter).
+	idxHits *atomic.Int64
 }
 
 // Vars returns the names of the query's external variables
@@ -274,6 +322,7 @@ func statsOf(ctx *algebra.Ctx) Stats {
 		DocAccesses: ctx.Stats.DocAccesses,
 		NestedEvals: ctx.Stats.NestedEvals,
 		Tuples:      ctx.Stats.Tuples,
+		IndexScans:  ctx.Stats.IndexScans,
 		MapTuples:   ctx.Stats.MapTuples,
 	}
 	if b := ctx.Budget; b != nil {
@@ -391,10 +440,14 @@ func (e *Engine) compileState(st *engineState, text string, cfg compileConfig) (
 	docs := st.docs
 	model := cfg.model
 	if model == nil {
-		model = cost.NewModel(docs)
+		// The default model consumes the snapshot's measured statistics —
+		// plan choice driven by data properties, not constants. A caller's
+		// WithCostModel (e.g. cost.NewModel for the textbook defaults)
+		// replaces it wholesale.
+		model = cost.NewModelStats(docs, snapshotStats(st.aux))
 	}
 	q = &Query{Text: text, Normalized: norm.String(), docs: docs, model: model,
-		OrderIrrelevant: orderIrrelevant, params: mod.Externals}
+		OrderIrrelevant: orderIrrelevant, params: mod.Externals, idxHits: &e.indexHits}
 	for _, a := range alts {
 		est := model.Plan(a.Op)
 		q.plans = append(q.plans, Plan{
@@ -417,6 +470,27 @@ func (e *Engine) compileState(st *engineState, text string, cfg compileConfig) (
 				Applied:       append(append([]string{}, a.Applied...), "unordered-family"),
 				EstimatedCost: est.Cost,
 				op:            u,
+			})
+		}
+	}
+	// Offer an index-substituted counterpart of every alternative whose
+	// document scans resolve onto the snapshot's indexes. The base plans
+	// stay on offer: with measured statistics the probe prices cheap and an
+	// indexed plan wins the empty-name selection; under constants-only
+	// models it prices pessimistically and the base plans keep winning.
+	if len(st.aux) > 0 {
+		icat := indexCat{aux: st.aux}
+		for _, a := range alts {
+			sub, changed := core.SubstituteIndexes(a.Op, icat)
+			if !changed || !core.Validate(sub) {
+				continue
+			}
+			est := model.Plan(sub)
+			q.plans = append(q.plans, Plan{
+				Name:          "indexed " + a.Name,
+				Applied:       append(append([]string{}, a.Applied...), "index-scan"),
+				EstimatedCost: est.Cost,
+				op:            sub,
 			})
 		}
 	}

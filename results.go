@@ -148,10 +148,11 @@ type Results struct {
 	pump   *algebra.Pump
 	queue  itemQueue
 	qpos   int
-	opened bool
-	done   bool // the pump is exhausted (trailing queue items may remain)
-	closed bool
-	err    error
+	opened  bool
+	done    bool // the pump is exhausted (trailing queue items may remain)
+	closed  bool
+	counted bool // engine-level counters accumulated (first end-of-stream wins)
+	err     error
 }
 
 // itemQueue buffers the items emitted between two pump steps; it is the
@@ -435,6 +436,14 @@ func (r *Results) releasePump() {
 // algebra context is shared with nothing, but the caller may reuse the
 // Stats struct).
 func (r *Results) recordStats() {
+	if r.actx != nil && !r.counted {
+		// Engine-level accumulation (once per session): index hits feed the
+		// compiling engine's cumulative counter for /statusz.
+		r.counted = true
+		if r.q.idxHits != nil && r.actx.Stats.IndexScans > 0 {
+			r.q.idxHits.Add(r.actx.Stats.IndexScans)
+		}
+	}
 	if r.cfg.stats != nil && r.actx != nil {
 		*r.cfg.stats = statsOf(r.actx)
 		r.cfg.stats = nil

@@ -1,0 +1,269 @@
+package nalquery
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"nalquery/internal/cost"
+)
+
+// The statistics & index subsystem's differential gate and lifecycle tests:
+// index-substituted plans must be byte-identical to their base plans on
+// every paper query under both engines, measured statistics must flip the
+// default plan choice, and the snapshot sidecar must invalidate exactly
+// like the plan cache.
+
+// TestDifferentialIndexedPlans: for every paper query, every "indexed *"
+// plan alternative produces byte-identical output to its base plan, on both
+// the slot engine and the reference evaluator. (The name keeps it inside
+// the CI fuzz-smoke sweep's TestDifferential pattern.)
+func TestDifferentialIndexedPlans(t *testing.T) {
+	eng := NewEngine()
+	eng.LoadUseCaseDocuments(60, 2)
+	eng.LoadDBLPDocument(60)
+	for name, text := range PaperQueries {
+		q, err := eng.Compile(text)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		indexed := 0
+		for _, p := range q.Plans() {
+			base, ok := strings.CutPrefix(p.Name, "indexed ")
+			if !ok {
+				continue
+			}
+			indexed++
+			want, _, err := q.Execute(base)
+			if err != nil {
+				t.Fatalf("%s/%s: base: %v", name, base, err)
+			}
+			got, st, err := q.Execute(p.Name)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, p.Name, err)
+			}
+			if got != want {
+				t.Fatalf("%s: plan %q differs from %q\nbase:    %q\nindexed: %q",
+					name, p.Name, base, want, got)
+			}
+			if st.IndexScans == 0 {
+				t.Errorf("%s: plan %q executed no index scans", name, p.Name)
+			}
+			ref, _, err := q.ExecuteReference(p.Name)
+			if err != nil {
+				t.Fatalf("%s/%s (reference): %v", name, p.Name, err)
+			}
+			if ref != want {
+				t.Fatalf("%s: plan %q reference output differs from base", name, p.Name)
+			}
+		}
+		if indexed == 0 {
+			t.Logf("%s: no indexed alternative (ok for shapes outside the substitution)", name)
+		}
+	}
+}
+
+// selectiveQuery scans books for one year — the selective predicate the
+// value index answers with a probe.
+const selectiveQuery = `
+let $d := doc("bib.xml")
+for $b in $d//book
+where $b/@year = 1999
+return $b/title`
+
+// TestPlanFlipMeasuredStats pins the tentpole behavior: with the engine's
+// measured statistics the default plan choice is an index-scan plan, while
+// the constants-only cost model (the pre-stats default) picks the full-scan
+// plan — and the flip pays off, measured by the engine's own counters.
+func TestPlanFlipMeasuredStats(t *testing.T) {
+	eng := NewEngine()
+	eng.LoadUseCaseDocuments(300, 2)
+
+	measured, err := eng.Compile(selectiveQuery)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	constants, err := eng.Compile(selectiveQuery,
+		WithCostModel(cost.NewModel(eng.snapshot().docs)))
+	if err != nil {
+		t.Fatalf("compile (constants): %v", err)
+	}
+
+	mp, _ := measured.Plan("")
+	cp, _ := constants.Plan("")
+	if !strings.HasPrefix(mp.Name, "indexed ") {
+		t.Fatalf("measured stats picked %q, want an indexed plan", mp.Name)
+	}
+	if strings.HasPrefix(cp.Name, "indexed ") {
+		t.Fatalf("constants-only model picked %q, want a full-scan plan", cp.Name)
+	}
+
+	// The flip is a win: the index plan touches a fraction of the tuples.
+	outIdx, stIdx, err := measured.Execute(mp.Name)
+	if err != nil {
+		t.Fatalf("indexed: %v", err)
+	}
+	outFull, stFull, err := measured.Execute(cp.Name)
+	if err != nil {
+		t.Fatalf("full scan: %v", err)
+	}
+	if outIdx != outFull {
+		t.Fatalf("plan outputs differ")
+	}
+	if stIdx.IndexScans == 0 || stFull.IndexScans != 0 {
+		t.Fatalf("index-scan counters: indexed=%d full=%d", stIdx.IndexScans, stFull.IndexScans)
+	}
+	if stIdx.Tuples*4 >= stFull.Tuples {
+		t.Fatalf("index plan processed %d tuples vs %d for the full scan — no win",
+			stIdx.Tuples, stFull.Tuples)
+	}
+}
+
+// TestStatsLifecycle: document statistics appear at load, survive unrelated
+// loads, and are replaced — together with the plan choice they drive — when
+// the document is re-uploaded.
+func TestStatsLifecycle(t *testing.T) {
+	eng := NewEngine()
+	if _, ok := eng.DocumentStats("bib.xml"); ok {
+		t.Fatalf("stats before any load")
+	}
+	runs0 := eng.AnalyzerRuns()
+
+	eng.LoadXMLString("bib.xml", `<bib><book year="1999"><title>A</title></book></bib>`)
+	ds, ok := eng.DocumentStats("bib.xml")
+	if !ok || ds.Elements != 3 {
+		t.Fatalf("stats after load: %+v ok=%v", ds, ok)
+	}
+	if eng.AnalyzerRuns() != runs0+1 {
+		t.Fatalf("analyzer runs = %d, want %d", eng.AnalyzerRuns(), runs0+1)
+	}
+
+	// An unrelated load keeps bib.xml's sidecar (pointer-compare reconcile).
+	eng.LoadXMLString("other.xml", `<o/>`)
+	if eng.AnalyzerRuns() != runs0+2 {
+		t.Fatalf("unrelated load reran the bib analyzer: %d runs", eng.AnalyzerRuns())
+	}
+
+	// Replacing the document replaces the measurement.
+	eng.LoadXMLString("bib.xml",
+		`<bib><book year="2001"><title>B</title></book><book year="2002"><title>C</title></book></bib>`)
+	ds, _ = eng.DocumentStats("bib.xml")
+	if ds.Elements != 5 {
+		t.Fatalf("stats after replace: %+v", ds)
+	}
+	if eng.AnalyzerRuns() != runs0+3 {
+		t.Fatalf("analyzer runs after replace = %d", eng.AnalyzerRuns())
+	}
+	found := false
+	for _, p := range ds.Paths {
+		if p.Path == "/bib/book/@year" {
+			found = true
+			if p.Count != 2 || p.Min != "2001" || p.Max != "2002" {
+				t.Fatalf("replaced year stats: %+v", p)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no @year path in %+v", ds.Paths)
+	}
+}
+
+// TestConcurrentRunDuringReanalysis: 8 sessions run a query that exercises
+// index scans while the engine concurrently replaces documents (triggering
+// re-analysis). Compile-time snapshots keep every run consistent; the test
+// is meaningful under -race.
+func TestConcurrentRunDuringReanalysis(t *testing.T) {
+	eng := NewEngine()
+	eng.LoadUseCaseDocuments(40, 2)
+	q, err := eng.Compile(selectiveQuery)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	want, _, err := q.Execute("")
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got, _, err := q.Execute("")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want {
+					errs <- fmt.Errorf("output drifted under concurrent reload")
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent re-uploads force sidecar reconciliation on every mutate.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			eng.LoadXMLString("churn.xml", fmt.Sprintf(`<c><v>%d</v></c>`, i))
+			// Re-compiling against the fresh snapshot must also be safe.
+			if _, err := eng.Compile(selectiveQuery); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestExplainCards: estimates and actuals line up operator-for-operator, and
+// parameterized queries skip the actuals.
+func TestExplainCards(t *testing.T) {
+	eng := NewEngine()
+	eng.LoadUseCaseDocuments(50, 2)
+	q, err := eng.Compile(selectiveQuery)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rows, err := q.ExplainCards("")
+	if err != nil {
+		t.Fatalf("cards: %v", err)
+	}
+	if len(rows) < 2 || rows[0].Depth != 0 {
+		t.Fatalf("card rows: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Actual < 0 {
+			t.Fatalf("unparameterized query must measure actuals: %+v", r)
+		}
+		if r.Est <= 0 {
+			t.Fatalf("estimate must be positive: %+v", r)
+		}
+	}
+	if !strings.Contains(FormatCards(rows), "est=") {
+		t.Fatalf("FormatCards output malformed")
+	}
+
+	pq, err := eng.Compile(`declare variable $y external;
+let $d := doc("bib.xml") for $b in $d//book where $b/@year = $y return $b/title`)
+	if err != nil {
+		t.Fatalf("compile param query: %v", err)
+	}
+	prows, err := pq.ExplainCards("")
+	if err != nil {
+		t.Fatalf("param cards: %v", err)
+	}
+	for _, r := range prows {
+		if r.Actual != -1 {
+			t.Fatalf("parameterized query must not execute: %+v", r)
+		}
+	}
+}
