@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet test race-test faults fuzz-smoke bench-smoke bench-json bench-diff serve load-smoke ci
+.PHONY: tier1 vet lint test race-test faults fuzz-smoke bench-smoke bench-json bench-diff serve load-smoke ci
 
 tier1:
 	$(GO) build ./...
@@ -14,6 +14,16 @@ tier1:
 
 vet:
 	$(GO) vet ./...
+
+# lint builds the repo's own analyzer suite (cmd/nalvet, docs/ANALYSIS.md)
+# and runs it over the whole tree through the go vet driver. It enforces
+# the cross-file engine invariants: operator-dispatch completeness,
+# panic discipline, charge-map label stability, MustParse confinement and
+# scan-loop cancellation polling. Findings print as file:line: message.
+lint:
+	@mkdir -p .bin
+	$(GO) build -o .bin/nalvet ./cmd/nalvet
+	$(GO) vet -vettool=$(CURDIR)/.bin/nalvet ./...
 
 test:
 	$(GO) test ./...
@@ -97,4 +107,4 @@ load-smoke:
 		kill -TERM $$pid; wait $$pid; drc=$$?; \
 		[ $$rc -eq 0 ] && [ $$drc -eq 0 ]
 
-ci: tier1 race-test bench-diff
+ci: tier1 lint race-test bench-diff

@@ -60,6 +60,7 @@ func openRowsSchema(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
 // openNative constructs the slot-native iterator for a structurally resolved
 // operator; nil falls back to the conversion shim.
 func openNative(op Op, sc Schema, ctx *Ctx, env value.Tuple) RowIter {
+	//nal:opswitch rowiter
 	switch w := op.(type) {
 	case Singleton:
 		return &rowSliceIter{rows: []value.Row{value.NewRow(sc.Lay)}}

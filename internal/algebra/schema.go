@@ -162,6 +162,7 @@ func sameNames(a, b *value.Layout) bool {
 // means the attribute set is statically unknown and the subtree can only run
 // on the map-based engine.
 func ResolveSchema(op Op) (Schema, bool) {
+	//nal:opswitch schema
 	switch w := op.(type) {
 	case Singleton:
 		return Schema{Lay: value.NewLayout(), Native: true}, true

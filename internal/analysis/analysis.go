@@ -1,0 +1,27 @@
+// Package analysis hosts nalquery's project-specific static analyzers —
+// the nalvet suite. Each analyzer mechanizes one cross-file invariant of
+// the engine that was previously enforced only by convention and
+// after-the-fact tests; see docs/ANALYSIS.md for the catalogue and the
+// annotation grammar.
+package analysis
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"nalquery/internal/analysis/budgetcharge"
+	"nalquery/internal/analysis/ctxpoll"
+	"nalquery/internal/analysis/mustparse"
+	"nalquery/internal/analysis/opcomplete"
+	"nalquery/internal/analysis/panicdiscipline"
+)
+
+// All returns every nalvet analyzer, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		opcomplete.Analyzer,
+		panicdiscipline.Analyzer,
+		budgetcharge.Analyzer,
+		mustparse.Analyzer,
+		ctxpoll.Analyzer,
+	}
+}

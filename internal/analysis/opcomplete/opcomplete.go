@@ -1,0 +1,326 @@
+// Package opcomplete mechanizes the engine's cross-file operator
+// invariant: every concrete algebra.Op type must be handled by every
+// dispatch surface that claims completeness over the operator algebra.
+//
+// The invariant used to live in convention only. Adding GroupSelf (PR 8)
+// meant touching the algebra types, ResolveSchema, the rowiter dispatch,
+// the cost model and both plan walkers in lockstep — and forgetting one
+// surface failed slowly, in a differential sweep, instead of fast, in
+// lint. opcomplete makes the lockstep mechanical:
+//
+//   - The package that owns the Op interface (-oppkg, default
+//     nalquery/internal/algebra) exports the full set of concrete Op
+//     implementations as a package fact.
+//   - Any type switch over Op annotated with a marker comment
+//
+//     //nal:opswitch <surface> [exempt=TypeA,TypeB]
+//
+//     on the line directly above the switch statement is checked for
+//     completeness against that set. Missing cases are reported by
+//     operator name; exemptions must be real, unhandled operator types
+//     (a stale exemption is itself a finding).
+//   - The -require flag (pkg:surfaceA+surfaceB,pkg2:surfaceC) pins which
+//     surfaces must exist in which packages, so deleting a marker comment
+//     (or a whole dispatch function) is also a lint failure.
+package opcomplete
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Analyzer is the opcomplete analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "opcomplete",
+	Doc:       "check that every concrete algebra.Op is handled by every annotated dispatch surface (//nal:opswitch)",
+	Run:       run,
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*OpsFact)(nil)},
+}
+
+var (
+	opPkg       = "nalquery/internal/algebra"
+	opIfaceName = "Op"
+	require     = "nalquery/internal/algebra:rowiter+schema," +
+		"nalquery/internal/cost:cost," +
+		"nalquery/internal/core:rewrite+sec2"
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&opPkg, "oppkg", opPkg,
+		"import path of the package that declares the Op interface")
+	Analyzer.Flags.StringVar(&opIfaceName, "opiface", opIfaceName,
+		"name of the operator interface type inside oppkg")
+	Analyzer.Flags.StringVar(&require, "require", require,
+		"required surfaces per package, as pkg:surfaceA+surfaceB,pkg2:surfaceC")
+}
+
+// OpsFact is the package fact exported by the Op-owning package: the
+// sorted names of every concrete type implementing the Op interface.
+type OpsFact struct{ Ops []string }
+
+// AFact marks OpsFact as an analysis.Fact.
+func (*OpsFact) AFact() {}
+
+func (f *OpsFact) String() string { return "ops(" + strings.Join(f.Ops, ",") + ")" }
+
+// markerRe matches the //nal:opswitch annotation.
+var markerRe = regexp.MustCompile(`^//nal:opswitch\s+([A-Za-z0-9_.-]+)(?:\s+exempt=([A-Za-z0-9_,]+))?\s*$`)
+
+type marker struct {
+	surface string
+	exempt  []string
+	used    bool
+	pos     ast.Node
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	reqSurfaces := requiredSurfaces(pass.Pkg.Path())
+
+	// Locate the Op-owning package: ourselves, or one of our imports.
+	var opsPkg *types.Package
+	if pass.Pkg.Path() == opPkg {
+		opsPkg = pass.Pkg
+	} else {
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Path() == opPkg {
+				opsPkg = imp
+				break
+			}
+		}
+	}
+	if opsPkg == nil {
+		// A package that must host dispatch surfaces necessarily imports
+		// the algebra; not importing it at all is already a finding.
+		if len(reqSurfaces) > 0 && len(pass.Files) > 0 {
+			pass.Reportf(pass.Files[0].Pos(),
+				"opcomplete: package %s must host op dispatch surfaces %v but does not import %s",
+				pass.Pkg.Path(), reqSurfaces, opPkg)
+		}
+		return nil, nil
+	}
+
+	ifaceObj := opsPkg.Scope().Lookup(opIfaceName)
+	if ifaceObj == nil {
+		return nil, fmt.Errorf("opcomplete: interface %s not found in %s", opIfaceName, opPkg)
+	}
+	iface, ok := ifaceObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil, fmt.Errorf("opcomplete: %s.%s is not an interface", opPkg, opIfaceName)
+	}
+
+	var ops []string
+	if pass.Pkg.Path() == opPkg {
+		ops = concreteOps(pass, iface)
+		pass.ExportPackageFact(&OpsFact{Ops: ops})
+	} else {
+		var f OpsFact
+		if !pass.ImportPackageFact(opsPkg, &f) {
+			// The fact is produced whenever the Op-owning package is
+			// analyzed; its absence means opcomplete did not run there
+			// (e.g. a narrowed invocation), so there is nothing sound to
+			// check against.
+			return nil, nil
+		}
+		ops = f.Ops
+	}
+
+	markers := collectMarkers(pass)
+	seen := map[string]bool{}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.TypeSwitchStmt)(nil)}, func(n ast.Node) {
+		ts := n.(*ast.TypeSwitchStmt)
+		pos := pass.Fset.Position(ts.Pos())
+		m := markers[markerKey{pos.Filename, pos.Line - 1}]
+		if m == nil {
+			return
+		}
+		m.used = true
+		if !isOpSwitch(pass, ts, ifaceObj) {
+			pass.Reportf(ts.Pos(),
+				"opcomplete: surface %q is annotated //nal:opswitch but does not switch on %s.%s",
+				m.surface, opsPkg.Name(), opIfaceName)
+			return
+		}
+		if seen[m.surface] {
+			pass.Reportf(ts.Pos(), "opcomplete: duplicate op switch surface %q in package %s",
+				m.surface, pass.Pkg.Path())
+		}
+		seen[m.surface] = true
+		checkSwitch(pass, ts, m, ops)
+	})
+
+	// Unused markers (annotation not directly above a type switch) are
+	// invariants that silently stopped being enforced — report them.
+	for _, m := range markers {
+		if !m.used {
+			pass.Reportf(m.pos.Pos(),
+				"opcomplete: //nal:opswitch %s annotation is not attached to a type switch (it must sit on the line directly above one)",
+				m.surface)
+		}
+	}
+
+	for _, s := range reqSurfaces {
+		if !seen[s] {
+			pass.Reportf(pass.Files[0].Pos(),
+				"opcomplete: package %s must contain an op dispatch surface %q (//nal:opswitch %s), but none was found",
+				pass.Pkg.Path(), s, s)
+		}
+	}
+	return nil, nil
+}
+
+// concreteOps enumerates the non-test concrete named types of the current
+// package that implement the operator interface.
+func concreteOps(pass *analysis.Pass, iface *types.Interface) []string {
+	var ops []string
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		// Fixture operators declared in _test.go files are not part of
+		// the algebra.
+		if strings.HasSuffix(pass.Fset.Position(tn.Pos()).Filename, "_test.go") {
+			continue
+		}
+		t := tn.Type()
+		if types.IsInterface(t) {
+			continue
+		}
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			ops = append(ops, name)
+		}
+	}
+	sort.Strings(ops)
+	return ops
+}
+
+type markerKey struct {
+	file string
+	line int
+}
+
+func collectMarkers(pass *analysis.Pass) map[markerKey]*marker {
+	out := map[markerKey]*marker{}
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				sub := markerRe.FindStringSubmatch(c.Text)
+				if sub == nil {
+					continue
+				}
+				m := &marker{surface: sub[1], pos: c}
+				if sub[2] != "" {
+					m.exempt = strings.Split(sub[2], ",")
+				}
+				out[markerKey{fname, pass.Fset.Position(c.Pos()).Line}] = m
+			}
+		}
+	}
+	return out
+}
+
+// isOpSwitch reports whether the type switch's tag expression has the
+// operator interface type.
+func isOpSwitch(pass *analysis.Pass, ts *ast.TypeSwitchStmt, ifaceObj types.Object) bool {
+	var x ast.Expr
+	switch a := ts.Assign.(type) {
+	case *ast.AssignStmt:
+		if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	}
+	if x == nil {
+		return false
+	}
+	t := pass.TypesInfo.Types[x].Type
+	return t != nil && types.Identical(t, ifaceObj.Type())
+}
+
+func checkSwitch(pass *analysis.Pass, ts *ast.TypeSwitchStmt, m *marker, ops []string) {
+	handled := map[string]bool{}
+	for _, stmt := range ts.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, te := range cc.List {
+			t := pass.TypesInfo.Types[te].Type
+			if t == nil {
+				continue
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				continue
+			}
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == opPkg {
+				handled[obj.Name()] = true
+			}
+		}
+	}
+
+	known := map[string]bool{}
+	for _, op := range ops {
+		known[op] = true
+	}
+	exempt := map[string]bool{}
+	for _, e := range m.exempt {
+		exempt[e] = true
+		if !known[e] {
+			pass.Reportf(ts.Pos(),
+				"opcomplete: surface %q exempts %s, which is not a concrete %s implementation",
+				m.surface, e, opIfaceName)
+		} else if handled[e] {
+			pass.Reportf(ts.Pos(),
+				"opcomplete: surface %q exempts %s but the switch handles it (stale exemption)",
+				m.surface, e)
+		}
+	}
+
+	var missing []string
+	for _, op := range ops {
+		if !handled[op] && !exempt[op] {
+			missing = append(missing, op)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(ts.Pos(),
+			"opcomplete: op switch surface %q is missing cases for: %s",
+			m.surface, strings.Join(missing, ", "))
+	}
+}
+
+func requiredSurfaces(pkgPath string) []string {
+	for _, ent := range strings.Split(require, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		i := strings.LastIndex(ent, ":")
+		if i < 0 || ent[:i] != pkgPath {
+			continue
+		}
+		return strings.Split(ent[i+1:], "+")
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+// Package panicdiscipline enforces the engine's recover-at-boundary
+// contract: inside the engine packages the one sanctioned panic is the
+// resource-budget trip (a *ResourceTrip payload, recovered into a typed
+// error at the public Run/Results boundary). Every other panic must
+// either be removed or carry an explicit justification:
+//
+//	//nal:allow-panic <reason>
+//
+// on the line directly above (or trailing the line of) the panic call.
+// An annotation without a reason is itself a finding — the reason is the
+// review record for why the recover contract cannot erode through this
+// site.
+//
+// Test files are exempt: the contract protects production input paths.
+package panicdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Analyzer is the panicdiscipline analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "panicdiscipline",
+	Doc:      "forbid raw panic in engine packages outside the sanctioned ResourceTrip site unless annotated //nal:allow-panic <reason>",
+	Run:      run,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+}
+
+var (
+	pkgs = "nalquery," +
+		"nalquery/internal/algebra," +
+		"nalquery/internal/core," +
+		"nalquery/internal/value," +
+		"nalquery/internal/xpath," +
+		"nalquery/internal/dom," +
+		"nalquery/internal/xquery"
+	tripType = "ResourceTrip"
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgs, "pkgs", pkgs,
+		"comma-separated import paths of the engine packages the discipline applies to")
+	Analyzer.Flags.StringVar(&tripType, "triptype", tripType,
+		"name of the sanctioned panic payload type")
+}
+
+var allowRe = regexp.MustCompile(`^//nal:allow-panic(?:\s+(.*\S))?\s*$`)
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	// file → line → reason ("" = annotation present but reason missing).
+	allows := map[string]map[int]string{}
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				sub := allowRe.FindStringSubmatch(c.Text)
+				if sub == nil {
+					continue
+				}
+				if allows[fname] == nil {
+					allows[fname] = map[int]string{}
+				}
+				allows[fname][pass.Fset.Position(c.Pos()).Line] = sub[1]
+			}
+		}
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return
+		}
+		if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+			return
+		}
+		pos := pass.Fset.Position(call.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			return
+		}
+		if len(call.Args) == 1 && isTripPayload(pass, call.Args[0]) {
+			return
+		}
+		if lines, ok := allows[pos.Filename]; ok {
+			if reason, ok := annotationFor(lines, pos.Line); ok {
+				if reason == "" {
+					pass.Reportf(call.Pos(),
+						"panicdiscipline: //nal:allow-panic annotation needs a reason (//nal:allow-panic <why this cannot erode the recover contract>)")
+				}
+				return
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"panicdiscipline: raw panic in engine package %s — the engine's one sanctioned panic is the *%s budget trip; return an error, or annotate //nal:allow-panic <reason>",
+			pass.Pkg.Path(), tripType)
+	})
+	return nil, nil
+}
+
+// annotationFor accepts an annotation on the panic's own line (trailing
+// comment) or on the line directly above it.
+func annotationFor(lines map[int]string, line int) (string, bool) {
+	if r, ok := lines[line]; ok {
+		return r, true
+	}
+	if r, ok := lines[line-1]; ok {
+		return r, true
+	}
+	return "", false
+}
+
+func isTripPayload(pass *analysis.Pass, arg ast.Expr) bool {
+	t := pass.TypesInfo.Types[arg].Type
+	if t == nil {
+		return false
+	}
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj().Name() == tripType
+}
+
+func inScope(path string) bool {
+	for _, p := range strings.Split(pkgs, ",") {
+		if strings.TrimSpace(p) == path {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+// Package engine seeds the ctxpoll cases: a scan loop that polls, one
+// that never polls, one that polls only outside the loop, and one whose
+// only poll is buried in a nested closure.
+package engine
+
+// TripScan marks the tuple-producing charge sites.
+const TripScan = "scan"
+
+// Ctx is the miniature budget context.
+type Ctx struct{}
+
+// ChargeTuple charges one produced tuple.
+func (c *Ctx) ChargeTuple(point string, n int) { _, _ = point, n }
+
+// Cancelled reports whether the run was cancelled.
+func (c *Ctx) Cancelled() bool { return false }
+
+func good(c *Ctx, items []int) {
+	for range items {
+		if c.Cancelled() {
+			break
+		}
+		c.ChargeTuple(TripScan, 1)
+	}
+}
+
+func bad(c *Ctx, items []int) {
+	for range items {
+		c.ChargeTuple(TripScan, 1) // want "never polls Cancelled"
+	}
+}
+
+func pollOutsideLoop(c *Ctx, items []int) {
+	if c.Cancelled() {
+		return
+	}
+	for range items {
+		c.ChargeTuple(TripScan, 1) // want "never polls Cancelled"
+	}
+}
+
+func pollInClosure(c *Ctx, items []int) {
+	for range items {
+		probe := func() bool { return c.Cancelled() }
+		_ = probe
+		c.ChargeTuple(TripScan, 1) // want "never polls Cancelled"
+	}
+}
+
+func use(c *Ctx) {
+	good(c, nil)
+	bad(c, nil)
+	pollOutsideLoop(c, nil)
+	pollInClosure(c, nil)
+}

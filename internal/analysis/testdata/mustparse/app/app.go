@@ -1,0 +1,10 @@
+// Package app is a production package: MustParse is forbidden here even
+// with a constant argument.
+package app
+
+import "fixture/parser"
+
+// Use sits on a production path.
+func Use() int {
+	return parser.MustParse("books/title") // want "confined to _test.go"
+}

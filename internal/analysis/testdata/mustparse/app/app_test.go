@@ -1,0 +1,14 @@
+package app
+
+import (
+	"fixture/parser"
+	"testing"
+)
+
+// Test files may call MustParse freely, even with dynamic arguments.
+func TestMustParseAllowed(t *testing.T) {
+	path := "books/title"
+	if parser.MustParse(path) == 0 {
+		t.Fatal("unexpected")
+	}
+}

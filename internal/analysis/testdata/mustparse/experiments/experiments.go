@@ -1,0 +1,15 @@
+// Package experiments is an allowed package: MustParse is fine with a
+// compile-time constant string, a finding otherwise.
+package experiments
+
+import "fixture/parser"
+
+// ConstantPath is the sanctioned experiment-harness shape.
+func ConstantPath() int {
+	return parser.MustParse("bidtuple/itemno")
+}
+
+// DynamicPath feeds runtime data into the panicking form.
+func DynamicPath(path string) int {
+	return parser.MustParse(path) // want "compile-time constant string"
+}

@@ -1,0 +1,11 @@
+// Package parser declares the panicking parse helper the mustparse
+// fixture confines.
+package parser
+
+// MustParse parses a path and panics on error.
+func MustParse(s string) int {
+	if s == "" {
+		panic("parser: empty path")
+	}
+	return len(s)
+}

@@ -1,0 +1,57 @@
+// Package engine is a miniature of the real operator algebra: an Op
+// interface, three concrete implementations, and two in-package dispatch
+// surfaces (mirroring rowiter and schema). The meta-test mutates copies
+// of this tree to prove opcomplete catches a deleted case on every
+// surface; unmutated it must be finding-free.
+package engine
+
+// Op is the operator interface the analyzer enumerates implementations of.
+type Op interface {
+	Children() []Op
+}
+
+// Scan is a leaf operator.
+type Scan struct{}
+
+// Children implements Op.
+func (Scan) Children() []Op { return nil }
+
+// Filter is a unary operator.
+type Filter struct{ In Op }
+
+// Children implements Op.
+func (f Filter) Children() []Op { return []Op{f.In} }
+
+// GroupSelf is a unary operator; the meta-test deletes its cases.
+type GroupSelf struct{ In Op }
+
+// Children implements Op.
+func (g GroupSelf) Children() []Op { return []Op{g.In} }
+
+// Open mirrors the rowiter dispatch surface.
+func Open(op Op) int {
+	//nal:opswitch rowiter
+	switch op.(type) {
+	case Scan:
+		return 1
+	case Filter:
+		return 2
+	case GroupSelf:
+		return 3
+	}
+	return 0
+}
+
+// Schema mirrors the ResolveSchema dispatch surface.
+func Schema(op Op) int {
+	//nal:opswitch schema
+	switch op.(type) {
+	case Scan:
+		return 10
+	case Filter:
+		return 20
+	case GroupSelf:
+		return 30
+	}
+	return 0
+}

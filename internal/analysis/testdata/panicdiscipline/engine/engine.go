@@ -1,0 +1,38 @@
+// Package engine seeds the panicdiscipline cases: the sanctioned
+// ResourceTrip panic, annotated panics (above and trailing), a raw
+// panic, and an annotation with no reason.
+package engine
+
+// ResourceTrip is the sanctioned panic payload.
+type ResourceTrip struct{ Op string }
+
+func sanctioned() {
+	panic(&ResourceTrip{Op: "sort"})
+}
+
+func raw() {
+	panic("boom") // want "raw panic in engine package"
+}
+
+func annotatedAbove() {
+	//nal:allow-panic unreachable by construction: callers validate first
+	panic("unreachable")
+}
+
+func annotatedTrailing() {
+	panic("unreachable") //nal:allow-panic invariant checked at the boundary
+}
+
+func missingReason() {
+	//nal:allow-panic
+	panic("unreachable") // want "annotation needs a reason"
+}
+
+func use() {
+	defer func() { _ = recover() }()
+	sanctioned()
+	raw()
+	annotatedAbove()
+	annotatedTrailing()
+	missingReason()
+}

@@ -1,0 +1,9 @@
+package engine
+
+import "testing"
+
+// Test files are outside the discipline: raw panics are fine here.
+func TestPanicAllowed(t *testing.T) {
+	defer func() { _ = recover() }()
+	panic("test-only panic, no finding expected")
+}

@@ -94,6 +94,11 @@ func (r *rewritePass) op(o algebra.Op) algebra.Op {
 	if r.strategy == StrategyNested {
 		return o
 	}
+	// The physical operators (index scans, the Grace/OPHash pair, the
+	// unordered family, streamed Ξ-grouping) are introduced after — or at
+	// the tail of — this pass and are never rewritten through; Singleton
+	// is a leaf.
+	//nal:opswitch rewrite exempt=Singleton,IndexScan,XiGroupStream,GraceJoin,OPHashJoin,UnorderedJoin,UnorderedSemiJoin,UnorderedAntiJoin,UnorderedOuterJoin,UnorderedGroupUnary,UnorderedGroupBinary
 	switch w := o.(type) {
 	case algebra.Map:
 		w.In = r.op(w.In)
@@ -126,6 +131,17 @@ func (r *rewritePass) op(o algebra.Op) algebra.Op {
 		w.In = r.op(w.In)
 		return w
 	case algebra.UnnestDistinct:
+		w.In = r.op(w.In)
+		return w
+	case algebra.Sort:
+		// Order-by translation places Sort (under a ΠD̄ of the sort keys)
+		// mid-plan; descending through it lets the unnesting equivalences
+		// reach nested FLWRs below an order by. (Previously the walker
+		// fell through to the default and silently left the whole subtree
+		// nested — the class of omission opcomplete now rejects.)
+		w.In = r.op(w.In)
+		return w
+	case algebra.AttachSeq:
 		w.In = r.op(w.In)
 		return w
 	case algebra.GroupUnary:

@@ -216,7 +216,14 @@ func disjoint(a, b map[string]bool) bool {
 // operator when any input changed. Operators are value types, so rebuilding
 // is a field-wise copy.
 func rebuildChildren(op algebra.Op, f func(algebra.Op) (algebra.Op, bool)) (algebra.Op, bool) {
+	// The unordered family is introduced by ToUnordered strictly after
+	// every rebuildChildren-based pass (Simplify, SubstituteIndexes) has
+	// run on the ordered plan, and XiGroupStream only appears in
+	// hand-built experiment plans; neither is ever traversed here.
+	//nal:opswitch sec2 exempt=XiGroupStream,UnorderedJoin,UnorderedSemiJoin,UnorderedAntiJoin,UnorderedOuterJoin,UnorderedGroupUnary,UnorderedGroupBinary
 	switch w := op.(type) {
+	case algebra.Singleton:
+		return w, false
 	case algebra.Select:
 		in, ch := f(w.In)
 		return algebra.Select{In: in, Pred: w.Pred}, ch

@@ -115,6 +115,7 @@ func (m *Model) EstimateCard(op algebra.Op) float64 {
 
 // Plan estimates a full operator tree.
 func (m *Model) Plan(op algebra.Op) Estimate {
+	//nal:opswitch cost
 	switch w := op.(type) {
 	case algebra.Singleton:
 		return Estimate{Card: 1, Cost: 1}

@@ -232,6 +232,7 @@ func (b *Builder) Begin(name string) *Builder {
 func (b *Builder) Attrib(name, value string) *Builder {
 	n := b.top()
 	if n.Kind != KindElement {
+		//nal:allow-panic builder misuse is a programmer error; the store/parse decoders emit Begin before Attrib by construction and error out before reaching an unbalanced state
 		panic("dom: Attrib outside of element")
 	}
 	a := &Node{Kind: KindAttribute, Name: name, Data: value, Parent: n, doc: b.doc}
@@ -249,6 +250,7 @@ func (b *Builder) Text(data string) *Builder {
 // End closes the current element.
 func (b *Builder) End() *Builder {
 	if len(b.stack) == 1 {
+		//nal:allow-panic builder misuse is a programmer error; decoders keep Begin/End balanced by construction
 		panic("dom: End without matching Begin")
 	}
 	b.stack = b.stack[:len(b.stack)-1]
@@ -264,6 +266,7 @@ func (b *Builder) Element(name, text string) *Builder {
 // the document. The builder must be balanced (every Begin matched by an End).
 func (b *Builder) Done() *Document {
 	if len(b.stack) != 1 {
+		//nal:allow-panic builder misuse is a programmer error; load paths check decoder errors before calling Done
 		panic(fmt.Sprintf("dom: Done with %d unclosed elements", len(b.stack)-1))
 	}
 	order := 0

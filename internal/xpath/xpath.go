@@ -183,6 +183,7 @@ func Parse(s string) (Path, error) {
 func MustParse(s string) Path {
 	p, err := Parse(s)
 	if err != nil {
+		//nal:allow-panic Must* contract on constant test/experiment paths; user input goes through Parse (mustparse confines callers)
 		panic(err)
 	}
 	return p

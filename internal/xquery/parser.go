@@ -110,6 +110,7 @@ func (p *parser) parseExternalDecl() (string, error) {
 func MustParse(src string) Expr {
 	e, err := ParseQuery(src)
 	if err != nil {
+		//nal:allow-panic Must* contract on constant test/experiment queries; user input goes through ParseQuery (mustparse confines callers)
 		panic(err)
 	}
 	return e
